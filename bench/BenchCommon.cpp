@@ -1,0 +1,88 @@
+#include "bench/BenchCommon.hpp"
+
+#include <cstdio>
+
+#include "util/Logging.hpp"
+
+namespace gsuite::bench {
+
+const std::vector<DatasetId> &
+paperDatasets()
+{
+    static const std::vector<DatasetId> ids = {
+        DatasetId::Cora, DatasetId::CiteSeer, DatasetId::PubMed,
+        DatasetId::Reddit, DatasetId::LiveJournal};
+    return ids;
+}
+
+const char *
+dsShort(DatasetId id)
+{
+    return datasetInfo(id).shortForm.c_str();
+}
+
+const std::vector<GnnModelKind> &
+paperModels()
+{
+    static const std::vector<GnnModelKind> models = {
+        GnnModelKind::Gcn, GnnModelKind::Gin, GnnModelKind::Sage};
+    return models;
+}
+
+SimRun
+runSimPipeline(DatasetId id, GnnModelKind model, CompModel comp,
+               const SimBenchOptions &opts)
+{
+    const DatasetScale scale = defaultSimScale(id);
+    const Graph graph = loadDataset(id, scale, opts.seed);
+
+    SimEngine::Options eopts;
+    eopts.sim.maxCtas = opts.maxCtas;
+    eopts.profileCaches = opts.profileCaches;
+    SimEngine engine(eopts);
+
+    ModelConfig cfg;
+    cfg.model = model;
+    cfg.comp = comp;
+    cfg.layers = opts.layers;
+    cfg.seed = opts.seed;
+    GnnPipeline pipeline(graph, cfg);
+    pipeline.run(engine);
+
+    SimRun run;
+    run.timeline = engine.timeline();
+    run.byClass = simStatsByClass(run.timeline);
+    run.scale = scale.describe();
+    return run;
+}
+
+std::string
+pct(double fraction)
+{
+    return fmtDouble(100.0 * fraction, 1);
+}
+
+BenchArgs
+BenchArgs::parse(int argc, char **argv)
+{
+    OptionSet opts;
+    opts.parseArgs(argc, argv);
+    BenchArgs args;
+    args.csvPath = opts.getString("csv", "");
+    args.quick = opts.getBool("quick", false);
+    args.layers = static_cast<int>(opts.getInt("layers", 2));
+    if (opts.getBool("quiet", false))
+        setLogLevel(LogLevel::Quiet);
+    return args;
+}
+
+void
+banner(const std::string &title, const std::string &note)
+{
+    std::printf("=== %s ===\n", title.c_str());
+    if (!note.empty())
+        std::printf("%s\n", note.c_str());
+    std::printf("\n");
+}
+
+} // namespace gsuite::bench

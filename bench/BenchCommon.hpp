@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: standard
+ * model/dataset grids, simulator pipeline execution with per-class
+ * aggregation, and consistent labels matching the paper's figures.
+ */
+
+#ifndef GSUITE_BENCH_BENCHCOMMON_HPP
+#define GSUITE_BENCH_BENCHCOMMON_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/ExecutionEngine.hpp"
+#include "graph/Datasets.hpp"
+#include "models/GnnModel.hpp"
+#include "suite/Runner.hpp"
+#include "util/Csv.hpp"
+#include "util/Options.hpp"
+#include "util/Table.hpp"
+
+namespace gsuite::bench {
+
+/** The five Table IV datasets in paper order. */
+const std::vector<DatasetId> &paperDatasets();
+
+/** Two-letter dataset label (CR/CS/PB/RD/LJ). */
+const char *dsShort(DatasetId id);
+
+/** The three paper models in paper order. */
+const std::vector<GnnModelKind> &paperModels();
+
+/** Result of one simulated pipeline. */
+struct SimRun {
+    std::vector<KernelRecord> timeline;
+    std::map<KernelClass, KernelStats> byClass;
+    std::string scale;
+};
+
+/** Options shared by all simulator-driven benches. */
+struct SimBenchOptions {
+    bool profileCaches = false;
+    int64_t maxCtas = 2048;
+    int layers = 2;
+    uint64_t seed = 7;
+};
+
+/**
+ * Build and simulate one pipeline at the dataset's sim scale,
+ * returning per-kernel-class merged statistics.
+ */
+SimRun runSimPipeline(DatasetId id, GnnModelKind model, CompModel comp,
+                      const SimBenchOptions &opts = {});
+
+/** Percentage formatting for figure cells. */
+std::string pct(double fraction);
+
+/** Parse common bench flags (--csv FILE, --quick, --layers N). */
+struct BenchArgs {
+    std::string csvPath;
+    bool quick = false; ///< smaller CTA budget for smoke runs
+    int layers = 2;
+
+    static BenchArgs parse(int argc, char **argv);
+
+    SimBenchOptions
+    simOptions() const
+    {
+        SimBenchOptions opts;
+        opts.maxCtas = quick ? 256 : 2048;
+        opts.layers = layers;
+        return opts;
+    }
+};
+
+/** Print the standard bench banner with scale disclosure. */
+void banner(const std::string &title, const std::string &note);
+
+} // namespace gsuite::bench
+
+#endif // GSUITE_BENCH_BENCHCOMMON_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation A: warp scheduler policy (GTO vs LRR) on the GCN MP
+ * kernels across datasets — the scheduler-study direction the paper
+ * suggests ("focus on warp scheduling studies for better utilization
+ * of the functional units").
+ */
+
+#include <cstdio>
+
+#include "bench/BenchCommon.hpp"
+
+using namespace gsuite;
+using namespace gsuite::bench;
+
+namespace {
+
+std::map<KernelClass, KernelStats>
+runWithPolicy(DatasetId id, SchedulerPolicy pol, int64_t max_ctas)
+{
+    const Graph g = loadDataset(id, defaultSimScale(id), 7);
+    SimEngine::Options opts;
+    opts.gpu.scheduler = pol;
+    opts.sim.maxCtas = max_ctas;
+    SimEngine engine(opts);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gcn;
+    cfg.comp = CompModel::Mp;
+    GnnPipeline p(g, cfg);
+    p.run(engine);
+    return simStatsByClass(engine.timeline());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Ablation: GTO vs LRR warp scheduling, GCN gSuite-MP",
+           "Cycles per kernel class and the LRR/GTO ratio.");
+
+    CsvWriter csv(args.csvPath);
+    csv.header({"dataset", "kernel", "gto_cycles", "lrr_cycles",
+                "lrr_over_gto"});
+
+    TablePrinter table;
+    table.header({"dataset", "kernel", "GTO cycles", "LRR cycles",
+                  "LRR/GTO"});
+    for (const DatasetId id : paperDatasets()) {
+        const auto gto = runWithPolicy(id, SchedulerPolicy::Gto,
+                                       args.simOptions().maxCtas);
+        const auto lrr = runWithPolicy(id, SchedulerPolicy::Lrr,
+                                       args.simOptions().maxCtas);
+        for (const KernelClass cls :
+             {KernelClass::Sgemm, KernelClass::IndexSelect,
+              KernelClass::Scatter}) {
+            const auto git = gto.find(cls);
+            const auto lit = lrr.find(cls);
+            if (git == gto.end() || lit == lrr.end())
+                continue;
+            const double ratio =
+                static_cast<double>(lit->second.cycles) /
+                static_cast<double>(git->second.cycles);
+            table.row({dsShort(id), kernelClassShortForm(cls),
+                       std::to_string(git->second.cycles),
+                       std::to_string(lit->second.cycles),
+                       fmtDouble(ratio, 3)});
+            csv.row({dsShort(id), kernelClassShortForm(cls),
+                     std::to_string(git->second.cycles),
+                     std::to_string(lit->second.cycles),
+                     fmtDouble(ratio, 4)});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Extension bench (paper future work): GNN-training characterization
+ * — per-kernel time split of a training epoch (forward vs loss vs
+ * backward vs update) across datasets, plus the simulator's view of
+ * where training epochs stall.
+ */
+
+#include <cstdio>
+
+#include "bench/BenchCommon.hpp"
+#include "training/GcnTrainer.hpp"
+#include "util/StringUtils.hpp"
+
+using namespace gsuite;
+using namespace gsuite::bench;
+
+namespace {
+
+/** Phase of a training-epoch kernel, derived from its name. */
+const char *
+phaseOf(const std::string &name)
+{
+    if (startsWith(name, "softmax"))
+        return "loss";
+    if (startsWith(name, "sgd"))
+        return "update";
+    if (name.find("_fwd_") != std::string::npos)
+        return "forward";
+    return "backward";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Extension: GNN-training epoch characterization (GCN)",
+           "Forward / loss / backward / update split per epoch; "
+           "sim dataset scales.");
+
+    CsvWriter csv(args.csvPath);
+    csv.header({"dataset", "forward_pct", "loss_pct", "backward_pct",
+                "update_pct", "epoch_ms", "final_loss",
+                "final_acc"});
+
+    TablePrinter table;
+    table.header({"dataset", "fwd%", "loss%", "bwd%", "upd%",
+                  "epoch ms", "loss@10", "acc@10"});
+    for (const DatasetId id : paperDatasets()) {
+        const Graph g = loadDataset(id, defaultSimScale(id), 7);
+        TrainConfig cfg;
+        cfg.epochs = args.quick ? 3 : 10;
+        GcnTrainer trainer(g, cfg);
+        FunctionalEngine engine;
+        const auto history = trainer.train(engine);
+
+        std::map<std::string, double> by_phase;
+        double total = 0;
+        for (const auto &rec : engine.timeline()) {
+            by_phase[phaseOf(rec.name)] += rec.wallUs;
+            total += rec.wallUs;
+        }
+        table.row({dsShort(id), pct(by_phase["forward"] / total),
+                   pct(by_phase["loss"] / total),
+                   pct(by_phase["backward"] / total),
+                   pct(by_phase["update"] / total),
+                   fmtDouble(history.back().kernelUs / 1e3, 2),
+                   fmtDouble(history.back().loss, 4),
+                   fmtDouble(history.back().accuracy, 3)});
+        csv.row({dsShort(id), pct(by_phase["forward"] / total),
+                 pct(by_phase["loss"] / total),
+                 pct(by_phase["backward"] / total),
+                 pct(by_phase["update"] / total),
+                 fmtDouble(history.back().kernelUs / 1e3, 4),
+                 fmtDouble(history.back().loss, 5),
+                 fmtDouble(history.back().accuracy, 4)});
+    }
+    table.print();
+
+    // Simulator view of one epoch on Cora: the backward SpMM runs on
+    // the transposed adjacency, a different irregular access pattern.
+    std::printf("\nsimulated epoch on CR (cycles per kernel):\n");
+    const Graph g =
+        loadDataset(DatasetId::Cora, DatasetScale::full(), 7);
+    TrainConfig cfg;
+    GcnTrainer trainer(g, cfg);
+    SimEngine::Options sopts;
+    sopts.sim.maxCtas = args.simOptions().maxCtas;
+    SimEngine sim(sopts);
+    trainer.runEpoch(sim);
+    TablePrinter simtab;
+    simtab.header({"kernel", "phase", "cycles", "MemDep%"});
+    for (const auto &rec : sim.timeline()) {
+        simtab.row({rec.name, phaseOf(rec.name),
+                    std::to_string(rec.sim.cycles),
+                    pct(rec.sim.stallShare(
+                        StallReason::MemoryDependency))});
+    }
+    simtab.print();
+    return 0;
+}

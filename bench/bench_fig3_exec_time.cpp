@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 3: end-to-end execution time of PyG, DGL, gSuite-MP and
+ * gSuite-SpMM with each GNN model on the five datasets (mean of
+ * three runs, like the paper's methodology).
+ *
+ * Expected shape: PyG slowest (framework initialization), gSuite
+ * variants fastest; RD/LJ dominate runtime.
+ */
+
+#include <cstdio>
+
+#include "bench/BenchCommon.hpp"
+#include "frameworks/FrameworkAdapter.hpp"
+
+using namespace gsuite;
+using namespace gsuite::bench;
+
+namespace {
+
+/** The four measurement columns of Fig. 3. */
+struct Column {
+    const char *label;
+    Framework framework;
+    CompModel comp; // only meaningful for gSuite
+};
+
+const Column kColumns[] = {
+    {"PyG", Framework::Pyg, CompModel::Mp},
+    {"DGL", Framework::Dgl, CompModel::Spmm},
+    {"gSuite-MP", Framework::Gsuite, CompModel::Mp},
+    {"gSuite-SpMM", Framework::Gsuite, CompModel::Spmm},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    const int runs = args.quick ? 1 : 3;
+    banner("Fig. 3: end-to-end execution time (seconds)",
+           "Mean of " + std::to_string(runs) +
+               " runs; functional engine at the functional dataset "
+               "scales (DESIGN.md #6). gSuite-SpMM omits SAG "
+               "(paper Section II-C); kernel times are host "
+               "wall-clock, framework overheads per DESIGN.md #4.");
+
+    CsvWriter csv(args.csvPath);
+    csv.header({"model", "dataset", "framework", "end_to_end_sec",
+                "kernel_sec", "scale"});
+
+    for (const GnnModelKind model : paperModels()) {
+        TablePrinter table(std::string("model: ") +
+                           gnnModelName(model));
+        table.header({"dataset", "PyG", "DGL", "gSuite-MP",
+                      "gSuite-SpMM", "scale"});
+        for (const DatasetId id : paperDatasets()) {
+            const DatasetScale scale = defaultFunctionalScale(id);
+            const Graph g = loadDataset(id, scale, 7);
+            std::vector<std::string> cells = {dsShort(id)};
+            for (const Column &col : kColumns) {
+                if (model == GnnModelKind::Sage &&
+                    col.framework == Framework::Gsuite &&
+                    col.comp == CompModel::Spmm) {
+                    cells.push_back("n/a");
+                    continue;
+                }
+                FunctionalEngine engine;
+                const FrameworkAdapter adapter(col.framework);
+                ModelConfig cfg;
+                cfg.model = model;
+                cfg.comp = col.comp;
+                cfg.layers = args.layers;
+                double sum_us = 0.0;
+                double kernel_us = 0.0;
+                for (int r = 0; r < runs; ++r) {
+                    const auto res = adapter.run(g, cfg, engine);
+                    sum_us += res.endToEndUs;
+                    kernel_us += res.kernelUs;
+                }
+                const double mean_sec = sum_us / runs / 1e6;
+                cells.push_back(fmtDouble(mean_sec, 3));
+                csv.row({gnnModelName(model), dsShort(id), col.label,
+                         fmtDouble(mean_sec, 6),
+                         fmtDouble(kernel_us / runs / 1e6, 6),
+                         scale.describe()});
+            }
+            cells.push_back(scale.describe());
+            table.row(cells);
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fig. 4: execution-time distribution (%) of the kernels for each
+ * framework, model and dataset.
+ *
+ * Expected shape: the GNN model — not the framework — determines the
+ * distribution; sgemm's share grows with feature width.
+ */
+
+#include <cstdio>
+
+#include "bench/BenchCommon.hpp"
+#include "frameworks/FrameworkAdapter.hpp"
+
+using namespace gsuite;
+using namespace gsuite::bench;
+
+namespace {
+
+struct Column {
+    const char *label;
+    Framework framework;
+    CompModel comp;
+    bool supportsSage;
+};
+
+const Column kFrameworks[] = {
+    {"PyG", Framework::Pyg, CompModel::Mp, true},
+    {"DGL", Framework::Dgl, CompModel::Spmm, true},
+    {"gSuite-MP", Framework::Gsuite, CompModel::Mp, true},
+    {"gSuite-SpMM", Framework::Gsuite, CompModel::Spmm, false},
+};
+
+/** Fig. 4 legend order: sgemm scatter indexSelect SpMM other. */
+double
+classShare(const std::map<KernelClass, double> &by_class,
+           KernelClass cls, double total)
+{
+    auto it = by_class.find(cls);
+    return total > 0 && it != by_class.end() ? it->second / total
+                                             : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Fig. 4: execution time distribution of the kernels (%)",
+           "Shares of per-kernel wall-clock time; SpGEMM counts "
+           "toward the SpMM column, elementwise/aux toward other.");
+
+    CsvWriter csv(args.csvPath);
+    csv.header({"framework", "model", "dataset", "sgemm", "scatter",
+                "indexSelect", "SpMM", "other"});
+
+    for (const Column &fw : kFrameworks) {
+        TablePrinter table(std::string("framework: ") + fw.label);
+        table.header({"model", "dataset", "sgemm%", "scatter%",
+                      "indexSelect%", "SpMM%", "other%"});
+        for (const GnnModelKind model : paperModels()) {
+            if (model == GnnModelKind::Sage && !fw.supportsSage)
+                continue;
+            for (const DatasetId id : paperDatasets()) {
+                const Graph g =
+                    loadDataset(id, defaultFunctionalScale(id), 7);
+                FunctionalEngine engine;
+                ModelConfig cfg;
+                cfg.model = model;
+                cfg.comp = fw.comp;
+                cfg.layers = args.layers;
+                const auto res = FrameworkAdapter(fw.framework)
+                                     .run(g, cfg, engine);
+
+                auto by_class = wallUsByClass(res.timeline);
+                double total = 0;
+                for (const auto &[cls, us] : by_class)
+                    total += us;
+                // Fold SpGEMM into the SpMM column and
+                // elementwise into other (Fig. 4 legend).
+                const double sg = classShare(
+                    by_class, KernelClass::Sgemm, total);
+                const double sc = classShare(
+                    by_class, KernelClass::Scatter, total);
+                const double is = classShare(
+                    by_class, KernelClass::IndexSelect, total);
+                const double sp =
+                    classShare(by_class, KernelClass::SpMM, total) +
+                    classShare(by_class, KernelClass::SpGemm, total);
+                const double other =
+                    classShare(by_class, KernelClass::Elementwise,
+                               total) +
+                    classShare(by_class, KernelClass::Aux, total);
+
+                table.row({gnnModelName(model), dsShort(id), pct(sg),
+                           pct(sc), pct(is), pct(sp), pct(other)});
+                csv.row({fw.label, gnnModelName(model), dsShort(id),
+                         pct(sg), pct(sc), pct(is), pct(sp),
+                         pct(other)});
+            }
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fig. 5: instruction breakdown of the core kernels during
+ * execution, for gSuite-MP and gSuite-SpMM on the paper's two
+ * endpoints (GCN-CR and GIN-LJ).
+ *
+ * Expected shape: indexSelect/scatter dominated by INT + Load/Store
+ * (address math), sgemm dominated by FP32; the mix barely moves when
+ * the model or dataset changes.
+ */
+
+#include <cstdio>
+
+#include "bench/BenchCommon.hpp"
+
+using namespace gsuite;
+using namespace gsuite::bench;
+
+namespace {
+
+void
+emitRows(TablePrinter &table, CsvWriter &csv, const char *config,
+         const SimRun &run, std::initializer_list<KernelClass> order)
+{
+    for (const KernelClass cls : order) {
+        auto it = run.byClass.find(cls);
+        if (it == run.byClass.end())
+            continue;
+        const KernelStats &s = it->second;
+        table.row({config, kernelClassShortForm(cls),
+                   pct(s.instrShare(InstrClass::Fp32)),
+                   pct(s.instrShare(InstrClass::Int)),
+                   pct(s.instrShare(InstrClass::LoadStore)),
+                   pct(s.instrShare(InstrClass::Control)),
+                   pct(s.instrShare(InstrClass::Other))});
+        csv.row({config, kernelClassShortForm(cls),
+                 pct(s.instrShare(InstrClass::Fp32)),
+                 pct(s.instrShare(InstrClass::Int)),
+                 pct(s.instrShare(InstrClass::LoadStore)),
+                 pct(s.instrShare(InstrClass::Control)),
+                 pct(s.instrShare(InstrClass::Other))});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Fig. 5: instruction breakdown of the kernels (%)",
+           "Timing simulator, sim dataset scales; FP32 / INT / "
+           "Load-Store / Control / other per core kernel.");
+
+    CsvWriter csv(args.csvPath);
+    csv.header({"config", "kernel", "FP32", "INT", "LoadStore",
+                "Control", "other"});
+
+    // gSuite-MP panel: GCN-CR and GIN-LJ.
+    {
+        TablePrinter table("gSuite-MP");
+        table.header({"config", "kernel", "FP32%", "INT%", "Ld/St%",
+                      "Ctrl%", "other%"});
+        const SimRun gcn_cr =
+            runSimPipeline(DatasetId::Cora, GnnModelKind::Gcn,
+                           CompModel::Mp, args.simOptions());
+        emitRows(table, csv, "GCN-CR", gcn_cr,
+                 {KernelClass::Sgemm, KernelClass::Scatter,
+                  KernelClass::IndexSelect});
+        const SimRun gin_lj =
+            runSimPipeline(DatasetId::LiveJournal, GnnModelKind::Gin,
+                           CompModel::Mp, args.simOptions());
+        emitRows(table, csv, "GIN-LJ", gin_lj,
+                 {KernelClass::Sgemm, KernelClass::Scatter,
+                  KernelClass::IndexSelect});
+        table.print();
+        std::printf("\n");
+    }
+
+    // gSuite-SpMM panel: GCN-CR and GIN-LJ.
+    {
+        TablePrinter table("gSuite-SpMM");
+        table.header({"config", "kernel", "FP32%", "INT%", "Ld/St%",
+                      "Ctrl%", "other%"});
+        const SimRun gcn_cr =
+            runSimPipeline(DatasetId::Cora, GnnModelKind::Gcn,
+                           CompModel::Spmm, args.simOptions());
+        emitRows(table, csv, "GCN-CR", gcn_cr,
+                 {KernelClass::SpGemm, KernelClass::SpMM,
+                  KernelClass::Sgemm});
+        const SimRun gin_lj =
+            runSimPipeline(DatasetId::LiveJournal, GnnModelKind::Gin,
+                           CompModel::Spmm, args.simOptions());
+        emitRows(table, csv, "GIN-LJ", gin_lj,
+                 {KernelClass::SpMM, KernelClass::Sgemm});
+        table.print();
+    }
+    return 0;
+}

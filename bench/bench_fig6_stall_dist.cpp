@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fig. 6: issue-stall distribution of the core kernels, comparing MP
+ * and SpMM kernels across GNN models and datasets.
+ *
+ * Expected shape: MemoryDependency dominant (paper average: 46.3%),
+ * growing with dataset size for everything except sgemm; noticeable
+ * InstructionFetch for GCN-MP is/sc on the small datasets;
+ * Synchronization pressure on scatter (atomics) and sgemm (barriers).
+ */
+
+#include <cstdio>
+
+#include "bench/BenchCommon.hpp"
+
+using namespace gsuite;
+using namespace gsuite::bench;
+
+namespace {
+
+double g_memdep_sum = 0.0;
+int g_memdep_count = 0;
+
+void
+emitRows(TablePrinter &table, CsvWriter &csv, const char *comp_label,
+         GnnModelKind model, DatasetId id, const SimRun &run,
+         std::initializer_list<KernelClass> order)
+{
+    for (const KernelClass cls : order) {
+        auto it = run.byClass.find(cls);
+        if (it == run.byClass.end())
+            continue;
+        const KernelStats &s = it->second;
+        std::vector<std::string> cells = {
+            gnnModelName(model), dsShort(id),
+            kernelClassShortForm(cls)};
+        for (int r = 0; r < kNumStallReasons; ++r)
+            cells.push_back(
+                pct(s.stallShare(static_cast<StallReason>(r))));
+        table.row(cells);
+        std::vector<std::string> csv_cells = {
+            comp_label, gnnModelName(model), dsShort(id),
+            kernelClassShortForm(cls)};
+        for (int r = 0; r < kNumStallReasons; ++r)
+            csv_cells.push_back(
+                pct(s.stallShare(static_cast<StallReason>(r))));
+        csv.row(csv_cells);
+        g_memdep_sum +=
+            s.stallShare(StallReason::MemoryDependency);
+        ++g_memdep_count;
+    }
+}
+
+std::vector<std::string>
+headerCells()
+{
+    std::vector<std::string> cells = {"model", "dataset", "kernel"};
+    for (int r = 0; r < kNumStallReasons; ++r)
+        cells.push_back(std::string(stallReasonName(
+                            static_cast<StallReason>(r))) +
+                        "%");
+    return cells;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Fig. 6: issue stall distribution of the kernels (%)",
+           "Timing simulator, sim dataset scales (printed by "
+           "bench_table4_datasets).");
+
+    CsvWriter csv(args.csvPath);
+    {
+        std::vector<std::string> h = {"comp"};
+        for (const auto &c : headerCells())
+            h.push_back(c);
+        csv.header(h);
+    }
+
+    TablePrinter mp_table("gSuite-MP");
+    mp_table.header(headerCells());
+    for (const GnnModelKind model : paperModels()) {
+        for (const DatasetId id : paperDatasets()) {
+            const SimRun run = runSimPipeline(
+                id, model, CompModel::Mp, args.simOptions());
+            emitRows(mp_table, csv, "mp", model, id, run,
+                     {KernelClass::Sgemm, KernelClass::Scatter,
+                      KernelClass::IndexSelect});
+        }
+    }
+    mp_table.print();
+    std::printf("\n");
+
+    TablePrinter sp_table("gSuite-SpMM");
+    sp_table.header(headerCells());
+    for (const GnnModelKind model :
+         {GnnModelKind::Gcn, GnnModelKind::Gin}) {
+        for (const DatasetId id : paperDatasets()) {
+            const SimRun run = runSimPipeline(
+                id, model, CompModel::Spmm, args.simOptions());
+            emitRows(sp_table, csv, "spmm", model, id, run,
+                     {KernelClass::SpGemm, KernelClass::SpMM,
+                      KernelClass::Sgemm});
+        }
+    }
+    sp_table.print();
+
+    std::printf("\naverage MemoryDependency share: %s%% "
+                "(paper reports 46.3%%)\n",
+                pct(g_memdep_sum / g_memdep_count).c_str());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 7: warp occupancy distribution of the gSuite-MP kernels on
+ * varying GNN models and datasets.
+ *
+ * Expected shape: GCN's MP kernels (operating on the post-sgemm
+ * hidden width) idle heavily on small datasets; sgemm is insensitive
+ * to the GNN model; W32 dominates whenever instructions do issue.
+ */
+
+#include <cstdio>
+
+#include "bench/BenchCommon.hpp"
+
+using namespace gsuite;
+using namespace gsuite::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Fig. 7: warp occupancy distribution, gSuite-MP kernels "
+           "(%)",
+           "Per scheduler-cycle: Stall (ready warp blocked by the "
+           "pipeline), Idle (no warp ready), or issued with <=8, "
+           "<=20, <=32 active threads.");
+
+    CsvWriter csv(args.csvPath);
+    csv.header({"model", "dataset", "kernel", "Stall", "Idle", "W8",
+                "W20", "W32"});
+
+    TablePrinter table;
+    table.header({"model", "dataset", "kernel", "Stall%", "Idle%",
+                  "W8%", "W20%", "W32%"});
+    for (const GnnModelKind model : paperModels()) {
+        for (const DatasetId id : paperDatasets()) {
+            const SimRun run = runSimPipeline(
+                id, model, CompModel::Mp, args.simOptions());
+            for (const KernelClass cls :
+                 {KernelClass::Sgemm, KernelClass::Scatter,
+                  KernelClass::IndexSelect}) {
+                auto it = run.byClass.find(cls);
+                if (it == run.byClass.end())
+                    continue;
+                const KernelStats &s = it->second;
+                table.row({gnnModelName(model), dsShort(id),
+                           kernelClassShortForm(cls),
+                           pct(s.occShare(OccBucket::Stall)),
+                           pct(s.occShare(OccBucket::Idle)),
+                           pct(s.occShare(OccBucket::W8)),
+                           pct(s.occShare(OccBucket::W20)),
+                           pct(s.occShare(OccBucket::W32))});
+                csv.row({gnnModelName(model), dsShort(id),
+                         kernelClassShortForm(cls),
+                         pct(s.occShare(OccBucket::Stall)),
+                         pct(s.occShare(OccBucket::Idle)),
+                         pct(s.occShare(OccBucket::W8)),
+                         pct(s.occShare(OccBucket::W20)),
+                         pct(s.occShare(OccBucket::W32))});
+            }
+        }
+    }
+    table.print();
+    return 0;
+}

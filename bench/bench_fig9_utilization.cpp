@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 9: compute and memory utilization levels of the MP kernels on
+ * varying GNN models and datasets.
+ *
+ * Expected shape: scatter drives memory harder than the other
+ * kernels (streamed reads + L2 atomics), especially in GIN/SAG where
+ * it runs at full feature width; sgemm's utilization scales up with
+ * the workload (largest on LJ-scale inputs).
+ */
+
+#include <cstdio>
+
+#include "bench/BenchCommon.hpp"
+
+using namespace gsuite;
+using namespace gsuite::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Fig. 9: compute/memory utilization, gSuite-MP kernels "
+           "(%)",
+           "compute = ALU issue-slot occupancy; memory = DRAM "
+           "bandwidth fraction.");
+
+    CsvWriter csv(args.csvPath);
+    csv.header(
+        {"model", "dataset", "kernel", "compute", "memory"});
+
+    TablePrinter table;
+    table.header({"model", "dataset", "kernel", "compute%",
+                  "memory%"});
+    for (const GnnModelKind model : paperModels()) {
+        for (const DatasetId id : paperDatasets()) {
+            const SimRun run = runSimPipeline(
+                id, model, CompModel::Mp, args.simOptions());
+            for (const KernelClass cls :
+                 {KernelClass::Sgemm, KernelClass::IndexSelect,
+                  KernelClass::Scatter}) {
+                auto it = run.byClass.find(cls);
+                if (it == run.byClass.end())
+                    continue;
+                const KernelStats &s = it->second;
+                table.row({gnnModelName(model), dsShort(id),
+                           kernelClassShortForm(cls),
+                           pct(s.computeUtilization()),
+                           pct(s.memoryUtilization())});
+                csv.row({gnnModelName(model), dsShort(id),
+                         kernelClassShortForm(cls),
+                         pct(s.computeUtilization()),
+                         pct(s.memoryUtilization())});
+            }
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Table II companion: google-benchmark microbenchmarks of every core
+ * kernel's functional implementation across input sizes, the raw
+ * per-kernel cost data behind the end-to-end numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/Generators.hpp"
+#include "kernels/Elementwise.hpp"
+#include "kernels/IndexSelect.hpp"
+#include "kernels/Scatter.hpp"
+#include "kernels/Sgemm.hpp"
+#include "kernels/Spgemm.hpp"
+#include "kernels/Spmm.hpp"
+#include "sparse/Convert.hpp"
+#include "util/Random.hpp"
+
+using namespace gsuite;
+
+namespace {
+
+Graph
+benchGraph(int64_t nodes, int64_t edges, int64_t flen)
+{
+    Rng rng(7);
+    RmatParams p;
+    p.nodes = nodes;
+    p.edges = edges;
+    Graph g = generateRmat(p, rng);
+    fillFeatures(g, flen, rng);
+    return g;
+}
+
+void
+BM_IndexSelect(benchmark::State &state)
+{
+    const int64_t edges = state.range(0);
+    const int64_t flen = state.range(1);
+    const Graph g = benchGraph(edges / 4, edges, flen);
+    DenseMatrix out;
+    IndexSelectKernel k("is", g.features, g.src, out);
+    for (auto _ : state) {
+        k.execute();
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * edges * flen * 8);
+}
+BENCHMARK(BM_IndexSelect)
+    ->Args({1 << 13, 16})
+    ->Args({1 << 16, 16})
+    ->Args({1 << 16, 128})
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_ScatterSum(benchmark::State &state)
+{
+    const int64_t edges = state.range(0);
+    const int64_t flen = state.range(1);
+    const Graph g = benchGraph(edges / 4, edges, flen);
+    DenseMatrix msg;
+    IndexSelectKernel gather("is", g.features, g.src, msg);
+    gather.execute();
+    DenseMatrix out(g.numNodes(), flen);
+    ScatterKernel k("sc", msg, g.dst, out);
+    for (auto _ : state) {
+        k.execute();
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * edges * flen * 8);
+}
+BENCHMARK(BM_ScatterSum)
+    ->Args({1 << 13, 16})
+    ->Args({1 << 16, 16})
+    ->Args({1 << 16, 128})
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_Sgemm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const int64_t k = state.range(1);
+    Rng rng(3);
+    DenseMatrix a(n, k), b(k, 16), c;
+    a.fillUniform(rng, -1, 1);
+    b.fillUniform(rng, -1, 1);
+    SgemmKernel kern("sg", a, b, c);
+    for (auto _ : state) {
+        kern.execute();
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2 * n * k * 16);
+}
+BENCHMARK(BM_Sgemm)
+    ->Args({1 << 12, 128})
+    ->Args({1 << 14, 128})
+    ->Args({1 << 12, 1024})
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SpMM(benchmark::State &state)
+{
+    const int64_t nodes = state.range(0);
+    const int64_t flen = state.range(1);
+    const Graph g = benchGraph(nodes, nodes * 8, flen);
+    const CsrMatrix a = g.adjacencyCsr();
+    DenseMatrix c;
+    SpmmKernel k("sp", a, g.features, c);
+    for (auto _ : state) {
+        k.execute();
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2 * a.nnz() * flen);
+}
+BENCHMARK(BM_SpMM)
+    ->Args({1 << 12, 16})
+    ->Args({1 << 14, 16})
+    ->Args({1 << 12, 128})
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SpGEMM(benchmark::State &state)
+{
+    const int64_t nodes = state.range(0);
+    const Graph g = benchGraph(nodes, nodes * 8, 1);
+    const CsrMatrix a = g.adjacencyCsr();
+    CsrMatrix c;
+    SpgemmKernel k("spg", a, a, c);
+    for (auto _ : state) {
+        k.execute();
+        benchmark::DoNotOptimize(c.nnz());
+    }
+}
+BENCHMARK(BM_SpGEMM)
+    ->Arg(1 << 10)
+    ->Arg(1 << 12)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_Relu(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(5);
+    DenseMatrix in(n, 16), out;
+    in.fillUniform(rng, -1, 1);
+    ElementwiseKernel k("relu", ElementwiseKernel::EwOp::Relu, in,
+                        out);
+    for (auto _ : state) {
+        k.execute();
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * n * 16 * 8);
+}
+BENCHMARK(BM_Relu)->Arg(1 << 14)->Arg(1 << 17)->Unit(
+    benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Citation-network node classification — the paper's canonical GNN
+ * workload (Cora/CiteSeer/PubMed) driven entirely through the
+ * suite's Fig. 1 user interface: parameters (or a config file) in,
+ * benchmark report out.
+ *
+ * Usage:
+ *   citation_gcn --dataset citeseer --model gcn --comp spmm
+ *   citation_gcn --config gsuite.conf --engine sim
+ */
+
+#include <cstdio>
+
+#include "suite/Report.hpp"
+#include "suite/Runner.hpp"
+
+using namespace gsuite;
+
+int
+main(int argc, char **argv)
+{
+    UserParams params = UserParams::fromArgs(argc, argv);
+    std::printf("running %s\n", params.describe().c_str());
+
+    BenchmarkRunner runner(params);
+    const RunOutcome outcome = runner.run();
+    printReport(outcome);
+
+    if (!params.csvOut.empty()) {
+        writeReportCsv(outcome, params.csvOut);
+        std::printf("wrote %s\n", params.csvOut.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Extendability walkthrough (the paper's "plug-and-play" claim): a
+ * GNN model that gSuite does not ship — a max-pooling graph network
+ * in the style of GraphSAGE-pool — assembled directly from the core
+ * kernels:
+ *
+ *   h_v = relu( W1 h_v + W2 max_{u in N(v)} relu(W3 h_u) )
+ *
+ * The kernel pipeline is validated against a naive per-node loop,
+ * then characterized on the timing simulator — exactly the workflow
+ * a researcher adding a new model would follow.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "engine/ExecutionEngine.hpp"
+#include "graph/Datasets.hpp"
+#include "kernels/Elementwise.hpp"
+#include "kernels/IndexSelect.hpp"
+#include "kernels/Scatter.hpp"
+#include "kernels/Sgemm.hpp"
+#include "util/Csv.hpp"
+#include "util/Options.hpp"
+#include "util/Random.hpp"
+#include "util/Table.hpp"
+
+using namespace gsuite;
+
+int
+main(int argc, char **argv)
+{
+    OptionSet opts;
+    opts.parseArgs(argc, argv);
+    const Graph g = loadDataset(
+        opts.getString("dataset", "cora"), DatasetScale::full(), 7);
+    std::printf("loaded %s\n", g.summary().c_str());
+
+    const int64_t f = g.featureLen();
+    const int64_t out_dim = 16;
+    Rng rng(42);
+    DenseMatrix w1(f, out_dim), w2(out_dim, out_dim),
+        w3(f, out_dim);
+    w1.fillGlorot(rng);
+    w2.fillGlorot(rng);
+    w3.fillGlorot(rng);
+
+    // --- assemble the pipeline from core kernels ------------------
+    DenseMatrix edge_in, edge_msg, pooled, self_lin, neigh_lin, sum,
+        act, out;
+    std::vector<std::unique_ptr<Kernel>> pipeline;
+
+    // 1. Transform every node: m = relu(W3 h).
+    DenseMatrix transformed, transformed_act;
+    pipeline.push_back(std::make_unique<SgemmKernel>(
+        "sgemm_msg", g.features, w3, transformed));
+    pipeline.push_back(std::make_unique<ElementwiseKernel>(
+        "relu_msg", ElementwiseKernel::EwOp::Relu, transformed,
+        transformed_act));
+    // 2. Gather along edges, 3. max-pool into destinations.
+    pipeline.push_back(std::make_unique<IndexSelectKernel>(
+        "indexSelect", transformed_act, g.src, edge_msg));
+    pooled.resize(g.numNodes(), out_dim);
+    pipeline.push_back(std::make_unique<ScatterKernel>(
+        "scatter_max", edge_msg, g.dst, pooled,
+        ScatterKernel::Reduce::Max));
+    // 4. Combine with the self term.
+    pipeline.push_back(std::make_unique<SgemmKernel>(
+        "sgemm_self", g.features, w1, self_lin));
+    pipeline.push_back(std::make_unique<SgemmKernel>(
+        "sgemm_neigh", pooled, w2, neigh_lin));
+    pipeline.push_back(std::make_unique<ElementwiseKernel>(
+        "combine", self_lin, neigh_lin, 1.0f, 1.0f, sum));
+    pipeline.push_back(std::make_unique<ElementwiseKernel>(
+        "relu_out", ElementwiseKernel::EwOp::Relu, sum, out));
+
+    FunctionalEngine engine;
+    for (auto &k : pipeline)
+        engine.run(*k);
+
+    // --- validate against a naive per-node implementation ----------
+    auto matmul = [](const DenseMatrix &x, const DenseMatrix &w) {
+        DenseMatrix y(x.rows(), w.cols());
+        for (int64_t i = 0; i < x.rows(); ++i)
+            for (int64_t j = 0; j < w.cols(); ++j) {
+                double acc = 0;
+                for (int64_t k = 0; k < x.cols(); ++k)
+                    acc += static_cast<double>(x.at(i, k)) *
+                           w.at(k, j);
+                y.at(i, j) = static_cast<float>(acc);
+            }
+        return y;
+    };
+    DenseMatrix msg = matmul(g.features, w3);
+    for (int64_t i = 0; i < msg.size(); ++i)
+        msg.data()[i] = std::max(msg.data()[i], 0.0f);
+    DenseMatrix ref_pool(g.numNodes(), out_dim);
+    for (int64_t e = 0; e < g.numEdges(); ++e) {
+        const int64_t u = g.src[static_cast<size_t>(e)];
+        const int64_t v = g.dst[static_cast<size_t>(e)];
+        for (int64_t c = 0; c < out_dim; ++c)
+            ref_pool.at(v, c) =
+                std::max(ref_pool.at(v, c), msg.at(u, c));
+    }
+    const DenseMatrix a = matmul(g.features, w1);
+    const DenseMatrix b = matmul(ref_pool, w2);
+    DenseMatrix ref(g.numNodes(), out_dim);
+    for (int64_t i = 0; i < ref.size(); ++i)
+        ref.data()[i] =
+            std::max(a.data()[i] + b.data()[i], 0.0f);
+
+    const double diff = DenseMatrix::maxAbsDiff(out, ref);
+    std::printf("max |pipeline - reference| = %.3g\n", diff);
+    if (diff > 1e-3) {
+        std::printf("FAIL: custom model does not match reference\n");
+        return 1;
+    }
+
+    // --- characterize it on the simulator, like any built-in model --
+    SimEngine::Options sopts;
+    sopts.sim.maxCtas = 512;
+    SimEngine sim(sopts);
+    for (auto &k : pipeline)
+        sim.run(*k);
+    TablePrinter table("custom max-pool GNN on the simulator");
+    table.header({"kernel", "cycles", "MemDep%", "L1 hit%"});
+    for (const auto &rec : sim.timeline()) {
+        table.row(
+            {rec.name, std::to_string(rec.sim.cycles),
+             fmtDouble(100 * rec.sim.stallShare(
+                           StallReason::MemoryDependency), 1),
+             fmtDouble(100 * rec.sim.l1HitRate(), 1)});
+    }
+    table.print();
+    std::printf("OK: custom model matches its reference\n");
+    return 0;
+}

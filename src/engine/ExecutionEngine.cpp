@@ -1,0 +1,68 @@
+#include "engine/ExecutionEngine.hpp"
+
+#include "util/Timer.hpp"
+
+namespace gsuite {
+
+double
+ExecutionEngine::totalWallUs() const
+{
+    double total = 0.0;
+    for (const auto &r : records)
+        total += r.wallUs;
+    return total;
+}
+
+FunctionalEngine::FunctionalEngine(Options opts) : opts(opts)
+{
+}
+
+void
+FunctionalEngine::run(Kernel &kernel)
+{
+    KernelRecord rec;
+    rec.name = kernel.name();
+    rec.kind = kernel.kind();
+
+    Timer t;
+    kernel.execute();
+    rec.wallUs = t.elapsedUs();
+
+    if (opts.profileCaches) {
+        const KernelLaunch launch = kernel.makeLaunch(alloc);
+        HwProfiler prof(opts.hwConfig);
+        rec.hw = prof.profile(launch);
+        rec.hasHw = true;
+    }
+    records.push_back(std::move(rec));
+}
+
+SimEngine::SimEngine(Options opts_in)
+    : opts(std::move(opts_in)), sim(opts.gpu)
+{
+}
+
+void
+SimEngine::run(Kernel &kernel)
+{
+    KernelRecord rec;
+    rec.name = kernel.name();
+    rec.kind = kernel.kind();
+
+    Timer t;
+    kernel.execute();
+    rec.wallUs = t.elapsedUs();
+
+    const KernelLaunch launch = kernel.makeLaunch(alloc);
+    rec.sim = sim.run(launch, opts.sim);
+    rec.hasSim = true;
+
+    if (opts.profileCaches) {
+        HwProfiler prof(opts.hwConfig);
+        rec.hw = prof.profile(launch);
+        rec.hasHw = true;
+    }
+    records.push_back(std::move(rec));
+}
+
+} // namespace gsuite

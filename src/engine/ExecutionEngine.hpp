@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Execution engines: where a GNN pipeline's kernels actually run.
+ *
+ * FunctionalEngine runs the functional semantics with wall-clock
+ * timing (the "real GPU card + nvprof" measurement path); SimEngine
+ * additionally feeds every launch through the timing simulator (the
+ * "GPGPU-Sim" path). Both record a per-kernel timeline that the
+ * benches aggregate into the paper's figures.
+ */
+
+#ifndef GSUITE_ENGINE_EXECUTIONENGINE_HPP
+#define GSUITE_ENGINE_EXECUTIONENGINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "kernels/Kernel.hpp"
+#include "profiler/HwProfiler.hpp"
+#include "simgpu/DeviceAllocator.hpp"
+#include "simgpu/GpuSimulator.hpp"
+#include "simgpu/KernelStats.hpp"
+
+namespace gsuite {
+
+/** One executed kernel in an engine's timeline. */
+struct KernelRecord {
+    std::string name;
+    KernelClass kind = KernelClass::Aux;
+    double wallUs = 0.0; ///< functional host execution time
+
+    bool hasSim = false;
+    KernelStats sim; ///< populated by SimEngine
+
+    bool hasHw = false;
+    HwProfileResult hw; ///< populated when cache profiling is on
+};
+
+/** Abstract engine. */
+class ExecutionEngine
+{
+  public:
+    virtual ~ExecutionEngine() = default;
+
+    /** Execute one kernel and append a record to the timeline. */
+    virtual void run(Kernel &kernel) = 0;
+
+    /** All kernels executed so far, in order. */
+    const std::vector<KernelRecord> &timeline() const
+    {
+        return records;
+    }
+
+    /** Drop the timeline (new measurement run). */
+    void clearTimeline() { records.clear(); }
+
+    /** Sum of functional wall-clock times, microseconds. */
+    double totalWallUs() const;
+
+    /** Device address space shared by all launches of this engine. */
+    DeviceAllocator &allocator() { return alloc; }
+
+  protected:
+    std::vector<KernelRecord> records;
+    DeviceAllocator alloc;
+};
+
+/** Host-execution engine with optional hardware cache profiling. */
+class FunctionalEngine : public ExecutionEngine
+{
+  public:
+    struct Options {
+        bool profileCaches = false; ///< fill KernelRecord::hw
+        HwProfilerConfig hwConfig;
+    };
+
+    FunctionalEngine() = default;
+    explicit FunctionalEngine(Options opts);
+
+    void run(Kernel &kernel) override;
+
+  private:
+    Options opts;
+};
+
+/** Timing-simulation engine (functional execution + GPGPU-Sim-like). */
+class SimEngine : public ExecutionEngine
+{
+  public:
+    struct Options {
+        GpuConfig gpu = GpuConfig::v100Sim();
+        SimOptions sim;
+        bool profileCaches = false; ///< also fill KernelRecord::hw
+        HwProfilerConfig hwConfig;
+    };
+
+    SimEngine() : SimEngine(Options{}) {}
+    explicit SimEngine(Options opts);
+
+    void run(Kernel &kernel) override;
+
+    const GpuConfig &gpuConfig() const { return sim.config(); }
+
+  private:
+    Options opts;
+    GpuSimulator sim;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_ENGINE_EXECUTIONENGINE_HPP

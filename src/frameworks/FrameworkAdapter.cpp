@@ -1,0 +1,79 @@
+#include "frameworks/FrameworkAdapter.hpp"
+
+#include "util/Logging.hpp"
+#include "util/StringUtils.hpp"
+
+namespace gsuite {
+
+Framework
+frameworkFromName(const std::string &name)
+{
+    const std::string n = toLower(trim(name));
+    if (n == "gsuite" || n == "none" || n.empty())
+        return Framework::Gsuite;
+    if (n == "pyg" || n == "pytorch-geometric")
+        return Framework::Pyg;
+    if (n == "dgl")
+        return Framework::Dgl;
+    fatal("unknown framework '%s' (known: gsuite, pyg, dgl)",
+          name.c_str());
+}
+
+const char *
+frameworkName(Framework fw)
+{
+    switch (fw) {
+      case Framework::Gsuite: return "gsuite";
+      case Framework::Pyg: return "pyg";
+      case Framework::Dgl: return "dgl";
+    }
+    panic("unknown Framework");
+}
+
+FrameworkAdapter::FrameworkAdapter(Framework fw)
+    : fw(fw), ov(FrameworkOverheads::of(fw))
+{
+}
+
+CompModel
+FrameworkAdapter::resolveCompModel(GnnModelKind kind,
+                                   CompModel requested) const
+{
+    (void)kind;
+    switch (fw) {
+      case Framework::Pyg:
+        return CompModel::Mp;
+      case Framework::Dgl:
+        return CompModel::Spmm;
+      case Framework::Gsuite:
+        return requested;
+    }
+    panic("unknown Framework");
+}
+
+FrameworkRunResult
+FrameworkAdapter::run(const Graph &graph, ModelConfig cfg,
+                      ExecutionEngine &engine) const
+{
+    cfg.comp = resolveCompModel(cfg.model, cfg.comp);
+    // DGL's SAGEConv lowers mean aggregation to SpMM; permit it on
+    // the DGL path only (gSuite matches the paper and rejects it).
+    if (fw == Framework::Dgl)
+        cfg.allowSpmmSage = true;
+
+    engine.clearTimeline();
+    GnnPipeline pipeline(graph, cfg);
+    pipeline.run(engine);
+
+    FrameworkRunResult res;
+    res.timeline = engine.timeline();
+    for (const auto &rec : res.timeline)
+        res.kernelUs += rec.wallUs;
+    res.endToEndUs =
+        ov.initUs +
+        static_cast<double>(res.timeline.size()) * ov.perKernelUs +
+        res.kernelUs * ov.kernelFactor;
+    return res;
+}
+
+} // namespace gsuite

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Framework adapters: run a GNN pipeline the way PyG, DGL or gSuite
+ * itself would — the paper's Fig. 1 framework selection.
+ *
+ * PyG's GNN models all inherit from MessagePassing, so the PyG path
+ * always uses the MP computational model. DGL lowers aggregation to
+ * SpMM, so the DGL path always uses SpMM (including SAGEConv, whose
+ * mean-reduce is an SpMM with the row-normalized adjacency). The
+ * gSuite path honours the user's requested computational model.
+ */
+
+#ifndef GSUITE_FRAMEWORKS_FRAMEWORKADAPTER_HPP
+#define GSUITE_FRAMEWORKS_FRAMEWORKADAPTER_HPP
+
+#include <string>
+#include <vector>
+
+#include "engine/ExecutionEngine.hpp"
+#include "frameworks/Overheads.hpp"
+#include "graph/Graph.hpp"
+#include "models/GnnModel.hpp"
+
+namespace gsuite {
+
+/** Parse "gsuite"/"pyg"/"dgl"; fatal() on unknown names. */
+Framework frameworkFromName(const std::string &name);
+
+/** Canonical display name ("gSuite-MP" style labels are built by
+ *  benches; this returns "gsuite"/"pyg"/"dgl"). */
+const char *frameworkName(Framework fw);
+
+/** Result of one framework-wrapped inference run. */
+struct FrameworkRunResult {
+    double endToEndUs = 0.0; ///< init + dispatch + inflated kernels
+    double kernelUs = 0.0;   ///< raw (uninflated) kernel time
+    std::vector<KernelRecord> timeline;
+};
+
+/** Runs pipelines under a framework's overhead model. */
+class FrameworkAdapter
+{
+  public:
+    explicit FrameworkAdapter(Framework fw);
+
+    /**
+     * The computational model this framework would use for @p kind,
+     * given the user asked for @p requested (only honoured by the
+     * gSuite path).
+     */
+    CompModel resolveCompModel(GnnModelKind kind,
+                               CompModel requested) const;
+
+    /**
+     * Build and run the pipeline on @p engine (whose timeline is
+     * cleared first), returning framework-adjusted timings.
+     */
+    FrameworkRunResult run(const Graph &graph, ModelConfig cfg,
+                           ExecutionEngine &engine) const;
+
+    Framework framework() const { return fw; }
+    const FrameworkOverheads &overheads() const { return ov; }
+
+  private:
+    Framework fw;
+    FrameworkOverheads ov;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_FRAMEWORKS_FRAMEWORKADAPTER_HPP

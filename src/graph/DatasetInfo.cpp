@@ -1,0 +1,59 @@
+#include "graph/DatasetInfo.hpp"
+
+#include "util/Logging.hpp"
+#include "util/StringUtils.hpp"
+
+namespace gsuite {
+
+const std::vector<DatasetInfo> &
+allDatasets()
+{
+    // Node/feature/edge statistics are Table IV of the paper, verbatim.
+    // powerLawSkew: citation graphs are mildly skewed; Reddit and
+    // LiveJournal are heavy-tailed social graphs.
+    static const std::vector<DatasetInfo> table = {
+        {DatasetId::Cora, "cora", "CR", 2708, 1433, 5429, 0.55},
+        {DatasetId::CiteSeer, "citeseer", "CS", 3327, 3703, 4732, 0.55},
+        {DatasetId::PubMed, "pubmed", "PB", 19717, 500, 44438, 0.57},
+        {DatasetId::Reddit, "reddit", "RD", 232965, 602, 11606919, 0.60},
+        {DatasetId::LiveJournal, "livejournal", "LJ", 4847571, 1,
+         68993773, 0.62},
+    };
+    return table;
+}
+
+const DatasetInfo &
+datasetInfo(DatasetId id)
+{
+    for (const auto &info : allDatasets()) {
+        if (info.id == id)
+            return info;
+    }
+    panic("unknown DatasetId");
+}
+
+const DatasetInfo &
+datasetInfoByName(const std::string &name)
+{
+    const std::string n = toLower(trim(name));
+    for (const auto &info : allDatasets()) {
+        if (n == info.name || n == toLower(info.shortForm))
+            return info;
+    }
+    fatal("unknown dataset '%s' (known: cora, citeseer, pubmed, reddit, "
+          "livejournal)",
+          name.c_str());
+}
+
+bool
+isKnownDataset(const std::string &name)
+{
+    const std::string n = toLower(trim(name));
+    for (const auto &info : allDatasets()) {
+        if (n == info.name || n == toLower(info.shortForm))
+            return true;
+    }
+    return false;
+}
+
+} // namespace gsuite

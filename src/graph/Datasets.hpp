@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dataset loading: the paper's "Data Loader" stage (Fig. 1).
+ *
+ * loadDataset() produces a fully-featured Graph for one of the Table
+ * IV datasets, optionally scaled down for timing simulation (DESIGN.md
+ * §6). Generation is deterministic in (dataset, scale, seed).
+ */
+
+#ifndef GSUITE_GRAPH_DATASETS_HPP
+#define GSUITE_GRAPH_DATASETS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "graph/DatasetInfo.hpp"
+#include "graph/Graph.hpp"
+
+namespace gsuite {
+
+/** Scaling applied to a dataset before generation. */
+struct DatasetScale {
+    int64_t nodeDivisor = 1;    ///< |V| divided by this
+    int64_t edgeDivisor = 1;    ///< |E| divided by this
+    int64_t featureCap = 0;     ///< 0 = keep Table IV feature length
+    /** Identity scale: the full Table IV statistics. */
+    static DatasetScale full() { return {}; }
+    bool isFull() const
+    {
+        return nodeDivisor == 1 && edgeDivisor == 1 && featureCap == 0;
+    }
+    /** Short description for bench output, e.g. "V/16 E/64 f<=64". */
+    std::string describe() const;
+};
+
+/**
+ * Default scaling for running a dataset on the timing simulator with
+ * a tractable cycle count (DESIGN.md §6): small graphs run full size,
+ * Reddit and LiveJournal are divided down.
+ */
+DatasetScale defaultSimScale(DatasetId id);
+
+/**
+ * Default scaling for functional/profiler runs: everything full-size
+ * except LiveJournal, whose 4.8M nodes x 69M edges are divided by
+ * 4/8 to fit comfortably in host memory.
+ */
+DatasetScale defaultFunctionalScale(DatasetId id);
+
+/** Generate the dataset at the requested scale. */
+Graph loadDataset(DatasetId id, const DatasetScale &scale,
+                  uint64_t seed = 7);
+
+/** Convenience overload resolving names like "cora" or "LJ". */
+Graph loadDataset(const std::string &name, const DatasetScale &scale,
+                  uint64_t seed = 7);
+
+} // namespace gsuite
+
+#endif // GSUITE_GRAPH_DATASETS_HPP

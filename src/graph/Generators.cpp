@@ -1,0 +1,139 @@
+#include "graph/Generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+namespace {
+
+/** Pick one RMAT cell coordinate within [0, n) by recursive descent. */
+std::pair<int64_t, int64_t>
+rmatDraw(int64_t n, double a, double b, double c, Rng &rng)
+{
+    int64_t row_lo = 0, row_hi = n; // [lo, hi)
+    int64_t col_lo = 0, col_hi = n;
+    while (row_hi - row_lo > 1 || col_hi - col_lo > 1) {
+        const double r = rng.nextDouble();
+        const int64_t row_mid = (row_lo + row_hi) / 2;
+        const int64_t col_mid = (col_lo + col_hi) / 2;
+        bool top = true, left = true;
+        if (r < a) {
+            // top-left
+        } else if (r < a + b) {
+            left = false;
+        } else if (r < a + b + c) {
+            top = false;
+        } else {
+            top = false;
+            left = false;
+        }
+        if (row_hi - row_lo > 1)
+            (top ? row_hi : row_lo) = row_mid;
+        if (col_hi - col_lo > 1)
+            (left ? col_hi : col_lo) = col_mid;
+    }
+    return {row_lo, col_lo};
+}
+
+} // namespace
+
+Graph
+generateRmat(const RmatParams &params, Rng &rng)
+{
+    if (params.nodes <= 0 || params.edges < 0)
+        fatal("RMAT generator needs positive node count");
+    if (params.a + params.b + params.c >= 1.0)
+        fatal("RMAT probabilities must satisfy a + b + c < 1");
+
+    Graph g(params.nodes, 0);
+
+    // Random relabeling so hubs are spread across the id space.
+    std::vector<int64_t> perm(static_cast<size_t>(params.nodes));
+    std::iota(perm.begin(), perm.end(), int64_t{0});
+    rng.shuffle(perm);
+
+    std::unordered_set<uint64_t> seen;
+    if (params.dedup)
+        seen.reserve(static_cast<size_t>(params.edges) * 2);
+
+    const int64_t max_attempts = params.edges * 20 + 1000;
+    int64_t attempts = 0;
+    while (g.numEdges() < params.edges && attempts < max_attempts) {
+        ++attempts;
+        auto [u, v] = rmatDraw(params.nodes, params.a, params.b,
+                               params.c, rng);
+        if (!params.allowSelfLoops && u == v)
+            continue;
+        const int64_t pu = perm[static_cast<size_t>(u)];
+        const int64_t pv = perm[static_cast<size_t>(v)];
+        if (params.dedup) {
+            const uint64_t key = static_cast<uint64_t>(pu) *
+                                     static_cast<uint64_t>(params.nodes) +
+                                 static_cast<uint64_t>(pv);
+            if (!seen.insert(key).second)
+                continue;
+        }
+        g.addEdge(pu, pv);
+    }
+    if (g.numEdges() < params.edges) {
+        warn("RMAT generator produced %ld of %ld requested edges "
+             "(dense corner saturated)",
+             (long)g.numEdges(), (long)params.edges);
+    }
+    return g;
+}
+
+Graph
+generateErdosRenyi(int64_t nodes, int64_t edges, Rng &rng)
+{
+    if (nodes <= 0)
+        fatal("Erdos-Renyi generator needs positive node count");
+    Graph g(nodes, 0);
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(static_cast<size_t>(edges) * 2);
+    int64_t attempts = 0;
+    const int64_t max_attempts = edges * 20 + 1000;
+    while (g.numEdges() < edges && attempts < max_attempts) {
+        ++attempts;
+        const int64_t u = static_cast<int64_t>(
+            rng.nextBelow(static_cast<uint64_t>(nodes)));
+        const int64_t v = static_cast<int64_t>(
+            rng.nextBelow(static_cast<uint64_t>(nodes)));
+        if (u == v)
+            continue;
+        const uint64_t key = static_cast<uint64_t>(u) *
+                                 static_cast<uint64_t>(nodes) +
+                             static_cast<uint64_t>(v);
+        if (!seen.insert(key).second)
+            continue;
+        g.addEdge(u, v);
+    }
+    return g;
+}
+
+void
+fillFeatures(Graph &g, int64_t feature_len, Rng &rng)
+{
+    g.features.resize(g.numNodes(), feature_len);
+    if (feature_len > 16) {
+        // Sparse bag-of-words style: ~2% nonzero entries per row, at
+        // least one per node so no row is all-zero.
+        const int64_t nnz_per_row =
+            std::max<int64_t>(1, feature_len / 50);
+        for (int64_t v = 0; v < g.numNodes(); ++v) {
+            for (int64_t k = 0; k < nnz_per_row; ++k) {
+                const int64_t c = static_cast<int64_t>(rng.nextBelow(
+                    static_cast<uint64_t>(feature_len)));
+                g.features.at(v, c) = rng.nextFloat(0.1f, 1.0f);
+            }
+        }
+    } else {
+        g.features.fillUniform(rng, -1.0f, 1.0f);
+    }
+}
+
+} // namespace gsuite

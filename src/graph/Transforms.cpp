@@ -1,0 +1,52 @@
+#include "graph/Transforms.hpp"
+
+#include <cmath>
+
+#include "sparse/SparseOps.hpp"
+
+namespace gsuite {
+
+std::vector<float>
+invSqrtDegrees(const Graph &g)
+{
+    const std::vector<int64_t> deg = g.selfLoopDegrees();
+    std::vector<float> inv(deg.size());
+    for (size_t i = 0; i < deg.size(); ++i)
+        inv[i] = 1.0f /
+                 std::sqrt(static_cast<float>(deg[i]));
+    return inv;
+}
+
+CsrMatrix
+adjacencyWithSelfLoops(const Graph &g)
+{
+    return addScaledIdentity(g.adjacencyCsr(), 1.0f);
+}
+
+CsrMatrix
+gcnNormalizedAdjacency(const Graph &g)
+{
+    const CsrMatrix a_hat = adjacencyWithSelfLoops(g);
+    const std::vector<float> inv = invSqrtDegrees(g);
+    return scaleRowsCols(a_hat, inv, inv);
+}
+
+CsrMatrix
+ginAdjacency(const Graph &g, float eps)
+{
+    return addScaledIdentity(g.adjacencyCsr(), 1.0f + eps);
+}
+
+CsrMatrix
+sageMeanAdjacency(const Graph &g)
+{
+    CsrMatrix a_hat = adjacencyWithSelfLoops(g);
+    const std::vector<int64_t> deg = g.selfLoopDegrees();
+    std::vector<float> inv(deg.size());
+    for (size_t i = 0; i < deg.size(); ++i)
+        inv[i] = 1.0f / static_cast<float>(deg[i]);
+    std::vector<float> ones(static_cast<size_t>(a_hat.cols()), 1.0f);
+    return scaleRowsCols(a_hat, inv, ones);
+}
+
+} // namespace gsuite

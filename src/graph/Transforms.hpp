@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Graph preprocessing transforms used by the GNN pipelines:
+ * self-loop insertion and the GCN symmetric normalization
+ * D^-1/2 * (A + I) * D^-1/2 of Eq. (2).
+ */
+
+#ifndef GSUITE_GRAPH_TRANSFORMS_HPP
+#define GSUITE_GRAPH_TRANSFORMS_HPP
+
+#include <vector>
+
+#include "graph/Graph.hpp"
+#include "sparse/Csr.hpp"
+
+namespace gsuite {
+
+/** 1/sqrt(d_v) per node, with d_v the self-loop degree of Eq. (1). */
+std::vector<float> invSqrtDegrees(const Graph &g);
+
+/** Adjacency with self loops: A-hat = A + I, rows = dst. */
+CsrMatrix adjacencyWithSelfLoops(const Graph &g);
+
+/**
+ * GCN-normalized adjacency: D-hat^-1/2 * (A + I) * D-hat^-1/2.
+ * This matches the gSuite-SpMM pipeline of Fig. 2 (two SpGEMMs with
+ * the diagonal degree factors).
+ */
+CsrMatrix gcnNormalizedAdjacency(const Graph &g);
+
+/** GIN aggregation operand: A + (1 + eps) * I, per Eq. (4). */
+CsrMatrix ginAdjacency(const Graph &g, float eps);
+
+/**
+ * Mean-aggregation operand for GraphSAGE, Eq. (5): row v of the result
+ * averages over N(v) and v itself, i.e. (A + I) scaled by 1/d-hat_v.
+ */
+CsrMatrix sageMeanAdjacency(const Graph &g);
+
+} // namespace gsuite
+
+#endif // GSUITE_GRAPH_TRANSFORMS_HPP

@@ -1,0 +1,107 @@
+#include "kernels/IndexSelect.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+IndexSelectKernel::IndexSelectKernel(std::string label,
+                                     const DenseMatrix &input,
+                                     const std::vector<int64_t> &index,
+                                     DenseMatrix &output)
+    : label(std::move(label)), input(input), index(index), output(output)
+{
+}
+
+void
+IndexSelectKernel::execute()
+{
+    const int64_t e = static_cast<int64_t>(index.size());
+    const int64_t f = input.cols();
+    output.resize(e, f);
+    for (int64_t i = 0; i < e; ++i) {
+        const int64_t row = index[static_cast<size_t>(i)];
+        panicIf(row < 0 || row >= input.rows(),
+                "indexSelect row out of range");
+        const float *src = input.rowPtr(row);
+        float *dst = output.rowPtr(i);
+        std::copy(src, src + f, dst);
+    }
+}
+
+KernelLaunch
+IndexSelectKernel::makeLaunch(DeviceAllocator &alloc) const
+{
+    const int64_t e = static_cast<int64_t>(index.size());
+    const int64_t f = input.cols();
+    const int64_t total = e * f;
+
+    const uint64_t idx_base =
+        alloc.map(index.data(), static_cast<uint64_t>(e) * 8);
+    const uint64_t in_base = alloc.map(
+        input.data(), static_cast<uint64_t>(input.size()) * 4);
+    const uint64_t out_base = alloc.map(
+        output.data(), static_cast<uint64_t>(output.size()) * 4);
+
+    KernelLaunch launch;
+    launch.name = label;
+    launch.kind = KernelClass::IndexSelect;
+    launch.dims.numCtas = ceilDiv(total, kCtaThreads);
+    launch.dims.threadsPerCta = kCtaThreads;
+    launch.bytesEstimate = static_cast<uint64_t>(total) * 8 +
+                           static_cast<uint64_t>(e) * 8;
+
+    const std::vector<int64_t> *idx = &index;
+    launch.genTrace = [=, this](int64_t cta, int warp, WarpTrace &out) {
+        TraceBuilder b(out);
+        const int64_t t0 =
+            (cta * kCtaWarps + warp) * static_cast<int64_t>(32);
+        const int lanes =
+            static_cast<int>(std::clamp<int64_t>(total - t0, 0, 32));
+        if (lanes == 0) {
+            b.exit();
+            return;
+        }
+        const uint32_t mask = maskOfLanes(lanes);
+
+        // Thread-id / row / column arithmetic.
+        b.aluChain(Op::INT, 3, mask);
+
+        // Load index[i] (8-byte entries, coalesced for f >= 32 since
+        // consecutive threads share a row; strided otherwise).
+        std::array<uint64_t, 32> a{};
+        for (int l = 0; l < lanes; ++l) {
+            const int64_t t = t0 + l;
+            a[static_cast<size_t>(l)] =
+                idx_base + static_cast<uint64_t>(t / f) * 8;
+        }
+        const Reg ridx = b.load({a.data(), static_cast<size_t>(lanes)});
+
+        // Address computation from the loaded index.
+        const Reg raddr = b.alu(Op::INT, ridx, kNoReg, mask);
+
+        // The irregular gather: input[index[i]][c].
+        for (int l = 0; l < lanes; ++l) {
+            const int64_t t = t0 + l;
+            const int64_t row = (*idx)[static_cast<size_t>(t / f)];
+            a[static_cast<size_t>(l)] =
+                in_base +
+                static_cast<uint64_t>(row * f + t % f) * 4;
+        }
+        const Reg rval =
+            b.load({a.data(), static_cast<size_t>(lanes)}, raddr);
+
+        // Coalesced output store.
+        for (int l = 0; l < lanes; ++l) {
+            a[static_cast<size_t>(l)] =
+                out_base + static_cast<uint64_t>(t0 + l) * 4;
+        }
+        b.store({a.data(), static_cast<size_t>(lanes)}, rval);
+        b.exit();
+    };
+    return launch;
+}
+
+} // namespace gsuite

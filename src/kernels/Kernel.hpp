@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Base interface of the gSuite core kernels (Table II).
+ *
+ * Every kernel has two faces:
+ *  - execute(): the functional (bit-accurate) semantics, run on the
+ *    host CPU; this is what the correctness tests and the wall-clock
+ *    profiler measure.
+ *  - makeLaunch(): the timing face — a CUDA-style launch descriptor
+ *    whose per-warp instruction traces (with real per-lane memory
+ *    addresses derived from the operand data) feed the GPU simulator.
+ *
+ * Engines always call execute() before makeLaunch(), so trace
+ * generators may reference the kernel's *output* data as well (needed
+ * by SpGEMM, whose output structure is data-dependent).
+ */
+
+#ifndef GSUITE_KERNELS_KERNEL_HPP
+#define GSUITE_KERNELS_KERNEL_HPP
+
+#include <string>
+
+#include "simgpu/DeviceAllocator.hpp"
+#include "simgpu/KernelLaunch.hpp"
+
+namespace gsuite {
+
+/** Abstract core kernel. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /** Unique launch name, e.g. "indexSelect_l0". */
+    virtual std::string name() const = 0;
+
+    /** Table II kernel class. */
+    virtual KernelClass kind() const = 0;
+
+    /** Run the functional semantics on the host. */
+    virtual void execute() = 0;
+
+    /**
+     * Build the timing launch. Must be called after execute().
+     * The kernel object must outlive any use of the returned launch
+     * (trace generators reference its operand buffers).
+     */
+    virtual KernelLaunch makeLaunch(DeviceAllocator &alloc) const = 0;
+};
+
+/** Threads per CTA used by all 1D-grid gsuite kernels. */
+constexpr int kCtaThreads = 256;
+/** Warps per CTA at kCtaThreads. */
+constexpr int kCtaWarps = kCtaThreads / 32;
+
+/** ceil(a / b) for positive operands. */
+constexpr int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace gsuite
+
+#endif // GSUITE_KERNELS_KERNEL_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SpGEMM — sparse x sparse matrix multiply (Table II: "matrix
+ * multiplication of two sparse matrices").
+ *
+ * Functional semantics use Gustavson's row-wise algorithm; the GPU
+ * mapping is one warp per A row, lanes cooperating across the row's
+ * nonzeros, each expanding its B row through a hash-accumulator
+ * (integer-heavy, divergent — the "sp" kernel profile of Fig. 5).
+ */
+
+#ifndef GSUITE_KERNELS_SPGEMM_HPP
+#define GSUITE_KERNELS_SPGEMM_HPP
+
+#include "kernels/Kernel.hpp"
+#include "sparse/Csr.hpp"
+
+namespace gsuite {
+
+/** The sparse-times-sparse core kernel: C = A x B, all CSR. */
+class SpgemmKernel : public Kernel
+{
+  public:
+    SpgemmKernel(std::string label, const CsrMatrix &a,
+                 const CsrMatrix &b, CsrMatrix &c);
+
+    std::string name() const override { return label; }
+    KernelClass kind() const override { return KernelClass::SpGemm; }
+    void execute() override;
+    KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+
+  private:
+    std::string label;
+    const CsrMatrix &a;
+    const CsrMatrix &b;
+    CsrMatrix &c;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_KERNELS_SPGEMM_HPP

@@ -1,0 +1,122 @@
+#include "kernels/Spmm.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "sparse/SparseOps.hpp"
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+SpmmKernel::SpmmKernel(std::string label, const CsrMatrix &a,
+                       const DenseMatrix &b, DenseMatrix &c)
+    : label(std::move(label)), a(a), b(b), c(c)
+{
+}
+
+void
+SpmmKernel::execute()
+{
+    spmm(a, b, c);
+}
+
+KernelLaunch
+SpmmKernel::makeLaunch(DeviceAllocator &alloc) const
+{
+    const int64_t n = a.rows();
+    const int64_t f = b.cols();
+    const int64_t f_chunks = ceilDiv(std::max<int64_t>(f, 1), 32);
+    const int64_t total_warps = n * f_chunks;
+
+    const uint64_t rp_base = alloc.map(
+        a.rowPtr.data(), static_cast<uint64_t>(a.rowPtr.size()) * 8);
+    const uint64_t ci_base = alloc.map(
+        a.colIdx.data(), static_cast<uint64_t>(a.colIdx.size()) * 8);
+    const uint64_t va_base =
+        a.vals.empty()
+            ? ci_base
+            : alloc.map(a.vals.data(),
+                        static_cast<uint64_t>(a.vals.size()) * 4);
+    const uint64_t b_base =
+        alloc.map(b.data(), static_cast<uint64_t>(b.size()) * 4);
+    const uint64_t c_base =
+        alloc.map(c.data(), static_cast<uint64_t>(c.size()) * 4);
+
+    KernelLaunch launch;
+    launch.name = label;
+    launch.kind = KernelClass::SpMM;
+    launch.dims.numCtas = ceilDiv(total_warps, kCtaWarps);
+    launch.dims.threadsPerCta = kCtaThreads;
+    launch.flopEstimate =
+        static_cast<uint64_t>(2) * static_cast<uint64_t>(a.nnz()) *
+        static_cast<uint64_t>(f);
+
+    const CsrMatrix *acsr = &a;
+    launch.genTrace = [=](int64_t cta, int warp, WarpTrace &out) {
+        TraceBuilder tb(out);
+        const int64_t wg = cta * kCtaWarps + warp;
+        if (wg >= total_warps) {
+            tb.exit();
+            return;
+        }
+        const int64_t row = wg / f_chunks;
+        const int64_t chunk = wg % f_chunks;
+        const int lanes =
+            static_cast<int>(std::min<int64_t>(32, f - chunk * 32));
+        const uint32_t mask = maskOfLanes(std::max(lanes, 1));
+
+        tb.aluChain(Op::INT, 2, mask);
+
+        // rowPtr[row], rowPtr[row+1]: one sector, scalar load.
+        const std::array<uint64_t, 2> rp = {
+            rp_base + static_cast<uint64_t>(row) * 8,
+            rp_base + static_cast<uint64_t>(row + 1) * 8};
+        const Reg rrp = tb.load({rp.data(), rp.size()});
+        tb.alu(Op::INT, rrp);
+        tb.control(mask);
+
+        Reg acc = tb.alu(Op::FP32, kNoReg, kNoReg, mask);
+        std::array<uint64_t, 32> addrs{};
+        const int64_t begin = acsr->rowPtr[static_cast<size_t>(row)];
+        const int64_t end = acsr->rowPtr[static_cast<size_t>(row) + 1];
+        for (int64_t j = begin; j < end; ++j) {
+            // colIdx[j] and vals[j]: warp-uniform scalar loads.
+            const std::array<uint64_t, 1> ca = {
+                ci_base + static_cast<uint64_t>(j) * 8};
+            const Reg rc = tb.load({ca.data(), 1});
+            const std::array<uint64_t, 1> va = {
+                va_base + static_cast<uint64_t>(j) * 4};
+            const Reg rv = tb.load({va.data(), 1});
+            // Address math from the loaded column.
+            const Reg raddr = tb.alu(Op::INT, rc, kNoReg, mask);
+            // Gather the B row chunk (coalesced within the row but
+            // the row itself is data-dependent).
+            const int64_t col = acsr->colIdx[static_cast<size_t>(j)];
+            for (int l = 0; l < lanes; ++l) {
+                addrs[static_cast<size_t>(l)] =
+                    b_base +
+                    static_cast<uint64_t>(col * f + chunk * 32 + l) *
+                        4;
+            }
+            const Reg rb = tb.load(
+                {addrs.data(), static_cast<size_t>(std::max(lanes, 1))},
+                raddr);
+            Reg prod = tb.alu(Op::FP32, rb, rv, mask);
+            acc = tb.alu(Op::FP32, acc, prod, mask);
+            tb.control(mask);
+        }
+
+        // Store the output chunk.
+        for (int l = 0; l < lanes; ++l) {
+            addrs[static_cast<size_t>(l)] =
+                c_base +
+                static_cast<uint64_t>(row * f + chunk * 32 + l) * 4;
+        }
+        tb.store({addrs.data(), static_cast<size_t>(std::max(lanes, 1))},
+                 acc);
+        tb.exit();
+    };
+    return launch;
+}
+
+} // namespace gsuite

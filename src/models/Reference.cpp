@@ -1,0 +1,190 @@
+#include "models/Reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+namespace {
+
+/** y = x * W with plain loops (no shared code with SgemmKernel). */
+DenseMatrix
+matmulNaive(const DenseMatrix &x, const DenseMatrix &w)
+{
+    panicIf(x.cols() != w.rows(), "reference matmul shape mismatch");
+    DenseMatrix y(x.rows(), w.cols());
+    for (int64_t i = 0; i < x.rows(); ++i) {
+        for (int64_t j = 0; j < w.cols(); ++j) {
+            double acc = 0.0;
+            for (int64_t k = 0; k < x.cols(); ++k)
+                acc += static_cast<double>(x.at(i, k)) * w.at(k, j);
+            y.at(i, j) = static_cast<float>(acc);
+        }
+    }
+    return y;
+}
+
+void
+reluInPlace(DenseMatrix &m)
+{
+    for (int64_t i = 0; i < m.rows(); ++i)
+        for (int64_t j = 0; j < m.cols(); ++j)
+            m.at(i, j) = std::max(m.at(i, j), 0.0f);
+}
+
+} // namespace
+
+DenseMatrix
+referenceForward(const Graph &graph, const ModelConfig &cfg,
+                 const std::vector<const DenseMatrix *> &weights)
+{
+    const int64_t n = graph.numNodes();
+    const std::vector<int64_t> deg = graph.selfLoopDegrees();
+
+    DenseMatrix x = graph.features;
+    size_t wi = 0;
+    auto next_weight = [&]() -> const DenseMatrix & {
+        panicIf(wi >= weights.size(), "reference ran out of weights");
+        return *weights[wi++];
+    };
+
+    for (int k = 0; k < cfg.layers; ++k) {
+        const bool last = k == cfg.layers - 1;
+        DenseMatrix out;
+
+        switch (cfg.model) {
+          case GnnModelKind::Gcn: {
+            // Eq. (1): h_v = sum_{u in N(v) u {v}} h_u/sqrt(d_u d_v),
+            // then the linear transform (applied first here, which is
+            // algebraically identical and matches Fig. 2's order).
+            const DenseMatrix lin = matmulNaive(x, next_weight());
+            out.resize(n, lin.cols());
+            auto accumulate = [&](int64_t u, int64_t v) {
+                const float w =
+                    1.0f / std::sqrt(static_cast<float>(
+                               deg[static_cast<size_t>(u)] *
+                               deg[static_cast<size_t>(v)]));
+                for (int64_t c = 0; c < lin.cols(); ++c)
+                    out.at(v, c) += w * lin.at(u, c);
+            };
+            for (int64_t i = 0; i < graph.numEdges(); ++i)
+                accumulate(graph.src[static_cast<size_t>(i)],
+                           graph.dst[static_cast<size_t>(i)]);
+            for (int64_t v = 0; v < n; ++v)
+                accumulate(v, v); // self loop
+            break;
+          }
+          case GnnModelKind::Gin: {
+            // Eq. (3): Theta((1+eps) h_v + sum_{u in N(v)} h_u),
+            // Theta = 2-layer MLP.
+            DenseMatrix comb(n, x.cols());
+            for (int64_t i = 0; i < graph.numEdges(); ++i) {
+                const int64_t u = graph.src[static_cast<size_t>(i)];
+                const int64_t v = graph.dst[static_cast<size_t>(i)];
+                for (int64_t c = 0; c < x.cols(); ++c)
+                    comb.at(v, c) += x.at(u, c);
+            }
+            for (int64_t v = 0; v < n; ++v)
+                for (int64_t c = 0; c < x.cols(); ++c)
+                    comb.at(v, c) += (1.0f + cfg.ginEps) * x.at(v, c);
+            DenseMatrix h1 = matmulNaive(comb, next_weight());
+            reluInPlace(h1);
+            out = matmulNaive(h1, next_weight());
+            break;
+          }
+          case GnnModelKind::Gat: {
+            // Single-head GAT with self-loops: softmax over
+            // LeakyReLU(a_src.z_u + a_dst.z_v) for u in N(v) u {v},
+            // then the attention-weighted sum of z_u.
+            const DenseMatrix z = matmulNaive(x, next_weight());
+            const DenseMatrix &a_src = next_weight();
+            const DenseMatrix &a_dst = next_weight();
+            std::vector<double> s_src(static_cast<size_t>(n));
+            std::vector<double> s_dst(static_cast<size_t>(n));
+            for (int64_t v = 0; v < n; ++v) {
+                double ss = 0, sd = 0;
+                for (int64_t c2 = 0; c2 < z.cols(); ++c2) {
+                    ss += static_cast<double>(z.at(v, c2)) *
+                          a_src.at(c2, 0);
+                    sd += static_cast<double>(z.at(v, c2)) *
+                          a_dst.at(c2, 0);
+                }
+                s_src[static_cast<size_t>(v)] = ss;
+                s_dst[static_cast<size_t>(v)] = sd;
+            }
+            // Incoming neighbour lists with self loops.
+            std::vector<std::vector<int64_t>> in(
+                static_cast<size_t>(n));
+            for (int64_t e = 0; e < graph.numEdges(); ++e)
+                in[static_cast<size_t>(
+                       graph.dst[static_cast<size_t>(e)])]
+                    .push_back(graph.src[static_cast<size_t>(e)]);
+            for (int64_t v = 0; v < n; ++v)
+                in[static_cast<size_t>(v)].push_back(v);
+
+            out.resize(n, z.cols());
+            const double slope = static_cast<double>(cfg.gatSlope);
+            for (int64_t v = 0; v < n; ++v) {
+                const auto &nbrs = in[static_cast<size_t>(v)];
+                std::vector<double> score(nbrs.size());
+                double max_s = 0.0; // matches the zero-floored
+                                    // scatter-max in the pipeline
+                for (size_t j = 0; j < nbrs.size(); ++j) {
+                    const double raw =
+                        s_src[static_cast<size_t>(nbrs[j])] +
+                        s_dst[static_cast<size_t>(v)];
+                    score[j] = raw > 0 ? raw : slope * raw;
+                    max_s = std::max(max_s, score[j]);
+                }
+                double denom = 0.0;
+                for (double &sc : score) {
+                    sc = std::exp(sc - max_s);
+                    denom += sc;
+                }
+                for (size_t j = 0; j < nbrs.size(); ++j) {
+                    const double alpha = score[j] / denom;
+                    for (int64_t c2 = 0; c2 < z.cols(); ++c2)
+                        out.at(v, c2) += static_cast<float>(
+                            alpha * z.at(nbrs[j], c2));
+                }
+            }
+            break;
+          }
+          case GnnModelKind::Sage: {
+            // Eq. (5): W1 h_v + W2 mean_{u in N(v) u {v}} h_u.
+            DenseMatrix mean(n, x.cols());
+            for (int64_t i = 0; i < graph.numEdges(); ++i) {
+                const int64_t u = graph.src[static_cast<size_t>(i)];
+                const int64_t v = graph.dst[static_cast<size_t>(i)];
+                for (int64_t c = 0; c < x.cols(); ++c)
+                    mean.at(v, c) += x.at(u, c);
+            }
+            for (int64_t v = 0; v < n; ++v) {
+                const float inv =
+                    1.0f / static_cast<float>(
+                               deg[static_cast<size_t>(v)]);
+                for (int64_t c = 0; c < x.cols(); ++c) {
+                    mean.at(v, c) =
+                        (mean.at(v, c) + x.at(v, c)) * inv;
+                }
+            }
+            const DenseMatrix a1 = matmulNaive(x, next_weight());
+            const DenseMatrix a2 = matmulNaive(mean, next_weight());
+            out.resize(n, a1.cols());
+            for (int64_t v = 0; v < n; ++v)
+                for (int64_t c = 0; c < a1.cols(); ++c)
+                    out.at(v, c) = a1.at(v, c) + a2.at(v, c);
+            break;
+          }
+        }
+
+        if (!last)
+            reluInPlace(out);
+        x = std::move(out);
+    }
+    return x;
+}
+
+} // namespace gsuite

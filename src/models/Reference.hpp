@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Naive per-node reference implementations of the three GNN models.
+ *
+ * These share no code with the kernel pipelines (straight loops over
+ * nodes and neighbours, Eqs. (1), (3), (5)), so agreement between a
+ * GnnPipeline and referenceForward() validates the whole kernel stack
+ * end to end.
+ */
+
+#ifndef GSUITE_MODELS_REFERENCE_HPP
+#define GSUITE_MODELS_REFERENCE_HPP
+
+#include <vector>
+
+#include "graph/Graph.hpp"
+#include "models/GnnModel.hpp"
+#include "tensor/DenseMatrix.hpp"
+
+namespace gsuite {
+
+/**
+ * Run the model described by @p cfg on @p graph with the given
+ * per-layer weights (as exposed by GnnPipeline::weights(), in
+ * construction order) and return the final embeddings.
+ */
+DenseMatrix referenceForward(const Graph &graph, const ModelConfig &cfg,
+                             const std::vector<const DenseMatrix *>
+                                 &weights);
+
+} // namespace gsuite
+
+#endif // GSUITE_MODELS_REFERENCE_HPP

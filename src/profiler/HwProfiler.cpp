@@ -1,0 +1,92 @@
+#include "profiler/HwProfiler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+HwProfiler::HwProfiler(HwProfilerConfig cfg) : cfg(cfg)
+{
+}
+
+HwProfileResult
+HwProfiler::profile(const KernelLaunch &launch)
+{
+    panicIf(!launch.genTrace, "profiling a launch without traces");
+
+    std::vector<Cache> l1;
+    l1.reserve(static_cast<size_t>(cfg.numSms));
+    for (int i = 0; i < cfg.numSms; ++i)
+        l1.emplace_back(cfg.l1);
+    Cache l2(cfg.l2);
+
+    HwProfileResult res;
+    const int64_t expected =
+        (launch.dims.numCtas +
+         static_cast<int64_t>(cfg.smSampleFactor) - 1) /
+        static_cast<int64_t>(cfg.smSampleFactor);
+    const int64_t ctas = std::min(expected, cfg.maxCtas);
+    const int warps = launch.dims.warpsPerCta();
+    const uint64_t sector =
+        static_cast<uint64_t>(cfg.l1.sectorBytes);
+
+    WarpTrace trace;
+    uint64_t now = 0; // pseudo-time for LRU ordering
+    for (int64_t cta = 0; cta < ctas; ++cta) {
+        Cache &myL1 = l1[static_cast<size_t>(
+            cta % static_cast<int64_t>(cfg.numSms))];
+        for (int w = 0; w < warps; ++w) {
+            trace.clear();
+            launch.genTrace(cta, w, trace);
+            for (const SimInstr &in : trace.instrs) {
+                if (!isGlobalMemOp(in.op))
+                    continue;
+                // Coalesce to unique 32B sectors.
+                uint64_t sectors[32];
+                int ns = 0;
+                for (uint64_t a : trace.addrsOf(in)) {
+                    const uint64_t s = a / sector;
+                    bool dup = false;
+                    for (int i = 0; i < ns; ++i) {
+                        if (sectors[i] == s) {
+                            dup = true;
+                            break;
+                        }
+                    }
+                    if (!dup)
+                        sectors[ns++] = s;
+                }
+                for (int i = 0; i < ns; ++i) {
+                    const uint64_t addr = sectors[i] * sector;
+                    ++now;
+                    const bool use_l1 = in.op != Op::ATOM;
+                    bool l1_hit = false;
+                    if (use_l1) {
+                        l1_hit = myL1.probe(addr, now).hit;
+                        if (l1_hit)
+                            ++res.l1Hits;
+                        else
+                            ++res.l1Misses;
+                        if (l1_hit && in.op == Op::LDG)
+                            continue; // served by L1
+                    }
+                    // L2 access (stores write through; atomics land
+                    // here directly).
+                    if (l2.probe(addr, now).hit)
+                        ++res.l2Hits;
+                    else {
+                        ++res.l2Misses;
+                        l2.fill(addr, now, now);
+                    }
+                    if (use_l1 && in.op == Op::LDG && !l1_hit)
+                        myL1.fill(addr, now, now);
+                }
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace gsuite

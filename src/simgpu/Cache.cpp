@@ -1,0 +1,96 @@
+#include "simgpu/Cache.hpp"
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+Cache::Cache(const CacheGeometry &geometry)
+    : geo(geometry), numSets(geometry.numSets()),
+      lines(static_cast<size_t>(numSets) *
+            static_cast<size_t>(geometry.assoc))
+{
+    panicIf(geo.sectorsPerLine() > kMaxSectors,
+            "cache line has more sectors than the model supports");
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr / static_cast<uint64_t>(geo.lineBytes) /
+           static_cast<uint64_t>(numSets);
+}
+
+int
+Cache::setOf(uint64_t addr) const
+{
+    return static_cast<int>((addr / static_cast<uint64_t>(geo.lineBytes)) &
+                            static_cast<uint64_t>(numSets - 1));
+}
+
+int
+Cache::sectorOf(uint64_t addr) const
+{
+    return static_cast<int>((addr % static_cast<uint64_t>(geo.lineBytes)) /
+                            static_cast<uint64_t>(geo.sectorBytes));
+}
+
+Cache::Line *
+Cache::findLine(uint64_t addr)
+{
+    const uint64_t tag = tagOf(addr);
+    Line *set = &lines[static_cast<size_t>(setOf(addr)) *
+                       static_cast<size_t>(geo.assoc)];
+    for (int w = 0; w < geo.assoc; ++w) {
+        if (set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+CacheProbe
+Cache::probe(uint64_t addr, uint64_t now)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return {};
+    const int sector = sectorOf(addr);
+    if (!(line->sectorValid & (1u << sector)))
+        return {};
+    line->lastUse = now;
+    return {true, line->sectorReady[sector]};
+}
+
+void
+Cache::fill(uint64_t addr, uint64_t now, uint64_t ready)
+{
+    Line *line = findLine(addr);
+    if (!line) {
+        // Evict the LRU way of the set.
+        Line *set = &lines[static_cast<size_t>(setOf(addr)) *
+                           static_cast<size_t>(geo.assoc)];
+        line = &set[0];
+        for (int w = 1; w < geo.assoc; ++w) {
+            if (set[w].tag == kInvalidTag) {
+                line = &set[w];
+                break;
+            }
+            if (set[w].lastUse < line->lastUse)
+                line = &set[w];
+        }
+        line->tag = tagOf(addr);
+        line->sectorValid = 0;
+    }
+    const int sector = sectorOf(addr);
+    line->sectorValid |= 1u << sector;
+    line->sectorReady[sector] = ready;
+    line->lastUse = now;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+} // namespace gsuite

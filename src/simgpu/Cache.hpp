@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sectored set-associative cache model (GPGPU-Sim style).
+ *
+ * Lines are 128 B with 32 B sectors and per-sector valid bits; misses
+ * install the sector with a "ready" cycle so later accesses that
+ * arrive before the fill completes behave like MSHR merges (they hit,
+ * but observe the remaining fill latency).
+ */
+
+#ifndef GSUITE_SIMGPU_CACHE_HPP
+#define GSUITE_SIMGPU_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "simgpu/GpuConfig.hpp"
+
+namespace gsuite {
+
+/** Result of a cache probe. */
+struct CacheProbe {
+    bool hit = false;
+    uint64_t ready = 0; ///< cycle at which the sector's data is valid
+};
+
+/** One level of sectored, LRU, set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheGeometry &geometry);
+
+    /**
+     * Look up the sector containing @p addr at time @p now. On a hit
+     * the LRU state is updated; on a miss nothing changes (the caller
+     * decides whether to fill).
+     */
+    CacheProbe probe(uint64_t addr, uint64_t now);
+
+    /**
+     * Install the sector containing @p addr, with its data becoming
+     * valid at @p ready. Evicts the set's LRU line when the line is
+     * not already resident.
+     */
+    void fill(uint64_t addr, uint64_t now, uint64_t ready);
+
+    /** Invalidate everything (between kernel launches). */
+    void flush();
+
+    const CacheGeometry &geometry() const { return geo; }
+
+  private:
+    static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+    static constexpr int kMaxSectors = 8;
+
+    struct Line {
+        uint64_t tag = kInvalidTag;
+        uint32_t sectorValid = 0;
+        uint64_t sectorReady[kMaxSectors] = {};
+        uint64_t lastUse = 0;
+    };
+
+    CacheGeometry geo;
+    int numSets;
+    std::vector<Line> lines; ///< numSets x assoc
+
+    uint64_t tagOf(uint64_t addr) const;
+    int setOf(uint64_t addr) const;
+    int sectorOf(uint64_t addr) const;
+    Line *findLine(uint64_t addr);
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SIMGPU_CACHE_HPP

@@ -1,0 +1,55 @@
+#include "simgpu/GpuConfig.hpp"
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+GpuConfig
+GpuConfig::v100Sim()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::testTiny()
+{
+    GpuConfig cfg;
+    cfg.name = "test-tiny";
+    cfg.numSms = 2;
+    cfg.smSampleFactor = 1;
+    cfg.maxWarpsPerSm = 8;
+    cfg.maxThreadsPerSm = 256;
+    cfg.maxCtasPerSm = 4;
+    cfg.numSchedulers = 2;
+    cfg.l1d = {4 * 1024, 128, 32, 4, false};
+    cfg.l2 = {16 * 1024, 128, 32, 8, true};
+    return cfg;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numSms <= 0 || warpSize != 32)
+        fatal("GpuConfig: numSms must be positive and warpSize 32");
+    if (maxWarpsPerSm <= 0 || numSchedulers <= 0)
+        fatal("GpuConfig: bad SM geometry");
+    if (maxWarpsPerSm % numSchedulers != 0)
+        fatal("GpuConfig: maxWarpsPerSm must divide by numSchedulers");
+    auto check_cache = [](const CacheGeometry &g, const char *label) {
+        if (g.lineBytes <= 0 || g.sectorBytes <= 0 ||
+            g.lineBytes % g.sectorBytes != 0)
+            fatal("GpuConfig: %s line/sector geometry invalid", label);
+        if (g.numSets() <= 0)
+            fatal("GpuConfig: %s too small for its associativity",
+                  label);
+        if ((g.numSets() & (g.numSets() - 1)) != 0)
+            fatal("GpuConfig: %s set count must be a power of two",
+                  label);
+    };
+    check_cache(l1d, "L1D");
+    check_cache(l2, "L2");
+    if (dramBytesPerCyclePerSm <= 0)
+        fatal("GpuConfig: DRAM bandwidth must be positive");
+}
+
+} // namespace gsuite

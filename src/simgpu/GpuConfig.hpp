@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Configuration of the timing-detailed GPU model.
+ *
+ * The default models an NVIDIA V100 (Volta) the way the paper's
+ * GPGPU-Sim 4.0 configuration does. For tractability on a CPU host we
+ * simulate a sampled subset of SMs (smSampleFactor); all reported
+ * statistics are ratios (hit rates, stall shares, occupancy), which
+ * are unaffected by homogeneous SM sampling.
+ */
+
+#ifndef GSUITE_SIMGPU_GPUCONFIG_HPP
+#define GSUITE_SIMGPU_GPUCONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace gsuite {
+
+/** Warp scheduler arbitration policy. */
+enum class SchedulerPolicy {
+    Gto, ///< greedy-then-oldest (GPGPU-Sim default)
+    Lrr, ///< loose round-robin
+};
+
+/** Geometry of one cache level. */
+struct CacheGeometry {
+    uint64_t sizeBytes = 0;
+    int lineBytes = 128;
+    int sectorBytes = 32;
+    int assoc = 4;
+    /** Allocate a line on write miss (L2) or write around it (L1). */
+    bool allocateOnWrite = false;
+
+    int numSets() const
+    {
+        return static_cast<int>(sizeBytes /
+                                (static_cast<uint64_t>(lineBytes) *
+                                 static_cast<uint64_t>(assoc)));
+    }
+    int sectorsPerLine() const { return lineBytes / sectorBytes; }
+};
+
+/** Full GPU model configuration. */
+struct GpuConfig {
+    std::string name = "v100-sim";
+
+    // --- core geometry -------------------------------------------------
+    int numSms = 8;          ///< simulated SMs (sampled subset)
+    int smSampleFactor = 10; ///< modeled GPU has numSms * this SMs
+    int warpSize = 32;
+    int maxWarpsPerSm = 64;
+    int maxThreadsPerSm = 2048;
+    int maxCtasPerSm = 32;
+    int numSchedulers = 4; ///< warp schedulers per SM
+
+    SchedulerPolicy scheduler = SchedulerPolicy::Gto;
+
+    // --- execution latencies -------------------------------------------
+    int aluLatency = 4;  ///< FP32/INT result latency (cycles)
+    int sfuLatency = 16; ///< transcendental latency
+    int aluInitiationInterval = 2; ///< 32-wide warp over 16-lane SIMD
+    int ldsLatency = 24; ///< shared-memory load latency
+
+    // --- instruction fetch ----------------------------------------------
+    int icacheColdLatency = 60; ///< first fetch after warp activation
+    int ifetchLatency = 1;      ///< steady-state i-buffer refill
+
+    // --- memory system ---------------------------------------------------
+    int lsuPortsPerSm = 1;  ///< memory instructions accepted per cycle
+    int l1Latency = 28;     ///< L1 hit latency (Volta ~28 cycles)
+    int l2Latency = 190;    ///< L1-miss/L2-hit round trip
+    int dramLatency = 360;  ///< L2-miss round trip before queueing
+    bool l1BypassLoads = false; ///< ablation: global loads skip L1
+
+    /**
+     * DRAM bandwidth available to the sampled SM subset, in bytes per
+     * core cycle. V100: 900 GB/s at 1.38 GHz core clock ~ 652 B/cyc
+     * for 80 SMs => 8.15 B/cyc per SM.
+     */
+    double dramBytesPerCyclePerSm = 8.15;
+
+    CacheGeometry l1d{128 * 1024, 128, 32, 64, false};
+    CacheGeometry l2{3 * 1024 * 1024, 128, 32, 24, true};
+
+    double coreClockGhz = 1.38;
+
+    /** Total DRAM bytes/cycle for the simulated subset. */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramBytesPerCyclePerSm * numSms;
+    }
+
+    /** The paper's GPGPU-Sim-like V100 model (default values). */
+    static GpuConfig v100Sim();
+
+    /**
+     * A small configuration for unit tests: 2 SMs, tiny caches, so
+     * cache behaviour is observable with small footprints.
+     */
+    static GpuConfig testTiny();
+
+    /** Sanity-check parameter consistency; fatal() on bad config. */
+    void validate() const;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SIMGPU_GPUCONFIG_HPP

@@ -1,0 +1,95 @@
+#include "simgpu/GpuSimulator.hpp"
+
+#include <algorithm>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+GpuSimulator::GpuSimulator(GpuConfig config)
+    : cfg(std::move(config)), mem(cfg)
+{
+    cfg.validate();
+    sms.reserve(static_cast<size_t>(cfg.numSms));
+    for (int i = 0; i < cfg.numSms; ++i)
+        sms.push_back(std::make_unique<Sm>(cfg, i, mem));
+}
+
+KernelStats
+GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
+{
+    panicIf(!launch.genTrace, "KernelLaunch without a trace generator");
+    panicIf(launch.dims.numCtas <= 0 || launch.dims.threadsPerCta <= 0,
+            "KernelLaunch with empty grid");
+
+    KernelStats stats;
+    stats.name = launch.name;
+    stats.kind = launch.kind;
+    stats.ctasTotal = launch.dims.numCtas;
+
+    mem.reset();
+    for (auto &sm : sms)
+        sm->beginLaunch(&launch, &stats);
+
+    // SM-subset sampling: the simulated numSms SMs stand for a GPU
+    // with numSms * smSampleFactor SMs, so each should process a
+    // 1/smSampleFactor share of the grid — this preserves per-SM
+    // occupancy (small launches underfill the machine exactly as
+    // they would the real one). The maxCtas cap bounds runtime for
+    // huge grids on top of that.
+    const int64_t expected =
+        (launch.dims.numCtas +
+         static_cast<int64_t>(cfg.smSampleFactor) - 1) /
+        static_cast<int64_t>(cfg.smSampleFactor);
+    const int64_t ctas_to_sim = std::min(expected, opts.maxCtas);
+    stats.ctasExpected = expected;
+    stats.ctasSimulated = ctas_to_sim;
+
+    int64_t next_cta = 0;
+    uint64_t cycle = 0;
+    while (cycle < opts.cycleLimit) {
+        // Assign pending CTAs to SMs with free slots (round-robin by
+        // free-slot discovery order).
+        for (auto &sm : sms) {
+            while (next_cta < ctas_to_sim && sm->hasFreeCtaSlot())
+                sm->assignCta(next_cta++, cycle);
+        }
+
+        bool busy = next_cta < ctas_to_sim;
+        for (auto &sm : sms)
+            busy = busy || sm->busy();
+        if (!busy)
+            break;
+
+        bool issued = false;
+        uint64_t next_event = ~uint64_t{0};
+        for (auto &sm : sms)
+            issued = sm->stepCycle(cycle, next_event) || issued;
+
+        if (issued || next_event <= cycle + 1 ||
+            next_event == ~uint64_t{0}) {
+            cycle += 1;
+        } else {
+            // Fast-forward: nothing can issue until next_event, so
+            // repeat each SM's current classification for the gap.
+            const uint64_t target =
+                std::min(next_event, opts.cycleLimit);
+            const uint64_t delta = target - cycle - 1;
+            if (delta > 0) {
+                for (auto &sm : sms)
+                    sm->accountExtra(delta);
+            }
+            cycle = target;
+        }
+    }
+
+    if (cycle >= opts.cycleLimit)
+        warn("kernel '%s' hit the %llu-cycle simulation limit",
+             launch.name.c_str(),
+             static_cast<unsigned long long>(opts.cycleLimit));
+
+    stats.cycles = cycle;
+    return stats;
+}
+
+} // namespace gsuite

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Top-level timing simulator: dispatches a KernelLaunch's CTAs across
+ * the SMs and runs the cycle loop with stall fast-forwarding.
+ *
+ * This is the stand-in for GPGPU-Sim 4.0 in the paper's methodology.
+ */
+
+#ifndef GSUITE_SIMGPU_GPUSIMULATOR_HPP
+#define GSUITE_SIMGPU_GPUSIMULATOR_HPP
+
+#include <memory>
+#include <vector>
+
+#include "simgpu/GpuConfig.hpp"
+#include "simgpu/KernelLaunch.hpp"
+#include "simgpu/KernelStats.hpp"
+#include "simgpu/MemorySystem.hpp"
+#include "simgpu/Sm.hpp"
+
+namespace gsuite {
+
+/** Per-run simulation options. */
+struct SimOptions {
+    /**
+     * CTA sampling cap: launches bigger than this simulate only the
+     * first maxCtas CTAs (several full waves across the SM subset).
+     * Ratio statistics are representative under homogeneous-CTA
+     * sampling; cycle counts are scaled back by the sampling factor
+     * in KernelStats::timeMs().
+     */
+    int64_t maxCtas = 2048;
+
+    /** Hard safety limit; the run aborts with a warning beyond it. */
+    uint64_t cycleLimit = 50'000'000;
+};
+
+/** Timing-detailed GPU simulator. */
+class GpuSimulator
+{
+  public:
+    explicit GpuSimulator(GpuConfig config = GpuConfig::v100Sim());
+
+    /** Run one kernel to completion and return its statistics. */
+    KernelStats run(const KernelLaunch &launch,
+                    const SimOptions &opts = {});
+
+    const GpuConfig &config() const { return cfg; }
+
+  private:
+    GpuConfig cfg;
+    MemorySystem mem;
+    std::vector<std::unique_ptr<Sm>> sms;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SIMGPU_GPUSIMULATOR_HPP

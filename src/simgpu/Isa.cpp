@@ -1,0 +1,75 @@
+#include "simgpu/Isa.hpp"
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+InstrClass
+instrClassOf(Op op)
+{
+    switch (op) {
+      case Op::FP32:
+        return InstrClass::Fp32;
+      case Op::INT:
+        return InstrClass::Int;
+      case Op::LDG:
+      case Op::STG:
+      case Op::ATOM:
+      case Op::LDS:
+      case Op::STS:
+        return InstrClass::LoadStore;
+      case Op::CTRL:
+      case Op::BAR:
+      case Op::EXIT:
+        return InstrClass::Control;
+      case Op::SFU:
+        return InstrClass::Other;
+    }
+    panic("unknown Op");
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::FP32: return "FP32";
+      case Op::INT: return "INT";
+      case Op::SFU: return "SFU";
+      case Op::LDG: return "LDG";
+      case Op::STG: return "STG";
+      case Op::ATOM: return "ATOM";
+      case Op::LDS: return "LDS";
+      case Op::STS: return "STS";
+      case Op::CTRL: return "CTRL";
+      case Op::BAR: return "BAR";
+      case Op::EXIT: return "EXIT";
+    }
+    panic("unknown Op");
+}
+
+const char *
+instrClassName(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::Fp32: return "FP32";
+      case InstrClass::Int: return "INT";
+      case InstrClass::LoadStore: return "Load/Store";
+      case InstrClass::Control: return "Control";
+      case InstrClass::Other: return "other";
+    }
+    panic("unknown InstrClass");
+}
+
+bool
+isGlobalMemOp(Op op)
+{
+    return op == Op::LDG || op == Op::STG || op == Op::ATOM;
+}
+
+bool
+isMemOp(Op op)
+{
+    return isGlobalMemOp(op) || op == Op::LDS || op == Op::STS;
+}
+
+} // namespace gsuite

@@ -1,0 +1,37 @@
+#include "simgpu/KernelLaunch.hpp"
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+const char *
+kernelClassShortForm(KernelClass k)
+{
+    switch (k) {
+      case KernelClass::IndexSelect: return "is";
+      case KernelClass::Scatter: return "sc";
+      case KernelClass::Sgemm: return "sg";
+      case KernelClass::SpGemm: return "sp";
+      case KernelClass::SpMM: return "sp";
+      case KernelClass::Elementwise: return "ew";
+      case KernelClass::Aux: return "other";
+    }
+    panic("unknown KernelClass");
+}
+
+const char *
+kernelClassName(KernelClass k)
+{
+    switch (k) {
+      case KernelClass::IndexSelect: return "indexSelect";
+      case KernelClass::Scatter: return "scatter";
+      case KernelClass::Sgemm: return "sgemm";
+      case KernelClass::SpGemm: return "SpGEMM";
+      case KernelClass::SpMM: return "SpMM";
+      case KernelClass::Elementwise: return "elementwise";
+      case KernelClass::Aux: return "other";
+    }
+    panic("unknown KernelClass");
+}
+
+} // namespace gsuite

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Kernel launch descriptor: grid geometry plus a lazy per-warp trace
+ * generator.
+ *
+ * Traces materialize only when a warp becomes resident on an SM, so
+ * the simulator's footprint is O(resident warps) rather than
+ * O(total dynamic instructions).
+ */
+
+#ifndef GSUITE_SIMGPU_KERNELLAUNCH_HPP
+#define GSUITE_SIMGPU_KERNELLAUNCH_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "simgpu/Trace.hpp"
+
+namespace gsuite {
+
+/**
+ * Core kernel identities of Table II (plus the auxiliary elementwise
+ * ops the pipelines need, reported as "other" in Fig. 4).
+ */
+enum class KernelClass {
+    IndexSelect,
+    Scatter,
+    Sgemm,
+    SpGemm,
+    SpMM,
+    Elementwise,
+    Aux,
+};
+
+/** Short-form label used in the paper's figures (is/sc/sg/sp). */
+const char *kernelClassShortForm(KernelClass k);
+
+/** Long name of the kernel class. */
+const char *kernelClassName(KernelClass k);
+
+/** CUDA-style launch geometry. */
+struct LaunchDims {
+    int64_t numCtas = 0;
+    int threadsPerCta = 0;
+
+    int
+    warpsPerCta() const
+    {
+        return (threadsPerCta + 31) / 32;
+    }
+    int64_t totalWarps() const { return numCtas * warpsPerCta(); }
+    int64_t
+    totalThreads() const
+    {
+        return numCtas * static_cast<int64_t>(threadsPerCta);
+    }
+};
+
+/**
+ * A recorded kernel launch. genTrace fills @p out with the dynamic
+ * instruction stream of warp @p warp of CTA @p cta; it must end the
+ * stream with an EXIT instruction.
+ */
+struct KernelLaunch {
+    std::string name;
+    KernelClass kind = KernelClass::Aux;
+    LaunchDims dims;
+    std::function<void(int64_t cta, int warp, WarpTrace &out)> genTrace;
+
+    /** Estimated FLOPs (for reports only). */
+    uint64_t flopEstimate = 0;
+    /** Estimated bytes touched (for reports only). */
+    uint64_t bytesEstimate = 0;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SIMGPU_KERNELLAUNCH_HPP

@@ -1,0 +1,195 @@
+#include "simgpu/KernelStats.hpp"
+
+#include <algorithm>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::Issued: return "InstructionIssued";
+      case StallReason::MemoryDependency: return "MemoryDependency";
+      case StallReason::ExecutionDependency:
+        return "ExecutionDependency";
+      case StallReason::InstructionFetch: return "InstructionFetch";
+      case StallReason::Synchronization: return "Synchronization";
+      case StallReason::NotSelected: return "NotSelected";
+    }
+    panic("unknown StallReason");
+}
+
+const char *
+occBucketName(OccBucket b)
+{
+    switch (b) {
+      case OccBucket::Stall: return "Stall";
+      case OccBucket::Idle: return "Idle";
+      case OccBucket::W8: return "W8";
+      case OccBucket::W20: return "W20";
+      case OccBucket::W32: return "W32";
+    }
+    panic("unknown OccBucket");
+}
+
+double
+KernelStats::l1HitRate() const
+{
+    const uint64_t total = l1Hits + l1Misses;
+    return total ? static_cast<double>(l1Hits) / total : 0.0;
+}
+
+double
+KernelStats::l2HitRate() const
+{
+    const uint64_t total = l2Hits + l2Misses;
+    return total ? static_cast<double>(l2Hits) / total : 0.0;
+}
+
+double
+KernelStats::stallShare(StallReason r) const
+{
+    uint64_t total = 0;
+    for (uint64_t v : stallCycles)
+        total += v;
+    return total ? static_cast<double>(
+                       stallCycles[static_cast<size_t>(r)]) /
+                       total
+                 : 0.0;
+}
+
+double
+KernelStats::occShare(OccBucket b) const
+{
+    uint64_t total = 0;
+    for (uint64_t v : occCycles)
+        total += v;
+    return total ? static_cast<double>(
+                       occCycles[static_cast<size_t>(b)]) /
+                       total
+                 : 0.0;
+}
+
+double
+KernelStats::instrShare(InstrClass c) const
+{
+    return warpInstrs ? static_cast<double>(
+                            instrByClass[static_cast<size_t>(c)]) /
+                            warpInstrs
+                      : 0.0;
+}
+
+double
+KernelStats::computeUtilization() const
+{
+    return schedulerSlots
+               ? static_cast<double>(aluBusyCycles) / schedulerSlots
+               : 0.0;
+}
+
+double
+KernelStats::memoryUtilization() const
+{
+    return cycles ? std::min(1.0, static_cast<double>(dramBusyCycles) /
+                                      cycles)
+                  : 0.0;
+}
+
+double
+KernelStats::divergence() const
+{
+    return memInstrs ? static_cast<double>(memSectors) / memInstrs : 0.0;
+}
+
+double
+KernelStats::timeMs(double clock_ghz) const
+{
+    return static_cast<double>(cycles) * samplingFactor() /
+           (clock_ghz * 1e6);
+}
+
+double
+KernelStats::samplingFactor() const
+{
+    // The SM-subset sampling itself is time-neutral (the full GPU
+    // runs smSampleFactor times the CTAs on as many times the SMs in
+    // the same wall time); only the additional maxCtas cap scales
+    // simulated time back up.
+    if (ctasSimulated <= 0 || ctasExpected <= ctasSimulated)
+        return 1.0;
+    return static_cast<double>(ctasExpected) / ctasSimulated;
+}
+
+void
+KernelStats::merge(const KernelStats &other)
+{
+    cycles += other.cycles;
+    ctasTotal += other.ctasTotal;
+    ctasExpected += other.ctasExpected;
+    ctasSimulated += other.ctasSimulated;
+    warpsSimulated += other.warpsSimulated;
+    for (size_t i = 0; i < instrByClass.size(); ++i)
+        instrByClass[i] += other.instrByClass[i];
+    warpInstrs += other.warpInstrs;
+    threadInstrs += other.threadInstrs;
+    for (size_t i = 0; i < stallCycles.size(); ++i)
+        stallCycles[i] += other.stallCycles[i];
+    for (size_t i = 0; i < occCycles.size(); ++i)
+        occCycles[i] += other.occCycles[i];
+    l1Hits += other.l1Hits;
+    l1Misses += other.l1Misses;
+    l2Hits += other.l2Hits;
+    l2Misses += other.l2Misses;
+    memInstrs += other.memInstrs;
+    memSectors += other.memSectors;
+    dramBytes += other.dramBytes;
+    dramBusyCycles += other.dramBusyCycles;
+    aluBusyCycles += other.aluBusyCycles;
+    schedulerSlots += other.schedulerSlots;
+}
+
+StatSet
+KernelStats::toStatSet() const
+{
+    StatSet s;
+    s.set("cycles", static_cast<double>(cycles));
+    s.set("ctas_total", static_cast<double>(ctasTotal));
+    s.set("ctas_expected", static_cast<double>(ctasExpected));
+    s.set("ctas_simulated", static_cast<double>(ctasSimulated));
+    s.set("warps", static_cast<double>(warpsSimulated));
+    s.set("warp_instrs", static_cast<double>(warpInstrs));
+    s.set("thread_instrs", static_cast<double>(threadInstrs));
+    for (int c = 0; c < kNumInstrClasses; ++c) {
+        s.set(std::string("instr_") +
+                  instrClassName(static_cast<InstrClass>(c)),
+              static_cast<double>(instrByClass[static_cast<size_t>(c)]));
+    }
+    for (int r = 0; r < kNumStallReasons; ++r) {
+        s.set(std::string("stall_") +
+                  stallReasonName(static_cast<StallReason>(r)),
+              static_cast<double>(stallCycles[static_cast<size_t>(r)]));
+    }
+    for (int b = 0; b < kNumOccBuckets; ++b) {
+        s.set(std::string("occ_") +
+                  occBucketName(static_cast<OccBucket>(b)),
+              static_cast<double>(occCycles[static_cast<size_t>(b)]));
+    }
+    s.set("l1_hits", static_cast<double>(l1Hits));
+    s.set("l1_misses", static_cast<double>(l1Misses));
+    s.set("l2_hits", static_cast<double>(l2Hits));
+    s.set("l2_misses", static_cast<double>(l2Misses));
+    s.set("l1_hit_rate", l1HitRate());
+    s.set("l2_hit_rate", l2HitRate());
+    s.set("mem_instrs", static_cast<double>(memInstrs));
+    s.set("mem_sectors", static_cast<double>(memSectors));
+    s.set("dram_bytes", static_cast<double>(dramBytes));
+    s.set("dram_busy_cycles", static_cast<double>(dramBusyCycles));
+    s.set("compute_util", computeUtilization());
+    s.set("memory_util", memoryUtilization());
+    s.set("divergence", divergence());
+    return s;
+}
+
+} // namespace gsuite

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Per-launch statistics: everything the paper reads from GPGPU-Sim.
+ */
+
+#ifndef GSUITE_SIMGPU_KERNELSTATS_HPP
+#define GSUITE_SIMGPU_KERNELSTATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "simgpu/Isa.hpp"
+#include "simgpu/KernelLaunch.hpp"
+#include "util/Stats.hpp"
+
+namespace gsuite {
+
+/**
+ * Per-warp, per-cycle issue states — the categories of Fig. 6.
+ * "Issued" means the warp issued an instruction that cycle; the rest
+ * explain why an active warp could not issue.
+ */
+enum class StallReason : int {
+    Issued = 0,
+    MemoryDependency,
+    ExecutionDependency,
+    InstructionFetch,
+    Synchronization,
+    NotSelected,
+};
+constexpr int kNumStallReasons = 6;
+
+/** Paper-facing label for a stall reason (Fig. 6 legend). */
+const char *stallReasonName(StallReason r);
+
+/**
+ * Per-scheduler-slot, per-cycle occupancy buckets — Fig. 7. Stall:
+ * a ready warp existed but the pipeline could not accept it. Idle:
+ * warps were resident but none ready. W8/W20/W32: an instruction
+ * issued with <=8, <=20, <=32 active threads.
+ */
+enum class OccBucket : int {
+    Stall = 0,
+    Idle,
+    W8,
+    W20,
+    W32,
+};
+constexpr int kNumOccBuckets = 5;
+
+/** Paper-facing label for an occupancy bucket (Fig. 7 legend). */
+const char *occBucketName(OccBucket b);
+
+/** All statistics collected for one kernel launch. */
+struct KernelStats {
+    std::string name;
+    KernelClass kind = KernelClass::Aux;
+
+    // --- timing ---------------------------------------------------------
+    uint64_t cycles = 0;
+    int64_t ctasTotal = 0;    ///< CTAs in the launch (full GPU)
+    /**
+     * CTAs the simulated SM subset should process to mirror the full
+     * GPU's per-SM load: ceil(ctasTotal / smSampleFactor).
+     */
+    int64_t ctasExpected = 0;
+    int64_t ctasSimulated = 0; ///< CTAs actually simulated (<= cap)
+    int64_t warpsSimulated = 0;
+
+    // --- instruction mix (warp-level dynamic counts) ---------------------
+    std::array<uint64_t, kNumInstrClasses> instrByClass{};
+    uint64_t warpInstrs = 0;
+    uint64_t threadInstrs = 0;
+
+    // --- issue-stall attribution (warp-cycles) ---------------------------
+    std::array<uint64_t, kNumStallReasons> stallCycles{};
+
+    // --- scheduler occupancy (scheduler-cycles) ---------------------------
+    std::array<uint64_t, kNumOccBuckets> occCycles{};
+
+    // --- memory system -----------------------------------------------------
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+    uint64_t memInstrs = 0;
+    uint64_t memSectors = 0;
+    uint64_t dramBytes = 0;
+    uint64_t dramBusyCycles = 0;
+
+    // --- pipe utilization --------------------------------------------------
+    uint64_t aluBusyCycles = 0;   ///< scheduler ALU port busy cycles
+    uint64_t schedulerSlots = 0;  ///< cycles * schedulers * SMs
+
+    // --- derived metrics ----------------------------------------------------
+    double l1HitRate() const;
+    double l2HitRate() const;
+    /** Share (0..1) of warp-cycles in the given state. */
+    double stallShare(StallReason r) const;
+    /** Share (0..1) of scheduler-cycles in the given bucket. */
+    double occShare(OccBucket b) const;
+    /** Share (0..1) of dynamic warp instructions of the given class. */
+    double instrShare(InstrClass c) const;
+    /** Fraction of scheduler slots doing ALU work (Fig. 9 compute). */
+    double computeUtilization() const;
+    /** Fraction of DRAM bandwidth consumed (Fig. 9 memory). */
+    double memoryUtilization() const;
+    /** Average sectors per global memory instruction (divergence). */
+    double divergence() const;
+    /** Wall-clock estimate at the configured core clock, in ms. */
+    double timeMs(double clock_ghz) const;
+    /** If CTAs were sampled, the launch/simulated ratio (else 1). */
+    double samplingFactor() const;
+
+    /** Merge another launch's counters into this one. */
+    void merge(const KernelStats &other);
+
+    /** Export every metric as named stats for generic reporting. */
+    StatSet toStatSet() const;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SIMGPU_KERNELSTATS_HPP

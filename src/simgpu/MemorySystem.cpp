@@ -1,0 +1,146 @@
+#include "simgpu/MemorySystem.hpp"
+
+#include <algorithm>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+MemorySystem::MemorySystem(const GpuConfig &cfg)
+    : cfg(cfg), l2(cfg.l2),
+      dramCyclesPerSector(cfg.l2.sectorBytes / cfg.dramBytesPerCycle())
+{
+    l1.reserve(static_cast<size_t>(cfg.numSms));
+    for (int i = 0; i < cfg.numSms; ++i)
+        l1.emplace_back(cfg.l1d);
+}
+
+MemAccessResult
+MemorySystem::warpAccess(int sm, uint64_t cycle,
+                         std::span<const uint64_t> lane_addrs,
+                         MemAccessKind kind, KernelStats &stats)
+{
+    panicIf(sm < 0 || sm >= cfg.numSms, "SM index out of range");
+
+    // --- coalescer: collapse lane addresses into unique sectors -------
+    const uint64_t sector_bytes =
+        static_cast<uint64_t>(cfg.l1d.sectorBytes);
+    uint64_t sectors[32];
+    int num_sectors = 0;
+    int max_conflict = 1;
+    for (uint64_t a : lane_addrs) {
+        const uint64_t s = a / sector_bytes;
+        bool found = false;
+        for (int i = 0; i < num_sectors; ++i) {
+            if (sectors[i] == s) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            sectors[num_sectors++] = s;
+    }
+    if (kind == MemAccessKind::Atomic) {
+        // Conflicting lanes (same 4-byte word) serialize the RMW.
+        for (size_t i = 0; i < lane_addrs.size(); ++i) {
+            int conflicts = 1;
+            for (size_t j = 0; j < i; ++j) {
+                if (lane_addrs[j] == lane_addrs[i])
+                    ++conflicts;
+            }
+            max_conflict = std::max(max_conflict, conflicts);
+        }
+    }
+
+    // --- issue sectors through the hierarchy -------------------------
+    uint64_t completion = cycle + 1;
+    for (int i = 0; i < num_sectors; ++i) {
+        // The LSU pumps up to 4 sector transactions per cycle.
+        const uint64_t issue_at = cycle + static_cast<uint64_t>(i / 4);
+        const uint64_t done = accessSector(
+            sm, sectors[i] * sector_bytes, kind, issue_at, stats);
+        completion = std::max(completion, done);
+    }
+    if (kind == MemAccessKind::Atomic)
+        completion += 2 * static_cast<uint64_t>(max_conflict);
+
+    stats.memInstrs += 1;
+    stats.memSectors += static_cast<uint64_t>(num_sectors);
+
+    MemAccessResult res;
+    res.completion = completion;
+    res.sectors = num_sectors;
+    res.lsuCycles = std::max(1, num_sectors / 4);
+    return res;
+}
+
+uint64_t
+MemorySystem::accessSector(int sm, uint64_t addr, MemAccessKind kind,
+                           uint64_t cycle, KernelStats &stats)
+{
+    const bool use_l1 =
+        kind == MemAccessKind::Load
+            ? !cfg.l1BypassLoads
+            : kind == MemAccessKind::Store; // atomics bypass L1
+
+    if (use_l1) {
+        const CacheProbe p = l1[static_cast<size_t>(sm)].probe(addr,
+                                                               cycle);
+        if (p.hit) {
+            ++stats.l1Hits;
+            if (kind == MemAccessKind::Store) {
+                // Write-through: the store still updates L2 below,
+                // but the L1 copy stays coherent at no extra cost.
+            } else {
+                return std::max(
+                    cycle + static_cast<uint64_t>(cfg.l1Latency),
+                    p.ready);
+            }
+        } else {
+            ++stats.l1Misses;
+        }
+    }
+
+    // --- L2 ------------------------------------------------------------
+    const CacheProbe p2 = l2.probe(addr, cycle);
+    uint64_t data_ready;
+    if (p2.hit) {
+        ++stats.l2Hits;
+        data_ready = std::max(
+            cycle + static_cast<uint64_t>(cfg.l2Latency), p2.ready);
+    } else {
+        ++stats.l2Misses;
+        // DRAM with a simple latency-rate queueing model. Service
+        // time per 32B sector is sub-cycle, so queueing state is
+        // fractional; the requester sees whole cycles.
+        const double start =
+            std::max(static_cast<double>(cycle), dramNextFree);
+        dramNextFree = start + dramCyclesPerSector;
+        dramBusy += dramCyclesPerSector;
+        stats.dramBusyCycles = static_cast<uint64_t>(dramBusy);
+        stats.dramBytes += static_cast<uint64_t>(cfg.l2.sectorBytes);
+        data_ready = static_cast<uint64_t>(start) +
+                     static_cast<uint64_t>(cfg.dramLatency);
+        l2.fill(addr, cycle, data_ready);
+    }
+
+    if (use_l1 && kind == MemAccessKind::Load)
+        l1[static_cast<size_t>(sm)].fill(addr, cycle, data_ready);
+
+    if (kind == MemAccessKind::Atomic)
+        data_ready += 4; // read-modify-write at the L2 banks
+
+    return data_ready;
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &c : l1)
+        c.flush();
+    l2.flush();
+    dramNextFree = 0;
+    dramBusy = 0;
+}
+
+} // namespace gsuite

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The GPU memory hierarchy: per-SM sectored L1D caches, a shared L2,
+ * and a bandwidth-limited DRAM model, fed through a memory-access
+ * coalescer.
+ */
+
+#ifndef GSUITE_SIMGPU_MEMORYSYSTEM_HPP
+#define GSUITE_SIMGPU_MEMORYSYSTEM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simgpu/Cache.hpp"
+#include "simgpu/GpuConfig.hpp"
+#include "simgpu/KernelStats.hpp"
+
+namespace gsuite {
+
+/** Kinds of global accesses with distinct cache policies. */
+enum class MemAccessKind {
+    Load,   ///< LDG: allocates in L1 and L2
+    Store,  ///< STG: write-through, no L1 allocate, L2 allocate
+    Atomic, ///< ATOM: performed at L2, bypasses L1
+};
+
+/** Result of one warp-level memory instruction. */
+struct MemAccessResult {
+    uint64_t completion = 0; ///< cycle when the value is usable
+    int sectors = 0;         ///< unique 32B sectors touched
+    int lsuCycles = 1;       ///< LSU occupancy charged for the access
+};
+
+/**
+ * Orchestrates coalescing and the cache/DRAM stack. All per-launch
+ * counters are written into the KernelStats passed to warpAccess.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const GpuConfig &cfg);
+
+    /**
+     * Perform one warp-level global-memory instruction.
+     *
+     * @param sm Issuing SM index (selects the L1).
+     * @param cycle Issue cycle.
+     * @param lane_addrs Per-lane byte addresses (inactive lanes absent).
+     * @param kind Load / store / atomic.
+     * @param stats Launch statistics to update.
+     */
+    MemAccessResult warpAccess(int sm, uint64_t cycle,
+                               std::span<const uint64_t> lane_addrs,
+                               MemAccessKind kind, KernelStats &stats);
+
+    /** Flush all caches and reset DRAM queueing (between launches). */
+    void reset();
+
+    /** DRAM busy cycles accumulated since the last reset(). */
+    double dramBusyCycles() const { return dramBusy; }
+
+  private:
+    const GpuConfig &cfg;
+    std::vector<Cache> l1;
+    Cache l2;
+    /** Fractional cycle bookkeeping: DRAM service is sub-cycle. */
+    double dramNextFree = 0.0;
+    double dramBusy = 0.0;
+    double dramCyclesPerSector;
+
+    /** Sector-granular access through L1 -> L2 -> DRAM. */
+    uint64_t accessSector(int sm, uint64_t addr, MemAccessKind kind,
+                          uint64_t cycle, KernelStats &stats);
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SIMGPU_MEMORYSYSTEM_HPP

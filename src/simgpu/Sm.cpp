@@ -1,0 +1,417 @@
+#include "simgpu/Sm.hpp"
+
+#include <algorithm>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem)
+    : cfg(cfg), smId(sm_id), mem(mem),
+      warps(static_cast<size_t>(cfg.maxWarpsPerSm)),
+      cls(static_cast<size_t>(cfg.maxWarpsPerSm)),
+      aluFree(static_cast<size_t>(cfg.numSchedulers), 0),
+      greedyWarp(static_cast<size_t>(cfg.numSchedulers), -1),
+      rrCursor(static_cast<size_t>(cfg.numSchedulers), 0)
+{
+}
+
+void
+Sm::beginLaunch(const KernelLaunch *new_launch, KernelStats *new_stats)
+{
+    launch = new_launch;
+    stats = new_stats;
+    for (auto &w : warps) {
+        w.active = false;
+        w.done = false;
+        w.waitingBarrier = false;
+        w.trace.clear();
+        w.pc = 0;
+        w.regReady.fill(0);
+        w.regFromMem.reset();
+        w.fetchReady = 0;
+        w.atomicDrain = 0;
+        w.cta = -1;
+    }
+    std::fill(aluFree.begin(), aluFree.end(), uint64_t{0});
+    std::fill(greedyWarp.begin(), greedyWarp.end(), -1);
+    std::fill(rrCursor.begin(), rrCursor.end(), 0);
+    lsuFree = 0;
+    residentWarps = 0;
+    lastStall.fill(0);
+    lastOcc.fill(0);
+
+    const int warps_per_cta = launch->dims.warpsPerCta();
+    panicIf(warps_per_cta <= 0, "launch with zero warps per CTA");
+    panicIf(warps_per_cta > cfg.maxWarpsPerSm,
+            "CTA needs more warps than an SM supports");
+    maxResidentCtas = std::min(
+        {cfg.maxCtasPerSm, cfg.maxWarpsPerSm / warps_per_cta,
+         std::max(1, cfg.maxThreadsPerSm /
+                         std::max(1, launch->dims.threadsPerCta))});
+    ctas.assign(static_cast<size_t>(maxResidentCtas), CtaCtx{});
+}
+
+bool
+Sm::hasFreeCtaSlot() const
+{
+    for (const auto &c : ctas) {
+        if (!c.active)
+            return true;
+    }
+    return false;
+}
+
+void
+Sm::assignCta(int64_t cta_id, uint64_t cycle)
+{
+    CtaCtx *cta = nullptr;
+    for (auto &c : ctas) {
+        if (!c.active) {
+            cta = &c;
+            break;
+        }
+    }
+    panicIf(!cta, "assignCta with no free CTA slot");
+
+    const int warps_per_cta = launch->dims.warpsPerCta();
+    cta->active = true;
+    cta->ctaId = cta_id;
+    cta->liveWarps = 0;
+    cta->arrived = 0;
+    cta->warpSlots.clear();
+
+    for (int wi = 0; wi < warps_per_cta; ++wi) {
+        int slot = -1;
+        for (size_t i = 0; i < warps.size(); ++i) {
+            if (!warps[i].active) {
+                slot = static_cast<int>(i);
+                break;
+            }
+        }
+        panicIf(slot < 0, "no free warp slot for resident CTA");
+        WarpCtx &w = warps[static_cast<size_t>(slot)];
+        w.active = true;
+        w.done = false;
+        w.waitingBarrier = false;
+        w.trace.clear();
+        launch->genTrace(cta_id, wi, w.trace);
+        panicIf(w.trace.instrs.empty() ||
+                    w.trace.instrs.back().op != Op::EXIT,
+                "warp trace must end with EXIT");
+        w.pc = 0;
+        w.regReady.fill(0);
+        w.regFromMem.reset();
+        w.fetchReady = cycle + static_cast<uint64_t>(
+                                   cfg.icacheColdLatency);
+        w.atomicDrain = 0;
+        w.cta = static_cast<int>(cta - ctas.data());
+        w.ageStamp = ageCounter++;
+        cta->warpSlots.push_back(slot);
+        ++cta->liveWarps;
+        ++residentWarps;
+    }
+    stats->warpsSimulated += warps_per_cta;
+}
+
+Sm::Classification
+Sm::classify(const WarpCtx &w, uint64_t cycle) const
+{
+    constexpr uint64_t kNoEvent = ~uint64_t{0};
+    if (w.waitingBarrier)
+        return {StallReason::Synchronization, kNoEvent};
+    if (w.fetchReady > cycle)
+        return {StallReason::InstructionFetch, w.fetchReady};
+
+    const SimInstr &in = w.trace.instrs[w.pc];
+    if (in.op == Op::EXIT && w.atomicDrain > cycle)
+        return {StallReason::Synchronization, w.atomicDrain};
+
+    uint64_t dep_ready = 0;
+    bool from_mem = false;
+    const Reg regs[3] = {in.srcA, in.srcB, in.dst};
+    for (Reg r : regs) {
+        if (r == kNoReg)
+            continue;
+        const uint64_t ready = w.regReady[r];
+        if (ready > cycle) {
+            dep_ready = std::max(dep_ready, ready);
+            from_mem |= w.regFromMem[r];
+        }
+    }
+    if (dep_ready > cycle) {
+        return {from_mem ? StallReason::MemoryDependency
+                         : StallReason::ExecutionDependency,
+                dep_ready};
+    }
+    return {StallReason::NotSelected, 0}; // ready to issue
+}
+
+void
+Sm::releaseBarrierIfComplete(CtaCtx &cta, uint64_t cycle)
+{
+    if (cta.liveWarps == 0 || cta.arrived < cta.liveWarps)
+        return;
+    for (int slot : cta.warpSlots) {
+        WarpCtx &w = warps[static_cast<size_t>(slot)];
+        if (w.active && !w.done && w.waitingBarrier) {
+            w.waitingBarrier = false;
+            w.fetchReady = cycle + 1;
+        }
+    }
+    cta.arrived = 0;
+}
+
+void
+Sm::finishWarp(int slot, uint64_t cycle)
+{
+    WarpCtx &w = warps[static_cast<size_t>(slot)];
+    w.done = true;
+    w.active = false;
+    --residentWarps;
+    CtaCtx &cta = ctas[static_cast<size_t>(w.cta)];
+    --cta.liveWarps;
+    if (cta.liveWarps == 0)
+        cta.active = false;
+    else
+        releaseBarrierIfComplete(cta, cycle);
+}
+
+OccBucket
+Sm::bucketForLanes(int lanes) const
+{
+    if (lanes <= 8)
+        return OccBucket::W8;
+    if (lanes <= 20)
+        return OccBucket::W20;
+    return OccBucket::W32;
+}
+
+void
+Sm::issueInstr(int slot, uint64_t cycle, int sched)
+{
+    WarpCtx &w = warps[static_cast<size_t>(slot)];
+    const SimInstr &in = w.trace.instrs[w.pc];
+
+    stats->instrByClass[static_cast<size_t>(instrClassOf(in.op))] += 1;
+    stats->warpInstrs += 1;
+    stats->threadInstrs += static_cast<uint64_t>(in.activeLanes());
+
+    // Default: the next instruction is fetchable next cycle.
+    w.fetchReady = cycle + static_cast<uint64_t>(cfg.ifetchLatency);
+
+    switch (in.op) {
+      case Op::FP32:
+      case Op::INT: {
+        w.regReady[in.dst] =
+            cycle + static_cast<uint64_t>(cfg.aluLatency);
+        w.regFromMem[in.dst] = false;
+        const uint64_t ii =
+            static_cast<uint64_t>(cfg.aluInitiationInterval);
+        aluFree[static_cast<size_t>(sched)] = cycle + ii;
+        stats->aluBusyCycles += ii;
+        break;
+      }
+      case Op::SFU: {
+        w.regReady[in.dst] =
+            cycle + static_cast<uint64_t>(cfg.sfuLatency);
+        w.regFromMem[in.dst] = false;
+        const uint64_t ii = 8;
+        aluFree[static_cast<size_t>(sched)] = cycle + ii;
+        stats->aluBusyCycles += ii;
+        break;
+      }
+      case Op::CTRL:
+        // Branch redirect: the front end needs a few cycles.
+        w.fetchReady = cycle + 1 + 4;
+        break;
+      case Op::LDS:
+        w.regReady[in.dst] =
+            cycle + static_cast<uint64_t>(cfg.ldsLatency);
+        w.regFromMem[in.dst] = false;
+        lsuFree = cycle + 1;
+        break;
+      case Op::STS:
+        lsuFree = cycle + 1;
+        break;
+      case Op::LDG: {
+        const auto res = mem.warpAccess(smId, cycle, w.trace.addrsOf(in),
+                                        MemAccessKind::Load, *stats);
+        w.regReady[in.dst] = res.completion;
+        w.regFromMem[in.dst] = true;
+        lsuFree = cycle + static_cast<uint64_t>(res.lsuCycles);
+        break;
+      }
+      case Op::STG: {
+        const auto res = mem.warpAccess(smId, cycle, w.trace.addrsOf(in),
+                                        MemAccessKind::Store, *stats);
+        lsuFree = cycle + static_cast<uint64_t>(res.lsuCycles);
+        break;
+      }
+      case Op::ATOM: {
+        const auto res = mem.warpAccess(smId, cycle, w.trace.addrsOf(in),
+                                        MemAccessKind::Atomic, *stats);
+        w.atomicDrain = std::max(w.atomicDrain, res.completion);
+        lsuFree = cycle + static_cast<uint64_t>(res.lsuCycles);
+        break;
+      }
+      case Op::BAR: {
+        CtaCtx &cta = ctas[static_cast<size_t>(w.cta)];
+        w.waitingBarrier = true;
+        ++cta.arrived;
+        ++w.pc;
+        releaseBarrierIfComplete(cta, cycle);
+        return; // pc already advanced
+      }
+      case Op::EXIT:
+        ++w.pc;
+        finishWarp(slot, cycle);
+        return;
+    }
+    ++w.pc;
+}
+
+bool
+Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
+{
+    constexpr uint64_t kNoEvent = ~uint64_t{0};
+    lastStall.fill(0);
+    lastOcc.fill(0);
+    if (residentWarps == 0) {
+        // Nothing resident: schedulers idle.
+        lastOcc[static_cast<size_t>(OccBucket::Idle)] +=
+            static_cast<uint64_t>(cfg.numSchedulers);
+        stats->occCycles[static_cast<size_t>(OccBucket::Idle)] +=
+            static_cast<uint64_t>(cfg.numSchedulers);
+        stats->schedulerSlots +=
+            static_cast<uint64_t>(cfg.numSchedulers);
+        return false;
+    }
+
+    // Pass 1: classify every resident warp.
+    for (size_t i = 0; i < warps.size(); ++i) {
+        if (warps[i].active && !warps[i].done)
+            cls[i] = classify(warps[i], cycle);
+    }
+
+    bool issued_any = false;
+    uint64_t min_event = kNoEvent;
+
+    // Pass 2: per-scheduler issue.
+    const int ns = cfg.numSchedulers;
+    for (int s = 0; s < ns; ++s) {
+        bool issued = false;
+        bool structural = false;
+        bool has_warp = false;
+
+        // Candidate order: GTO tries the sticky warp first and then
+        // the oldest ready warp; LRR rotates.
+        int order[64];
+        int count = 0;
+        for (int slot = s; slot < cfg.maxWarpsPerSm; slot += ns)
+            order[count++] = slot;
+        if (cfg.scheduler == SchedulerPolicy::Gto) {
+            std::sort(order, order + count, [&](int a, int b) {
+                const bool ga = a == greedyWarp[static_cast<size_t>(s)];
+                const bool gb = b == greedyWarp[static_cast<size_t>(s)];
+                if (ga != gb)
+                    return ga;
+                return warps[static_cast<size_t>(a)].ageStamp <
+                       warps[static_cast<size_t>(b)].ageStamp;
+            });
+        } else {
+            const int start = rrCursor[static_cast<size_t>(s)];
+            std::rotate(order, order + start % std::max(1, count),
+                        order + count);
+        }
+
+        for (int k = 0; k < count; ++k) {
+            const int slot = order[k];
+            WarpCtx &w = warps[static_cast<size_t>(slot)];
+            if (!w.active || w.done)
+                continue;
+            has_warp = true;
+            if (cls[static_cast<size_t>(slot)].reason !=
+                StallReason::NotSelected)
+                continue; // blocked; counted in pass 3
+            if (cls[static_cast<size_t>(slot)].event != 0)
+                continue; // port-blocked earlier this cycle
+
+            const SimInstr &in = w.trace.instrs[w.pc];
+            const bool is_mem = isMemOp(in.op);
+            const bool needs_alu = in.op == Op::FP32 ||
+                                   in.op == Op::INT || in.op == Op::SFU;
+            if (is_mem && lsuFree > cycle) {
+                structural = true;
+                min_event = std::min(min_event, lsuFree);
+                cls[static_cast<size_t>(slot)].event = 1; // mark tried
+                continue;
+            }
+            if (needs_alu &&
+                aluFree[static_cast<size_t>(s)] > cycle) {
+                structural = true;
+                min_event = std::min(
+                    min_event, aluFree[static_cast<size_t>(s)]);
+                cls[static_cast<size_t>(slot)].event = 1;
+                continue;
+            }
+
+            issueInstr(slot, cycle, s);
+            cls[static_cast<size_t>(slot)].reason = StallReason::Issued;
+            issued = true;
+            issued_any = true;
+            if (cfg.scheduler == SchedulerPolicy::Gto)
+                greedyWarp[static_cast<size_t>(s)] = slot;
+            else
+                rrCursor[static_cast<size_t>(s)] = (k + 1) % count;
+
+            const OccBucket b = bucketForLanes(in.activeLanes());
+            lastOcc[static_cast<size_t>(b)] += 1;
+            break;
+        }
+
+        if (!issued) {
+            const OccBucket b = (structural && has_warp)
+                                    ? OccBucket::Stall
+                                    : OccBucket::Idle;
+            lastOcc[static_cast<size_t>(b)] += 1;
+        }
+    }
+
+    // Pass 3: stall accounting for every resident warp + event merge.
+    for (size_t i = 0; i < warps.size(); ++i) {
+        const WarpCtx &w = warps[i];
+        if (!w.active || w.done)
+            continue;
+        lastStall[static_cast<size_t>(cls[i].reason)] += 1;
+        if (cls[i].reason != StallReason::Issued &&
+            cls[i].event > cycle && cls[i].event != kNoEvent)
+            min_event = std::min(min_event, cls[i].event);
+    }
+
+    for (int r = 0; r < kNumStallReasons; ++r)
+        stats->stallCycles[static_cast<size_t>(r)] +=
+            lastStall[static_cast<size_t>(r)];
+    for (int b = 0; b < kNumOccBuckets; ++b)
+        stats->occCycles[static_cast<size_t>(b)] +=
+            lastOcc[static_cast<size_t>(b)];
+    stats->schedulerSlots += static_cast<uint64_t>(ns);
+
+    next_event = std::min(next_event, min_event);
+    return issued_any;
+}
+
+void
+Sm::accountExtra(uint64_t delta)
+{
+    for (int r = 0; r < kNumStallReasons; ++r)
+        stats->stallCycles[static_cast<size_t>(r)] +=
+            lastStall[static_cast<size_t>(r)] * delta;
+    for (int b = 0; b < kNumOccBuckets; ++b)
+        stats->occCycles[static_cast<size_t>(b)] +=
+            lastOcc[static_cast<size_t>(b)] * delta;
+    stats->schedulerSlots +=
+        static_cast<uint64_t>(cfg.numSchedulers) * delta;
+}
+
+} // namespace gsuite

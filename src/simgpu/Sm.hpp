@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The streaming-multiprocessor timing model.
+ *
+ * Each SM hosts up to maxWarpsPerSm resident warps split across
+ * numSchedulers warp schedulers (GTO or LRR). Every cycle, every
+ * resident warp is classified into one of the Fig. 6 issue states,
+ * and every scheduler slot into one of the Fig. 7 occupancy buckets.
+ * Dependencies are tracked with a per-warp scoreboard of virtual
+ * register ready-times; global memory goes through MemorySystem.
+ */
+
+#ifndef GSUITE_SIMGPU_SM_HPP
+#define GSUITE_SIMGPU_SM_HPP
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "simgpu/GpuConfig.hpp"
+#include "simgpu/KernelLaunch.hpp"
+#include "simgpu/KernelStats.hpp"
+#include "simgpu/MemorySystem.hpp"
+
+namespace gsuite {
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem);
+
+    /** Prepare for a new launch, pointing at its stats sink. */
+    void beginLaunch(const KernelLaunch *launch, KernelStats *stats);
+
+    /** True if another CTA can become resident. */
+    bool hasFreeCtaSlot() const;
+
+    /** Make CTA @p cta_id resident, materializing its warp traces. */
+    void assignCta(int64_t cta_id, uint64_t cycle);
+
+    /** True while any warp is resident and unfinished. */
+    bool busy() const { return residentWarps > 0; }
+
+    /**
+     * Simulate one cycle: classify all warps, let each scheduler issue
+     * at most one instruction, and record statistics.
+     *
+     * @param cycle Current cycle.
+     * @param next_event Monotonically lowered to the earliest future
+     *        cycle at which this SM's state can change.
+     * @return True if any instruction issued.
+     */
+    bool stepCycle(uint64_t cycle, uint64_t &next_event);
+
+    /**
+     * Account @p delta further cycles with the same classification as
+     * the last stepCycle() (used to fast-forward long stalls).
+     */
+    void accountExtra(uint64_t delta);
+
+  private:
+    struct WarpCtx {
+        bool active = false;
+        bool done = false;
+        bool waitingBarrier = false;
+        WarpTrace trace;
+        size_t pc = 0;
+        std::array<uint64_t, kNumWarpRegs> regReady{};
+        std::bitset<kNumWarpRegs> regFromMem;
+        uint64_t fetchReady = 0;
+        uint64_t atomicDrain = 0;
+        int cta = -1;
+        uint64_t ageStamp = 0;
+    };
+
+    struct CtaCtx {
+        bool active = false;
+        int64_t ctaId = -1;
+        int liveWarps = 0;
+        int arrived = 0; ///< warps waiting at the barrier
+        std::vector<int> warpSlots;
+    };
+
+    /** Pre-issue classification of one warp. */
+    struct Classification {
+        StallReason reason = StallReason::NotSelected;
+        uint64_t event = 0; ///< cycle the blocking condition clears
+    };
+
+    const GpuConfig &cfg;
+    int smId;
+    MemorySystem &mem;
+    const KernelLaunch *launch = nullptr;
+    KernelStats *stats = nullptr;
+
+    std::vector<WarpCtx> warps;
+    std::vector<CtaCtx> ctas;
+    std::vector<Classification> cls; ///< per-slot scratch
+    std::vector<uint64_t> aluFree;   ///< per-scheduler ALU port
+    std::vector<int> greedyWarp;     ///< GTO sticky pointer
+    std::vector<int> rrCursor;       ///< LRR rotation pointer
+    uint64_t lsuFree = 0;
+    int residentWarps = 0;
+    int maxResidentCtas = 0;
+    uint64_t ageCounter = 0;
+
+    // Last cycle's per-state counts, for accountExtra().
+    std::array<uint64_t, kNumStallReasons> lastStall{};
+    std::array<uint64_t, kNumOccBuckets> lastOcc{};
+
+    Classification classify(const WarpCtx &w, uint64_t cycle) const;
+    void issueInstr(int slot, uint64_t cycle, int sched);
+    void releaseBarrierIfComplete(CtaCtx &cta, uint64_t cycle);
+    void finishWarp(int slot, uint64_t cycle);
+    OccBucket bucketForLanes(int lanes) const;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SIMGPU_SM_HPP

@@ -1,0 +1,70 @@
+#include "sparse/Csc.hpp"
+
+#include "sparse/SparseOps.hpp"
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+CscMatrix::CscMatrix(int64_t rows, int64_t cols)
+    : colPtr(static_cast<std::size_t>(cols) + 1, 0), nRows(rows),
+      nCols(cols)
+{
+    if (rows < 0 || cols < 0)
+        panic("CscMatrix with negative shape");
+}
+
+void
+CscMatrix::checkInvariants() const
+{
+    panicIf(colPtr.size() != static_cast<std::size_t>(nCols) + 1,
+            "CSC colPtr length mismatch");
+    panicIf(colPtr.front() != 0, "CSC colPtr must start at 0");
+    panicIf(colPtr.back() != nnz(), "CSC colPtr must end at nnz");
+    panicIf(!vals.empty() && vals.size() != rowIdx.size(),
+            "CSC value array length mismatch");
+    for (std::size_t c = 0; c + 1 < colPtr.size(); ++c) {
+        panicIf(colPtr[c] > colPtr[c + 1], "CSC colPtr not monotonic");
+        for (int64_t i = colPtr[c]; i < colPtr[c + 1]; ++i) {
+            panicIf(rowIdx[static_cast<std::size_t>(i)] < 0 ||
+                        rowIdx[static_cast<std::size_t>(i)] >= nRows,
+                    "CSC row index out of range");
+            if (i + 1 < colPtr[c + 1]) {
+                panicIf(rowIdx[static_cast<std::size_t>(i)] >=
+                            rowIdx[static_cast<std::size_t>(i) + 1],
+                        "CSC rows not strictly increasing in column");
+            }
+        }
+    }
+}
+
+CscMatrix
+csrToCsc(const CsrMatrix &csr)
+{
+    // The CSC arrays of A are exactly the CSR arrays of A^T.
+    const CsrMatrix t = transpose(csr);
+    CscMatrix out(csr.rows(), csr.cols());
+    out.colPtr = t.rowPtr;
+    out.rowIdx = t.colIdx;
+    out.vals = t.vals;
+    out.checkInvariants();
+    return out;
+}
+
+CsrMatrix
+cscToCsr(const CscMatrix &csc)
+{
+    // Reinterpret the CSC arrays as a CSR of A^T, then transpose.
+    SparseBuilder b(csc.rows(), csc.cols());
+    for (int64_t c = 0; c < csc.cols(); ++c) {
+        for (int64_t i = csc.colPtr[static_cast<std::size_t>(c)];
+             i < csc.colPtr[static_cast<std::size_t>(c) + 1]; ++i) {
+            b.add(csc.rowIdx[static_cast<std::size_t>(i)], c,
+                  csc.vals.empty()
+                      ? 1.0f
+                      : csc.vals[static_cast<std::size_t>(i)]);
+        }
+    }
+    return b.finish();
+}
+
+} // namespace gsuite

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compressed sparse column (CSC) matrix — the column-access dual of
+ * CSR. A CSC view of the adjacency is what backward propagation
+ * through an aggregation wants (incoming-edge walks become
+ * contiguous), and converting CSR <-> CSC is the transpose in
+ * disguise.
+ */
+
+#ifndef GSUITE_SPARSE_CSC_HPP
+#define GSUITE_SPARSE_CSC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sparse/Csr.hpp"
+
+namespace gsuite {
+
+/**
+ * CSC sparse float matrix. colPtr has cols()+1 entries; column c's
+ * entries live at [colPtr[c], colPtr[c+1]) in rowIdx/vals, sorted by
+ * row within each column.
+ */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    /** Empty (all-zero) matrix of the given shape. */
+    CscMatrix(int64_t rows, int64_t cols);
+
+    int64_t rows() const { return nRows; }
+    int64_t cols() const { return nCols; }
+    int64_t nnz() const { return static_cast<int64_t>(rowIdx.size()); }
+
+    /** Number of stored entries in column c. */
+    int64_t
+    colNnz(int64_t c) const
+    {
+        return colPtr[static_cast<std::size_t>(c) + 1] -
+               colPtr[static_cast<std::size_t>(c)];
+    }
+
+    /** Validate structural invariants; panic() on violation. */
+    void checkInvariants() const;
+
+    std::vector<int64_t> colPtr;
+    std::vector<int64_t> rowIdx;
+    std::vector<float> vals;
+
+  private:
+    int64_t nRows = 0;
+    int64_t nCols = 0;
+
+    friend CscMatrix csrToCsc(const CsrMatrix &csr);
+};
+
+/** CSR -> CSC (same logical matrix, column-major compression). */
+CscMatrix csrToCsc(const CsrMatrix &csr);
+
+/** CSC -> CSR (same logical matrix, row-major compression). */
+CsrMatrix cscToCsr(const CscMatrix &csc);
+
+} // namespace gsuite
+
+#endif // GSUITE_SPARSE_CSC_HPP

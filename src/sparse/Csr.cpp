@@ -1,0 +1,125 @@
+#include "sparse/Csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols)
+    : rowPtr(static_cast<size_t>(rows) + 1, 0), nRows(rows), nCols(cols)
+{
+    if (rows < 0 || cols < 0)
+        panic("CsrMatrix with negative shape");
+}
+
+CsrMatrix
+CsrMatrix::identity(int64_t n)
+{
+    CsrMatrix m(n, n);
+    m.colIdx.resize(static_cast<size_t>(n));
+    m.vals.assign(static_cast<size_t>(n), 1.0f);
+    for (int64_t i = 0; i < n; ++i) {
+        m.rowPtr[static_cast<size_t>(i) + 1] = i + 1;
+        m.colIdx[static_cast<size_t>(i)] = i;
+    }
+    return m;
+}
+
+CsrMatrix
+CsrMatrix::diagonal(const std::vector<float> &diag)
+{
+    const int64_t n = static_cast<int64_t>(diag.size());
+    CsrMatrix m = identity(n);
+    m.vals = diag;
+    return m;
+}
+
+std::vector<int64_t>
+CsrMatrix::rowDegrees() const
+{
+    std::vector<int64_t> deg(static_cast<size_t>(nRows));
+    for (int64_t r = 0; r < nRows; ++r)
+        deg[static_cast<size_t>(r)] = rowNnz(r);
+    return deg;
+}
+
+void
+CsrMatrix::checkInvariants() const
+{
+    panicIf(rowPtr.size() != static_cast<size_t>(nRows) + 1,
+            "CSR rowPtr length mismatch");
+    panicIf(rowPtr.front() != 0, "CSR rowPtr must start at 0");
+    panicIf(rowPtr.back() != nnz(), "CSR rowPtr must end at nnz");
+    panicIf(!vals.empty() && vals.size() != colIdx.size(),
+            "CSR value array length mismatch");
+    for (size_t r = 0; r + 1 < rowPtr.size(); ++r) {
+        panicIf(rowPtr[r] > rowPtr[r + 1], "CSR rowPtr not monotonic");
+        for (int64_t i = rowPtr[r]; i < rowPtr[r + 1]; ++i) {
+            panicIf(colIdx[static_cast<size_t>(i)] < 0 ||
+                        colIdx[static_cast<size_t>(i)] >= nCols,
+                    "CSR col index out of range");
+            if (i + 1 < rowPtr[r + 1]) {
+                panicIf(colIdx[static_cast<size_t>(i)] >=
+                            colIdx[static_cast<size_t>(i) + 1],
+                        "CSR columns not strictly increasing in row");
+            }
+        }
+    }
+}
+
+SparseBuilder::SparseBuilder(int64_t rows, int64_t cols)
+    : nRows(rows), nCols(cols)
+{
+}
+
+void
+SparseBuilder::add(int64_t row, int64_t col, float val)
+{
+    if (row < 0 || row >= nRows || col < 0 || col >= nCols)
+        panic("SparseBuilder entry out of range");
+    rowIdx.push_back(row);
+    colIdx.push_back(col);
+    vals.push_back(val);
+}
+
+CsrMatrix
+SparseBuilder::finish()
+{
+    const size_t n = rowIdx.size();
+    std::vector<size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+        if (rowIdx[a] != rowIdx[b])
+            return rowIdx[a] < rowIdx[b];
+        return colIdx[a] < colIdx[b];
+    });
+
+    CsrMatrix out(nRows, nCols);
+    out.colIdx.reserve(n);
+    out.vals.reserve(n);
+    int64_t last_row = -1;
+    int64_t last_col = -1;
+    std::vector<int64_t> row_counts(static_cast<size_t>(nRows), 0);
+    for (size_t i : perm) {
+        if (rowIdx[i] == last_row && colIdx[i] == last_col) {
+            out.vals.back() += vals[i]; // duplicate entry: sum
+            continue;
+        }
+        out.colIdx.push_back(colIdx[i]);
+        out.vals.push_back(vals[i]);
+        ++row_counts[static_cast<size_t>(rowIdx[i])];
+        last_row = rowIdx[i];
+        last_col = colIdx[i];
+    }
+    for (int64_t r = 0; r < nRows; ++r) {
+        out.rowPtr[static_cast<size_t>(r) + 1] =
+            out.rowPtr[static_cast<size_t>(r)] +
+            row_counts[static_cast<size_t>(r)];
+    }
+    out.checkInvariants();
+    return out;
+}
+
+} // namespace gsuite

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sparse linear algebra: the functional semantics behind the SpGEMM
+ * and SpMM core kernels (Table II).
+ */
+
+#ifndef GSUITE_SPARSE_SPARSEOPS_HPP
+#define GSUITE_SPARSE_SPARSEOPS_HPP
+
+#include "sparse/Csr.hpp"
+#include "tensor/DenseMatrix.hpp"
+
+namespace gsuite {
+
+/**
+ * Sparse x sparse general matrix multiply (SpGEMM): C = A x B with
+ * CSR operands, row-by-row Gustavson algorithm with a dense
+ * accumulator workspace. fatal() on dimension mismatch.
+ */
+CsrMatrix spgemm(const CsrMatrix &a, const CsrMatrix &b);
+
+/**
+ * Sparse x dense multiply (SpMM): C = A x B with CSR A and dense B —
+ * the reduction step of the SpMM computational model. fatal() on
+ * dimension mismatch.
+ */
+void spmm(const CsrMatrix &a, const DenseMatrix &b, DenseMatrix &c);
+
+/** CSR transpose. */
+CsrMatrix transpose(const CsrMatrix &a);
+
+/** C = A + alpha*I for square A. fatal() if A is not square. */
+CsrMatrix addScaledIdentity(const CsrMatrix &a, float alpha);
+
+/**
+ * Row-scale then column-scale: out = diag(rs) * A * diag(cs).
+ * This is how D^-1/2 * A * D^-1/2 is realized without materializing
+ * the diagonal factors (the trace generators still model the SpGEMM
+ * kernels the paper's pipeline launches).
+ */
+CsrMatrix scaleRowsCols(const CsrMatrix &a, const std::vector<float> &rs,
+                        const std::vector<float> &cs);
+
+/** Frobenius-style max-abs difference between two CSR matrices. */
+double csrMaxAbsDiff(const CsrMatrix &a, const CsrMatrix &b);
+
+} // namespace gsuite
+
+#endif // GSUITE_SPARSE_SPARSEOPS_HPP

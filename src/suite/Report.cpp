@@ -1,0 +1,97 @@
+#include "suite/Report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/Csv.hpp"
+#include "util/Table.hpp"
+
+namespace gsuite {
+
+std::string
+renderReport(const RunOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "configuration: " << outcome.params.describe() << "\n";
+    os << outcome.graphSummary << " (scale: "
+       << outcome.scaleDescription << ")\n";
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "end-to-end: mean %.3f ms over %d runs "
+                  "(min %.3f, max %.3f); kernel time %.3f ms\n",
+                  outcome.meanEndToEndUs / 1e3, outcome.params.runs,
+                  outcome.minEndToEndUs / 1e3,
+                  outcome.maxEndToEndUs / 1e3,
+                  outcome.meanKernelUs / 1e3);
+    os << line;
+
+    TablePrinter timeline("per-kernel timeline (last run)");
+    const bool has_sim =
+        !outcome.timeline.empty() && outcome.timeline.front().hasSim;
+    if (has_sim)
+        timeline.header({"kernel", "class", "wall us", "sim cycles",
+                         "MemDep%", "L1 hit%"});
+    else
+        timeline.header({"kernel", "class", "wall us"});
+    for (const auto &rec : outcome.timeline) {
+        if (rec.hasSim) {
+            timeline.row(
+                {rec.name, kernelClassName(rec.kind),
+                 fmtDouble(rec.wallUs, 1),
+                 std::to_string(rec.sim.cycles),
+                 fmtDouble(100 * rec.sim.stallShare(
+                               StallReason::MemoryDependency), 1),
+                 fmtDouble(100 * rec.sim.l1HitRate(), 1)});
+        } else {
+            timeline.row({rec.name, kernelClassName(rec.kind),
+                          fmtDouble(rec.wallUs, 1)});
+        }
+    }
+    os << timeline.render();
+
+    // Per-class share summary (the Fig. 4 view of this single run).
+    const auto by_class = wallUsByClass(outcome.timeline);
+    double total = 0;
+    for (const auto &[cls, us] : by_class)
+        total += us;
+    if (total > 0) {
+        TablePrinter shares("kernel time by class");
+        shares.header({"class", "share%"});
+        for (const auto &[cls, us] : by_class)
+            shares.row({kernelClassName(cls),
+                        fmtDouble(100.0 * us / total, 1)});
+        os << shares.render();
+    }
+    return os.str();
+}
+
+void
+printReport(const RunOutcome &outcome)
+{
+    std::fputs(renderReport(outcome).c_str(), stdout);
+    std::fflush(stdout);
+}
+
+void
+writeReportCsv(const RunOutcome &outcome, const std::string &path)
+{
+    CsvWriter csv(path);
+    csv.header({"kernel", "class", "wall_us", "sim_cycles",
+                "memdep_share", "l1_hit_rate", "l2_hit_rate"});
+    for (const auto &rec : outcome.timeline) {
+        std::vector<std::string> cells = {
+            rec.name, kernelClassName(rec.kind),
+            fmtDouble(rec.wallUs, 2)};
+        if (rec.hasSim) {
+            cells.push_back(std::to_string(rec.sim.cycles));
+            cells.push_back(fmtDouble(
+                rec.sim.stallShare(StallReason::MemoryDependency),
+                4));
+            cells.push_back(fmtDouble(rec.sim.l1HitRate(), 4));
+            cells.push_back(fmtDouble(rec.sim.l2HitRate(), 4));
+        }
+        csv.row(cells);
+    }
+}
+
+} // namespace gsuite

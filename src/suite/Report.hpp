@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Report writers: the output side of the Fig. 1 architecture. A
+ * RunOutcome renders as an aligned console report and/or a CSV file,
+ * with per-kernel rows and per-class aggregation.
+ */
+
+#ifndef GSUITE_SUITE_REPORT_HPP
+#define GSUITE_SUITE_REPORT_HPP
+
+#include <string>
+
+#include "suite/Runner.hpp"
+
+namespace gsuite {
+
+/** Render the outcome as a human-readable multi-table report. */
+std::string renderReport(const RunOutcome &outcome);
+
+/** Print renderReport() to stdout. */
+void printReport(const RunOutcome &outcome);
+
+/**
+ * Write the outcome's per-kernel timeline as CSV: kernel, class,
+ * wall_us, and (when present) sim cycles plus headline sim metrics.
+ * fatal() on I/O error.
+ */
+void writeReportCsv(const RunOutcome &outcome,
+                    const std::string &path);
+
+} // namespace gsuite
+
+#endif // GSUITE_SUITE_REPORT_HPP

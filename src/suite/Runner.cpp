@@ -1,0 +1,99 @@
+#include "suite/Runner.hpp"
+
+#include <algorithm>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+std::unique_ptr<ExecutionEngine>
+AbstractionModule::makeEngine(const UserParams &params)
+{
+    if (params.engine == EngineKind::Sim) {
+        SimEngine::Options opts;
+        opts.profileCaches = params.profileCaches;
+        return std::make_unique<SimEngine>(opts);
+    }
+    FunctionalEngine::Options opts;
+    opts.profileCaches = params.profileCaches;
+    return std::make_unique<FunctionalEngine>(opts);
+}
+
+Graph
+loadDatasetFor(const UserParams &params)
+{
+    return loadDataset(params.dataset, params.resolveScale(),
+                       params.seed);
+}
+
+BenchmarkRunner::BenchmarkRunner(UserParams params)
+    : params(std::move(params))
+{
+}
+
+RunOutcome
+BenchmarkRunner::run()
+{
+    RunOutcome outcome;
+    outcome.params = params;
+    outcome.scaleDescription = params.resolveScale().describe();
+
+    const Graph graph = loadDatasetFor(params);
+    outcome.graphSummary = graph.summary();
+
+    const FrameworkAdapter adapter(params.framework);
+    auto engine = AbstractionModule::makeEngine(params);
+
+    double sum = 0.0;
+    outcome.minEndToEndUs = 0.0;
+    outcome.maxEndToEndUs = 0.0;
+    double kernel_sum = 0.0;
+    for (int r = 0; r < params.runs; ++r) {
+        const FrameworkRunResult res =
+            adapter.run(graph, params.modelConfig(), *engine);
+        sum += res.endToEndUs;
+        kernel_sum += res.kernelUs;
+        if (r == 0) {
+            outcome.minEndToEndUs = res.endToEndUs;
+            outcome.maxEndToEndUs = res.endToEndUs;
+        } else {
+            outcome.minEndToEndUs =
+                std::min(outcome.minEndToEndUs, res.endToEndUs);
+            outcome.maxEndToEndUs =
+                std::max(outcome.maxEndToEndUs, res.endToEndUs);
+        }
+        if (r == params.runs - 1)
+            outcome.timeline = res.timeline;
+    }
+    outcome.meanEndToEndUs = sum / params.runs;
+    outcome.meanKernelUs = kernel_sum / params.runs;
+    return outcome;
+}
+
+std::map<KernelClass, double>
+wallUsByClass(const std::vector<KernelRecord> &timeline)
+{
+    std::map<KernelClass, double> by_class;
+    for (const auto &rec : timeline)
+        by_class[rec.kind] += rec.wallUs;
+    return by_class;
+}
+
+std::map<KernelClass, KernelStats>
+simStatsByClass(const std::vector<KernelRecord> &timeline)
+{
+    std::map<KernelClass, KernelStats> by_class;
+    for (const auto &rec : timeline) {
+        if (!rec.hasSim)
+            continue;
+        auto it = by_class.find(rec.kind);
+        if (it == by_class.end()) {
+            by_class.emplace(rec.kind, rec.sim);
+        } else {
+            it->second.merge(rec.sim);
+        }
+    }
+    return by_class;
+}
+
+} // namespace gsuite

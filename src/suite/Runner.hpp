@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The benchmark runner — Fig. 1's Abstraction Module plus Data
+ * Loader: resolves framework/model/dataset decisions, loads data,
+ * builds the engine, runs the pipeline the configured number of
+ * times, and aggregates results.
+ */
+
+#ifndef GSUITE_SUITE_RUNNER_HPP
+#define GSUITE_SUITE_RUNNER_HPP
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/ExecutionEngine.hpp"
+#include "frameworks/FrameworkAdapter.hpp"
+#include "graph/Graph.hpp"
+#include "suite/UserParams.hpp"
+
+namespace gsuite {
+
+/** Aggregated outcome of one benchmark configuration. */
+struct RunOutcome {
+    UserParams params;
+    std::string graphSummary;
+    std::string scaleDescription;
+
+    double meanEndToEndUs = 0.0; ///< mean over runs (paper: 3 runs)
+    double minEndToEndUs = 0.0;
+    double maxEndToEndUs = 0.0;
+    double meanKernelUs = 0.0;
+
+    /** Per-kernel timeline of the final run. */
+    std::vector<KernelRecord> timeline;
+};
+
+/** Fig. 1's decision layer, exposed for reuse by benches. */
+class AbstractionModule
+{
+  public:
+    /** Build the engine the params ask for. */
+    static std::unique_ptr<ExecutionEngine>
+    makeEngine(const UserParams &params);
+};
+
+/** Loads a dataset per the params (Fig. 1's Data Loader). */
+Graph loadDatasetFor(const UserParams &params);
+
+/** End-to-end benchmark runner. */
+class BenchmarkRunner
+{
+  public:
+    explicit BenchmarkRunner(UserParams params);
+
+    /** Load, build, run `params.runs` times, aggregate. */
+    RunOutcome run();
+
+  private:
+    UserParams params;
+};
+
+/** Wall-clock microseconds per kernel class over a timeline. */
+std::map<KernelClass, double>
+wallUsByClass(const std::vector<KernelRecord> &timeline);
+
+/**
+ * Merge simulator statistics of all timeline kernels of the same
+ * class (e.g. every scatter launch of a pipeline), keyed by class.
+ */
+std::map<KernelClass, KernelStats>
+simStatsByClass(const std::vector<KernelRecord> &timeline);
+
+} // namespace gsuite
+
+#endif // GSUITE_SUITE_RUNNER_HPP

@@ -1,0 +1,132 @@
+#include "suite/UserParams.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "frameworks/FrameworkAdapter.hpp"
+#include "util/Logging.hpp"
+#include "util/StringUtils.hpp"
+
+namespace gsuite {
+
+EngineKind
+engineKindFromName(const std::string &name)
+{
+    const std::string n = toLower(trim(name));
+    if (n == "functional" || n == "hw" || n == "profiler")
+        return EngineKind::Functional;
+    if (n == "sim" || n == "simulator" || n == "gpgpusim")
+        return EngineKind::Sim;
+    fatal("unknown engine '%s' (known: functional, sim)", name.c_str());
+}
+
+UserParams
+UserParams::fromOptions(const OptionSet &opts)
+{
+    static const std::set<std::string> known = {
+        "config",     "dataset",   "model",       "comp",
+        "framework",  "engine",    "layers",      "hidden",
+        "outdim",     "gineps",    "runs",        "seed",
+        "profile-caches", "node-div", "edge-div", "feature-cap",
+        "csv",        "verbose",   "quiet",
+    };
+    for (const auto &key : opts.keys()) {
+        if (known.find(key) == known.end())
+            fatal("unknown option '--%s'", key.c_str());
+    }
+
+    UserParams p;
+    p.dataset = toLower(opts.getString("dataset", p.dataset));
+    datasetInfoByName(p.dataset); // validate early
+    p.model = gnnModelFromName(opts.getString("model", "gcn"));
+    p.comp = compModelFromName(opts.getString("comp", "mp"));
+    p.framework =
+        frameworkFromName(opts.getString("framework", "gsuite"));
+    p.engine = engineKindFromName(
+        opts.getString("engine", "functional"));
+    p.layers = static_cast<int>(opts.getInt("layers", p.layers));
+    p.hidden = static_cast<int>(opts.getInt("hidden", p.hidden));
+    p.outDim = static_cast<int>(opts.getInt("outdim", p.outDim));
+    p.ginEps =
+        static_cast<float>(opts.getDouble("gineps", p.ginEps));
+    p.runs = static_cast<int>(opts.getInt("runs", p.runs));
+    p.seed = static_cast<uint64_t>(opts.getInt("seed", 7));
+    p.profileCaches = opts.getBool("profile-caches", false);
+    p.nodeDivisor = opts.getInt("node-div", -1);
+    p.edgeDivisor = opts.getInt("edge-div", -1);
+    p.featureCap = opts.getInt("feature-cap", -1);
+    p.csvOut = opts.getString("csv", "");
+
+    if (opts.getBool("verbose", false))
+        setLogLevel(LogLevel::Verbose);
+    if (opts.getBool("quiet", false))
+        setLogLevel(LogLevel::Quiet);
+
+    if (p.layers < 1)
+        fatal("--layers must be >= 1");
+    if (p.runs < 1)
+        fatal("--runs must be >= 1");
+    return p;
+}
+
+UserParams
+UserParams::fromArgs(int argc, const char *const *argv)
+{
+    // Two-phase parse: find --config first so the file provides the
+    // defaults that explicit options then override.
+    OptionSet cli;
+    cli.parseArgs(argc, argv);
+
+    OptionSet merged;
+    if (cli.has("config"))
+        merged.loadFile(cli.getString("config"));
+    merged.parseArgs(argc, argv);
+    if (cli.has("config"))
+        merged.set("config", cli.getString("config"));
+    return fromOptions(merged);
+}
+
+DatasetScale
+UserParams::resolveScale() const
+{
+    const DatasetInfo &info = datasetInfoByName(dataset);
+    DatasetScale s = engine == EngineKind::Sim
+                         ? defaultSimScale(info.id)
+                         : defaultFunctionalScale(info.id);
+    if (nodeDivisor > 0)
+        s.nodeDivisor = nodeDivisor;
+    if (edgeDivisor > 0)
+        s.edgeDivisor = edgeDivisor;
+    if (featureCap >= 0)
+        s.featureCap = featureCap;
+    return s;
+}
+
+ModelConfig
+UserParams::modelConfig() const
+{
+    ModelConfig cfg;
+    cfg.model = model;
+    cfg.comp = comp;
+    cfg.layers = layers;
+    cfg.hidden = hidden;
+    cfg.outDim = outDim;
+    cfg.ginEps = ginEps;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::string
+UserParams::describe() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s/%s/%s on %s (%s engine, L=%d, hidden=%d)",
+                  frameworkName(framework), gnnModelName(model),
+                  compModelName(comp), dataset.c_str(),
+                  engine == EngineKind::Sim ? "sim" : "functional",
+                  layers, hidden);
+    return buf;
+}
+
+} // namespace gsuite

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's "User Parameters" / "User Interface" layer (Fig. 1):
+ * a GNN pipeline described by a handful of parameters, coming from a
+ * defaults config file overridden by command-line options.
+ */
+
+#ifndef GSUITE_SUITE_USERPARAMS_HPP
+#define GSUITE_SUITE_USERPARAMS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "frameworks/Overheads.hpp"
+#include "graph/Datasets.hpp"
+#include "models/GnnModel.hpp"
+#include "util/Options.hpp"
+
+namespace gsuite {
+
+/** Which measurement backend executes the pipeline. */
+enum class EngineKind {
+    Functional, ///< host execution + wall clock (the "real GPU" path)
+    Sim,        ///< timing simulation (the "GPGPU-Sim" path)
+};
+
+/** Parse "functional"/"sim"; fatal() on unknown names. */
+EngineKind engineKindFromName(const std::string &name);
+
+/** Everything a gSuite run is parameterized by. */
+struct UserParams {
+    std::string dataset = "cora";
+    GnnModelKind model = GnnModelKind::Gcn;
+    CompModel comp = CompModel::Mp;
+    Framework framework = Framework::Gsuite;
+    EngineKind engine = EngineKind::Functional;
+
+    int layers = 2;
+    int hidden = 16;
+    int outDim = 8;
+    float ginEps = 0.1f;
+    int runs = 3; ///< paper: "run three times; mean values collected"
+    uint64_t seed = 7;
+
+    bool profileCaches = false;
+
+    /** Dataset scaling: <0 means "use the engine-appropriate
+     *  default" (defaultSimScale / defaultFunctionalScale). */
+    int64_t nodeDivisor = -1;
+    int64_t edgeDivisor = -1;
+    int64_t featureCap = -1;
+
+    std::string csvOut; ///< optional CSV path for results
+
+    /**
+     * Build params from an option set (config file + CLI merged).
+     * Unknown keys are rejected with fatal() so typos surface.
+     */
+    static UserParams fromOptions(const OptionSet &opts);
+
+    /**
+     * Parse argv. "--config FILE" is loaded first (defaults), then
+     * the remaining options override it, exactly as the paper's
+     * interface behaves.
+     */
+    static UserParams fromArgs(int argc, const char *const *argv);
+
+    /** The dataset scale this run should use. */
+    DatasetScale resolveScale() const;
+
+    /** Model hyperparameters as a ModelConfig. */
+    ModelConfig modelConfig() const;
+
+    /** One-line description for logs and bench output. */
+    std::string describe() const;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SUITE_USERPARAMS_HPP

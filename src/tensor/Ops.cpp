@@ -1,0 +1,127 @@
+#include "tensor/Ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+void
+gemm(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+     float alpha, float beta)
+{
+    const int64_t m = a.rows();
+    const int64_t k = a.cols();
+    const int64_t n = b.cols();
+    if (b.rows() != k)
+        fatal("gemm inner dimension mismatch: A is [%ld x %ld], "
+              "B is [%ld x %ld]",
+              (long)m, (long)k, (long)b.rows(), (long)n);
+    if (c.rows() != m || c.cols() != n) {
+        if (beta != 0.0f)
+            fatal("gemm with beta != 0 requires a correctly shaped C");
+        c.resize(m, n);
+    }
+
+    if (beta == 0.0f)
+        c.setZero();
+    else if (beta != 1.0f) {
+        for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < n; ++j)
+                c.at(i, j) *= beta;
+    }
+
+    // Cache-blocked i-k-j loop order: the inner loop streams rows of B
+    // and C, which is the right access pattern for row-major storage.
+    constexpr int64_t blk = 64;
+    for (int64_t i0 = 0; i0 < m; i0 += blk) {
+        const int64_t iEnd = std::min(i0 + blk, m);
+        for (int64_t k0 = 0; k0 < k; k0 += blk) {
+            const int64_t kEnd = std::min(k0 + blk, k);
+            for (int64_t i = i0; i < iEnd; ++i) {
+                const float *aRow = a.rowPtr(i);
+                float *cRow = c.rowPtr(i);
+                for (int64_t kk = k0; kk < kEnd; ++kk) {
+                    const float av = alpha * aRow[kk];
+                    if (av == 0.0f)
+                        continue;
+                    const float *bRow = b.rowPtr(kk);
+                    for (int64_t j = 0; j < n; ++j)
+                        cRow[j] += av * bRow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+relu(const DenseMatrix &in, DenseMatrix &out)
+{
+    if (&in != &out)
+        out.resize(in.rows(), in.cols());
+    const float *src = in.data();
+    float *dst = out.data();
+    const int64_t total = in.size();
+    for (int64_t i = 0; i < total; ++i)
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void
+sigmoid(const DenseMatrix &in, DenseMatrix &out)
+{
+    if (&in != &out)
+        out.resize(in.rows(), in.cols());
+    const float *src = in.data();
+    float *dst = out.data();
+    const int64_t total = in.size();
+    for (int64_t i = 0; i < total; ++i)
+        dst[i] = 1.0f / (1.0f + std::exp(-src[i]));
+}
+
+void
+addScaled(const DenseMatrix &a, const DenseMatrix &b, float alpha,
+          float beta, DenseMatrix &out)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        fatal("addScaled shape mismatch: [%ld x %ld] vs [%ld x %ld]",
+              (long)a.rows(), (long)a.cols(), (long)b.rows(),
+              (long)b.cols());
+    if (&a != &out && &b != &out)
+        out.resize(a.rows(), a.cols());
+    const int64_t total = a.size();
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < total; ++i)
+        po[i] = alpha * pa[i] + beta * pb[i];
+}
+
+void
+scaleRows(DenseMatrix &m, const std::vector<float> &scale)
+{
+    if (static_cast<int64_t>(scale.size()) != m.rows())
+        fatal("scaleRows: %zu scales for %ld rows", scale.size(),
+              (long)m.rows());
+    for (int64_t r = 0; r < m.rows(); ++r) {
+        float *row = m.rowPtr(r);
+        const float s = scale[static_cast<size_t>(r)];
+        for (int64_t c = 0; c < m.cols(); ++c)
+            row[c] *= s;
+    }
+}
+
+void
+addBias(DenseMatrix &m, const std::vector<float> &bias)
+{
+    if (static_cast<int64_t>(bias.size()) != m.cols())
+        fatal("addBias: %zu biases for %ld columns", bias.size(),
+              (long)m.cols());
+    for (int64_t r = 0; r < m.rows(); ++r) {
+        float *row = m.rowPtr(r);
+        for (int64_t c = 0; c < m.cols(); ++c)
+            row[c] += bias[static_cast<size_t>(c)];
+    }
+}
+
+} // namespace gsuite

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Dense linear-algebra operations backing the sgemm core kernel and the
+ * elementwise activation kernels.
+ *
+ * These are the *functional semantics*; the timing side of the same
+ * operations lives in the kernel trace generators (src/kernels).
+ */
+
+#ifndef GSUITE_TENSOR_OPS_HPP
+#define GSUITE_TENSOR_OPS_HPP
+
+#include "tensor/DenseMatrix.hpp"
+
+namespace gsuite {
+
+/**
+ * C = alpha * A x B + beta * C, row-major blocked GEMM (the cuBLAS
+ * sgemm stand-in). fatal() on shape mismatch.
+ */
+void gemm(const DenseMatrix &a, const DenseMatrix &b, DenseMatrix &c,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/** out = relu(in), elementwise; aliasing in == out is allowed. */
+void relu(const DenseMatrix &in, DenseMatrix &out);
+
+/** out = sigmoid(in), elementwise; aliasing allowed. */
+void sigmoid(const DenseMatrix &in, DenseMatrix &out);
+
+/** out = alpha * a + beta * b, elementwise; shapes must match. */
+void addScaled(const DenseMatrix &a, const DenseMatrix &b, float alpha,
+               float beta, DenseMatrix &out);
+
+/** Scale every row r of @p m by scale[r] in place. */
+void scaleRows(DenseMatrix &m, const std::vector<float> &scale);
+
+/** Add bias vector (length cols) to every row in place. */
+void addBias(DenseMatrix &m, const std::vector<float> &bias);
+
+} // namespace gsuite
+
+#endif // GSUITE_TENSOR_OPS_HPP

@@ -1,0 +1,295 @@
+#include "training/GcnTrainer.hpp"
+
+#include "graph/Transforms.hpp"
+#include "kernels/Elementwise.hpp"
+#include "kernels/Sgemm.hpp"
+#include "kernels/Spmm.hpp"
+#include "sparse/SparseOps.hpp"
+#include "training/Labels.hpp"
+#include "util/Logging.hpp"
+#include "util/Random.hpp"
+
+namespace gsuite {
+
+GnnTrainer::GnnTrainer(const Graph &graph, const TrainConfig &cfg)
+    : graph(graph), cfg(cfg)
+{
+    if (cfg.layers < 1 || cfg.hidden < 1 || cfg.classes < 2)
+        fatal("invalid training configuration");
+    labelVec = makeSyntheticLabels(graph, cfg.classes, cfg.seed);
+    switch (cfg.model) {
+      case GnnModelKind::Gcn:
+        buildGcn();
+        break;
+      case GnnModelKind::Gin:
+        buildGin();
+        break;
+      default:
+        fatal("training supports the gcn and gin models");
+    }
+}
+
+DenseMatrix *
+GnnTrainer::newMat(int64_t r, int64_t c)
+{
+    mats.push_back(std::make_unique<DenseMatrix>(r, c));
+    return mats.back().get();
+}
+
+void
+GnnTrainer::buildGcn()
+{
+    Rng rng(cfg.seed);
+
+    // Normalized adjacency and its transpose (for backprop through
+    // the aggregation), both precomputed once.
+    csrs.push_back(std::make_unique<CsrMatrix>(
+        gcnNormalizedAdjacency(graph)));
+    CsrMatrix *an = csrs.back().get();
+    csrs.push_back(std::make_unique<CsrMatrix>(transpose(*an)));
+    CsrMatrix *an_t = csrs.back().get();
+
+    const int L = cfg.layers;
+    auto in_dim = [&](int k) {
+        return k == 0 ? graph.featureLen() : cfg.hidden;
+    };
+    auto out_dim = [&](int k) {
+        return k == L - 1 ? static_cast<int64_t>(cfg.classes)
+                          : static_cast<int64_t>(cfg.hidden);
+    };
+
+    // --- forward ------------------------------------------------------
+    std::vector<DenseMatrix *> h(static_cast<size_t>(L) + 1);
+    std::vector<DenseMatrix *> ah(static_cast<size_t>(L));
+    std::vector<DenseMatrix *> z(static_cast<size_t>(L));
+    h[0] = const_cast<DenseMatrix *>(&graph.features);
+    for (int k = 0; k < L; ++k) {
+        DenseMatrix *w = newMat(in_dim(k), out_dim(k));
+        w->fillGlorot(rng);
+        weightPtrs.push_back(w);
+
+        ah[static_cast<size_t>(k)] = newMat();
+        kernels.push_back(std::make_unique<SpmmKernel>(
+            "spmm_fwd_l" + std::to_string(k), *an,
+            *h[static_cast<size_t>(k)], *ah[static_cast<size_t>(k)]));
+        z[static_cast<size_t>(k)] = newMat();
+        kernels.push_back(std::make_unique<SgemmKernel>(
+            "sgemm_fwd_l" + std::to_string(k),
+            *ah[static_cast<size_t>(k)], *w,
+            *z[static_cast<size_t>(k)]));
+        if (k != L - 1) {
+            h[static_cast<size_t>(k) + 1] = newMat();
+            kernels.push_back(std::make_unique<ElementwiseKernel>(
+                "relu_fwd_l" + std::to_string(k),
+                ElementwiseKernel::EwOp::Relu,
+                *z[static_cast<size_t>(k)],
+                *h[static_cast<size_t>(k) + 1]));
+        }
+    }
+    logitsBuf = z[static_cast<size_t>(L) - 1];
+
+    // --- loss ----------------------------------------------------------
+    DenseMatrix *dz = newMat();
+    auto loss = std::make_unique<SoftmaxXentKernel>(
+        "softmax_xent", *logitsBuf, labelVec, *dz);
+    lossKernel = loss.get();
+    kernels.push_back(std::move(loss));
+
+    // --- backward ------------------------------------------------------
+    gradPtrs.resize(static_cast<size_t>(L));
+    for (int k = L - 1; k >= 0; --k) {
+        DenseMatrix *dw = newMat();
+        gradPtrs[static_cast<size_t>(k)] = dw;
+        // dW_k = (A H_k)^T dZ_k.
+        kernels.push_back(std::make_unique<SgemmKernel>(
+            "sgemm_dw_l" + std::to_string(k),
+            *ah[static_cast<size_t>(k)], *dz, *dw,
+            /*trans_a=*/true));
+        if (k > 0) {
+            // dAH = dZ W^T; dH = A^T dAH; dZ_prev = relu'(Z) * dH.
+            DenseMatrix *dah = newMat();
+            kernels.push_back(std::make_unique<SgemmKernel>(
+                "sgemm_dx_l" + std::to_string(k), *dz,
+                *weightPtrs[static_cast<size_t>(k)], *dah,
+                /*trans_a=*/false, /*trans_b=*/true));
+            DenseMatrix *dh = newMat();
+            kernels.push_back(std::make_unique<SpmmKernel>(
+                "spmm_bwd_l" + std::to_string(k), *an_t, *dah, *dh));
+            DenseMatrix *dz_prev = newMat();
+            kernels.push_back(std::make_unique<ElementwiseKernel>(
+                "relu_bwd_l" + std::to_string(k - 1),
+                ElementwiseKernel::EwOp::ReluGrad, *dh,
+                *z[static_cast<size_t>(k) - 1], *dz_prev));
+            dz = dz_prev;
+        }
+    }
+
+    // --- SGD updates ----------------------------------------------------
+    if (cfg.applyUpdates) {
+        for (int k = 0; k < L; ++k) {
+            kernels.push_back(std::make_unique<ElementwiseKernel>(
+                "sgd_l" + std::to_string(k),
+                *weightPtrs[static_cast<size_t>(k)],
+                *gradPtrs[static_cast<size_t>(k)], 1.0f, -cfg.lr,
+                *weightPtrs[static_cast<size_t>(k)]));
+        }
+    }
+}
+
+void
+GnnTrainer::buildGin()
+{
+    Rng rng(cfg.seed);
+
+    csrs.push_back(std::make_unique<CsrMatrix>(
+        ginAdjacency(graph, cfg.ginEps)));
+    CsrMatrix *ag = csrs.back().get();
+    csrs.push_back(std::make_unique<CsrMatrix>(transpose(*ag)));
+    CsrMatrix *ag_t = csrs.back().get();
+
+    const int L = cfg.layers;
+    auto in_dim = [&](int k) {
+        return k == 0 ? graph.featureLen() : cfg.hidden;
+    };
+    auto out_dim = [&](int k) {
+        return k == L - 1 ? static_cast<int64_t>(cfg.classes)
+                          : static_cast<int64_t>(cfg.hidden);
+    };
+
+    // --- forward: S = A_gin H; Z1 = S W1; R = relu(Z1); Z2 = R W2;
+    // H' = relu(Z2) (last layer: logits = Z2) ------------------------
+    std::vector<DenseMatrix *> h(static_cast<size_t>(L) + 1);
+    std::vector<DenseMatrix *> s(static_cast<size_t>(L));
+    std::vector<DenseMatrix *> z1(static_cast<size_t>(L));
+    std::vector<DenseMatrix *> r(static_cast<size_t>(L));
+    std::vector<DenseMatrix *> z2(static_cast<size_t>(L));
+    h[0] = const_cast<DenseMatrix *>(&graph.features);
+    for (int k = 0; k < L; ++k) {
+        DenseMatrix *w1 = newMat(in_dim(k), out_dim(k));
+        w1->fillGlorot(rng);
+        weightPtrs.push_back(w1);
+        DenseMatrix *w2 = newMat(out_dim(k), out_dim(k));
+        w2->fillGlorot(rng);
+        weightPtrs.push_back(w2);
+
+        s[static_cast<size_t>(k)] = newMat();
+        kernels.push_back(std::make_unique<SpmmKernel>(
+            "spmm_fwd_l" + std::to_string(k), *ag,
+            *h[static_cast<size_t>(k)], *s[static_cast<size_t>(k)]));
+        z1[static_cast<size_t>(k)] = newMat();
+        kernels.push_back(std::make_unique<SgemmKernel>(
+            "sgemm_fwd1_l" + std::to_string(k),
+            *s[static_cast<size_t>(k)], *w1,
+            *z1[static_cast<size_t>(k)]));
+        r[static_cast<size_t>(k)] = newMat();
+        kernels.push_back(std::make_unique<ElementwiseKernel>(
+            "relu_fwd_mlp_l" + std::to_string(k),
+            ElementwiseKernel::EwOp::Relu,
+            *z1[static_cast<size_t>(k)],
+            *r[static_cast<size_t>(k)]));
+        z2[static_cast<size_t>(k)] = newMat();
+        kernels.push_back(std::make_unique<SgemmKernel>(
+            "sgemm_fwd2_l" + std::to_string(k),
+            *r[static_cast<size_t>(k)], *w2,
+            *z2[static_cast<size_t>(k)]));
+        if (k != L - 1) {
+            h[static_cast<size_t>(k) + 1] = newMat();
+            kernels.push_back(std::make_unique<ElementwiseKernel>(
+                "relu_fwd_l" + std::to_string(k),
+                ElementwiseKernel::EwOp::Relu,
+                *z2[static_cast<size_t>(k)],
+                *h[static_cast<size_t>(k) + 1]));
+        }
+    }
+    logitsBuf = z2[static_cast<size_t>(L) - 1];
+
+    // --- loss ----------------------------------------------------------
+    DenseMatrix *dz2 = newMat();
+    auto loss = std::make_unique<SoftmaxXentKernel>(
+        "softmax_xent", *logitsBuf, labelVec, *dz2);
+    lossKernel = loss.get();
+    kernels.push_back(std::move(loss));
+
+    // --- backward ------------------------------------------------------
+    gradPtrs.resize(static_cast<size_t>(L) * 2);
+    for (int k = L - 1; k >= 0; --k) {
+        DenseMatrix *w1 = weightPtrs[static_cast<size_t>(k) * 2];
+        DenseMatrix *w2 = weightPtrs[static_cast<size_t>(k) * 2 + 1];
+
+        // dW2 = R^T dZ2; dR = dZ2 W2^T; dZ1 = relu'(Z1) * dR.
+        DenseMatrix *dw2 = newMat();
+        gradPtrs[static_cast<size_t>(k) * 2 + 1] = dw2;
+        kernels.push_back(std::make_unique<SgemmKernel>(
+            "sgemm_dw2_l" + std::to_string(k),
+            *r[static_cast<size_t>(k)], *dz2, *dw2,
+            /*trans_a=*/true));
+        DenseMatrix *dr = newMat();
+        kernels.push_back(std::make_unique<SgemmKernel>(
+            "sgemm_dr_l" + std::to_string(k), *dz2, *w2, *dr,
+            /*trans_a=*/false, /*trans_b=*/true));
+        DenseMatrix *dz1 = newMat();
+        kernels.push_back(std::make_unique<ElementwiseKernel>(
+            "relu_bwd_mlp_l" + std::to_string(k),
+            ElementwiseKernel::EwOp::ReluGrad, *dr,
+            *z1[static_cast<size_t>(k)], *dz1));
+
+        // dW1 = S^T dZ1.
+        DenseMatrix *dw1 = newMat();
+        gradPtrs[static_cast<size_t>(k) * 2] = dw1;
+        kernels.push_back(std::make_unique<SgemmKernel>(
+            "sgemm_dw1_l" + std::to_string(k),
+            *s[static_cast<size_t>(k)], *dz1, *dw1,
+            /*trans_a=*/true));
+
+        if (k > 0) {
+            // dS = dZ1 W1^T; dH = A_gin^T dS; gate by relu'(Z2_prev).
+            DenseMatrix *ds = newMat();
+            kernels.push_back(std::make_unique<SgemmKernel>(
+                "sgemm_ds_l" + std::to_string(k), *dz1, *w1, *ds,
+                /*trans_a=*/false, /*trans_b=*/true));
+            DenseMatrix *dh = newMat();
+            kernels.push_back(std::make_unique<SpmmKernel>(
+                "spmm_bwd_l" + std::to_string(k), *ag_t, *ds, *dh));
+            DenseMatrix *dz2_prev = newMat();
+            kernels.push_back(std::make_unique<ElementwiseKernel>(
+                "relu_bwd_l" + std::to_string(k - 1),
+                ElementwiseKernel::EwOp::ReluGrad, *dh,
+                *z2[static_cast<size_t>(k) - 1], *dz2_prev));
+            dz2 = dz2_prev;
+        }
+    }
+
+    // --- SGD updates ----------------------------------------------------
+    if (cfg.applyUpdates) {
+        for (size_t wi = 0; wi < weightPtrs.size(); ++wi) {
+            kernels.push_back(std::make_unique<ElementwiseKernel>(
+                "sgd_w" + std::to_string(wi), *weightPtrs[wi],
+                *gradPtrs[wi], 1.0f, -cfg.lr, *weightPtrs[wi]));
+        }
+    }
+}
+
+EpochStats
+GnnTrainer::runEpoch(ExecutionEngine &engine)
+{
+    engine.clearTimeline();
+    for (auto &k : kernels)
+        engine.run(*k);
+    EpochStats stats;
+    stats.loss = lossKernel->loss();
+    stats.accuracy = lossKernel->accuracy();
+    stats.kernelUs = engine.totalWallUs();
+    return stats;
+}
+
+std::vector<EpochStats>
+GnnTrainer::train(ExecutionEngine &engine)
+{
+    std::vector<EpochStats> history;
+    history.reserve(static_cast<size_t>(cfg.epochs));
+    for (int e = 0; e < cfg.epochs; ++e)
+        history.push_back(runEpoch(engine));
+    return history;
+}
+
+} // namespace gsuite

@@ -1,0 +1,45 @@
+#include "training/Labels.hpp"
+
+#include "util/Logging.hpp"
+#include "util/Random.hpp"
+
+namespace gsuite {
+
+std::vector<int64_t>
+makeSyntheticLabels(const Graph &graph, int64_t num_classes,
+                    uint64_t seed)
+{
+    if (num_classes < 2)
+        fatal("need at least two classes for labels");
+    const int64_t n = graph.numNodes();
+    const std::vector<int64_t> deg = graph.inDegrees();
+
+    // Highest-degree in-neighbour per node.
+    std::vector<int64_t> hub(static_cast<size_t>(n), -1);
+    for (int64_t e = 0; e < graph.numEdges(); ++e) {
+        const int64_t u = graph.src[static_cast<size_t>(e)];
+        const int64_t v = graph.dst[static_cast<size_t>(e)];
+        if (hub[static_cast<size_t>(v)] < 0 ||
+            deg[static_cast<size_t>(u)] >
+                deg[static_cast<size_t>(
+                    hub[static_cast<size_t>(v)])])
+            hub[static_cast<size_t>(v)] = u;
+    }
+
+    Rng rng(seed);
+    std::vector<int64_t> labels(static_cast<size_t>(n));
+    for (int64_t v = 0; v < n; ++v) {
+        const int64_t anchor =
+            hub[static_cast<size_t>(v)] >= 0
+                ? hub[static_cast<size_t>(v)]
+                : v;
+        // Mix so class sizes stay balanced even with few hubs.
+        labels[static_cast<size_t>(v)] = static_cast<int64_t>(
+            (static_cast<uint64_t>(anchor) * 0x9e3779b97f4a7c15ULL >>
+             32) %
+            static_cast<uint64_t>(num_classes));
+    }
+    return labels;
+}
+
+} // namespace gsuite

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Softmax cross-entropy loss kernel — the output layer of the
+ * training extension (the paper's future work: "adding support for
+ * GNN-Training, which includes training-related aspects such as
+ * neuron layers, propagations, weights").
+ *
+ * Computes, per node, softmax(logits) against an integer label;
+ * produces the mean loss, the accuracy, and the logits gradient
+ * (softmax - onehot) / n that backpropagation starts from.
+ */
+
+#ifndef GSUITE_TRAINING_SOFTMAXXENT_HPP
+#define GSUITE_TRAINING_SOFTMAXXENT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/Kernel.hpp"
+#include "tensor/DenseMatrix.hpp"
+
+namespace gsuite {
+
+/** The loss kernel (reported as "other" in kernel distributions). */
+class SoftmaxXentKernel : public Kernel
+{
+  public:
+    /**
+     * @param logits Network output [n x classes].
+     * @param labels Ground truth, length n, values in [0, classes).
+     * @param dlogits Output gradient [n x classes].
+     */
+    SoftmaxXentKernel(std::string label, const DenseMatrix &logits,
+                      const std::vector<int64_t> &labels,
+                      DenseMatrix &dlogits);
+
+    std::string name() const override { return label; }
+    KernelClass kind() const override { return KernelClass::Aux; }
+    void execute() override;
+    KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+
+    /** Mean cross-entropy over nodes; valid after execute(). */
+    double loss() const { return lossValue; }
+
+    /** Fraction of nodes whose argmax matches the label. */
+    double accuracy() const { return accValue; }
+
+  private:
+    std::string label;
+    const DenseMatrix &logits;
+    const std::vector<int64_t> &labels;
+    DenseMatrix &dlogits;
+    double lossValue = 0.0;
+    double accValue = 0.0;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_TRAINING_SOFTMAXXENT_HPP

@@ -1,0 +1,62 @@
+#include "util/Csv.hpp"
+
+#include <cstdio>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+CsvWriter::CsvWriter(const std::string &path)
+{
+    if (path.empty())
+        return;
+    out.open(path);
+    if (!out)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &cols)
+{
+    row(cols);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    if (!out)
+        return;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out << ',';
+        out << escape(cells[i]);
+    }
+    out << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs)
+        return cell;
+    std::string esc = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            esc += "\"\"";
+        else
+            esc += c;
+    }
+    esc += '"';
+    return esc;
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace gsuite

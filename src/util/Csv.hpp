@@ -1,0 +1,49 @@
+/**
+ * @file
+ * CSV emission for experiment results.
+ *
+ * Every bench binary writes both a human-readable table to stdout and a
+ * machine-readable CSV so figures can be regenerated from the raw rows.
+ */
+
+#ifndef GSUITE_UTIL_CSV_HPP
+#define GSUITE_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gsuite {
+
+/** Streaming CSV writer with minimal quoting. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing; fatal() on failure. An empty path
+     * produces a disabled writer (all calls become no-ops), which lets
+     * benches make CSV output optional.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** True if the writer actually emits rows. */
+    bool enabled() const { return out.is_open(); }
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &cols);
+
+    /** Write one row of already-formatted cells. */
+    void row(const std::vector<std::string> &cells);
+
+  private:
+    std::ofstream out;
+
+    static std::string escape(const std::string &cell);
+};
+
+/** Format a double with fixed precision for CSV/table cells. */
+std::string fmtDouble(double v, int precision = 3);
+
+} // namespace gsuite
+
+#endif // GSUITE_UTIL_CSV_HPP

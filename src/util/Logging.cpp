@@ -1,0 +1,92 @@
+#include "util/Logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gsuite {
+
+namespace {
+LogLevel globalLevel = LogLevel::Normal;
+
+void
+vreport(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Normal)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+informVerbose(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Verbose)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Normal)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+panicIf(bool cond, const std::string &what)
+{
+    if (cond)
+        panic("%s", what.c_str());
+}
+
+} // namespace gsuite

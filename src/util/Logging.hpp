@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user error (bad
+ * configuration, invalid arguments) and performs a normal exit with an
+ * error code; panic() is for internal invariant violations (a gsuite
+ * bug) and aborts. inform()/warn() report status without stopping.
+ */
+
+#ifndef GSUITE_UTIL_LOGGING_HPP
+#define GSUITE_UTIL_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace gsuite {
+
+/** Verbosity levels for inform()-style messages. */
+enum class LogLevel {
+    Quiet = 0,
+    Normal = 1,
+    Verbose = 2,
+};
+
+/** Set the global verbosity; messages above the level are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Print an informative status message (printf-style). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a verbose-only status message (printf-style). */
+void informVerbose(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but non-fatal conditions (printf-style). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad config, bad arguments) and
+ * exit(1). Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a gsuite bug) and abort().
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Check an internal invariant; panics with the message if it fails.
+ *
+ * @param cond Condition that must hold.
+ * @param what Description used in the panic message.
+ */
+void panicIf(bool cond, const std::string &what);
+
+} // namespace gsuite
+
+#endif // GSUITE_UTIL_LOGGING_HPP

@@ -1,0 +1,111 @@
+#include "util/Random.hpp"
+
+#include <cmath>
+
+namespace gsuite {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitmix64(sm);
+    // Guard against the (astronomically unlikely) all-zero state.
+    if ((state[0] | state[1] | state[2] | state[3]) == 0)
+        state[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(nextDouble()) * (hi - lo);
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveGauss) {
+        haveGauss = false;
+        return cachedGauss;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    u2 = nextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double ang = 2.0 * M_PI * u2;
+    cachedGauss = mag * std::sin(ang);
+    haveGauss = true;
+    return mag * std::cos(ang);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace gsuite

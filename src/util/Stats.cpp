@@ -1,0 +1,69 @@
+#include "util/Stats.hpp"
+
+namespace gsuite {
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    stats[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    stats[name] = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return stats.find(name) != stats.end();
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.stats)
+        stats[name] += value;
+}
+
+std::vector<std::string>
+StatSet::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats.size());
+    for (const auto &[name, value] : stats)
+        out.push_back(name);
+    return out;
+}
+
+void
+StatSet::clear()
+{
+    stats.clear();
+}
+
+double
+StatSet::ratioOf(const std::string &num, const std::string &den) const
+{
+    const double n = get(num);
+    const double d = get(den);
+    const double sum = n + d;
+    return sum > 0.0 ? n / sum : 0.0;
+}
+
+double
+StatSet::fractionOf(const std::string &part, const std::string &whole) const
+{
+    const double w = get(whole);
+    return w > 0.0 ? get(part) / w : 0.0;
+}
+
+} // namespace gsuite

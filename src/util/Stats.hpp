@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * The simulator and profiler expose their measurements through named
+ * scalar statistics so bench harnesses can query metrics generically,
+ * the way nvprof / GPGPU-Sim expose counters by name.
+ */
+
+#ifndef GSUITE_UTIL_STATS_HPP
+#define GSUITE_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsuite {
+
+/** A named scalar statistic group with accumulation semantics. */
+class StatSet
+{
+  public:
+    /** Add @p delta to the named counter (creates it at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Overwrite the named value. */
+    void set(const std::string &name, double value);
+
+    /** Read a value; returns 0 for unknown names. */
+    double get(const std::string &name) const;
+
+    /** True if the stat exists. */
+    bool has(const std::string &name) const;
+
+    /** Merge another set into this one by summing matching names. */
+    void merge(const StatSet &other);
+
+    /** All names in sorted order. */
+    std::vector<std::string> names() const;
+
+    /** Remove all stats. */
+    void clear();
+
+    /**
+     * Ratio helper: get(num) / (get(num) + get(den)), or 0 when the
+     * denominator sum is zero. Used for hit rates.
+     */
+    double ratioOf(const std::string &num, const std::string &den) const;
+
+    /** Fraction helper: get(part) / get(whole), or 0. */
+    double fractionOf(const std::string &part,
+                      const std::string &whole) const;
+
+  private:
+    std::map<std::string, double> stats;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_UTIL_STATS_HPP

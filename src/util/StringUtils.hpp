@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small string helpers shared across gsuite.
+ */
+
+#ifndef GSUITE_UTIL_STRINGUTILS_HPP
+#define GSUITE_UTIL_STRINGUTILS_HPP
+
+#include <string>
+#include <vector>
+
+namespace gsuite {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Lowercase a copy of the string (ASCII only). */
+std::string toLower(const std::string &s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True if @p s ends with @p suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/**
+ * Parse a signed integer; returns false on any trailing garbage or
+ * range error instead of throwing.
+ */
+bool parseInt(const std::string &s, int64_t &out);
+
+/** Parse a double; returns false on malformed input. */
+bool parseDouble(const std::string &s, double &out);
+
+/** Parse common boolean spellings: true/false, yes/no, on/off, 1/0. */
+bool parseBool(const std::string &s, bool &out);
+
+/** Format a byte count with a binary-unit suffix (KiB/MiB/GiB). */
+std::string formatBytes(uint64_t bytes);
+
+/** Format a count with thousands separators, e.g. 11,606,919. */
+std::string formatCount(uint64_t value);
+
+} // namespace gsuite
+
+#endif // GSUITE_UTIL_STRINGUTILS_HPP

@@ -1,0 +1,83 @@
+#include "util/Table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gsuite {
+
+TablePrinter::TablePrinter(std::string title) : title(std::move(title))
+{
+}
+
+void
+TablePrinter::header(const std::vector<std::string> &cols)
+{
+    headerCells = cols;
+}
+
+void
+TablePrinter::row(const std::vector<std::string> &cells)
+{
+    lines.push_back({false, cells});
+}
+
+void
+TablePrinter::separator()
+{
+    lines.push_back({true, {}});
+}
+
+std::string
+TablePrinter::render() const
+{
+    // Compute column widths across the header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(headerCells);
+    for (const auto &line : lines) {
+        if (!line.isSeparator)
+            grow(line.cells);
+    }
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << "\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << cell;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!headerCells.empty()) {
+        emit(headerCells);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &line : lines) {
+        if (line.isSeparator)
+            os << std::string(total, '-') << "\n";
+        else
+            emit(line.cells);
+    }
+    return os.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace gsuite

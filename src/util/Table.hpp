@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fixed-width console table printer for bench output.
+ */
+
+#ifndef GSUITE_UTIL_TABLE_HPP
+#define GSUITE_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace gsuite {
+
+/**
+ * Accumulates rows and prints an aligned ASCII table, matching the
+ * row/column layout the paper's tables and figure series use.
+ */
+class TablePrinter
+{
+  public:
+    /** Optional title printed above the table. */
+    explicit TablePrinter(std::string title = "");
+
+    /** Set the column headers. */
+    void header(const std::vector<std::string> &cols);
+
+    /** Append one row; cell count may be shorter than the header. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render the table to stdout. */
+    void print() const;
+
+    /** Render to a string (used by tests). */
+    std::string render() const;
+
+  private:
+    struct Line {
+        bool isSeparator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::string title;
+    std::vector<std::string> headerCells;
+    std::vector<Line> lines;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_UTIL_TABLE_HPP

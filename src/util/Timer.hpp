@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock timing helper used by the profiler and benches.
+ */
+
+#ifndef GSUITE_UTIL_TIMER_HPP
+#define GSUITE_UTIL_TIMER_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace gsuite {
+
+/** Steady-clock stopwatch with microsecond resolution. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Elapsed time in microseconds since construction/reset. */
+    double
+    elapsedUs() const
+    {
+        auto d = Clock::now() - start;
+        return std::chrono::duration<double, std::micro>(d).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double elapsedMs() const { return elapsedUs() / 1e3; }
+
+    /** Elapsed time in seconds. */
+    double elapsedSec() const { return elapsedUs() / 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_UTIL_TIMER_HPP

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the graph module: the Graph container, preprocessing
+ * transforms, synthetic dataset generators (Table IV statistics,
+ * determinism, degree skew) and edge-list I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "graph/Datasets.hpp"
+#include "graph/EdgeListIo.hpp"
+#include "graph/Generators.hpp"
+#include "graph/Graph.hpp"
+#include "graph/Transforms.hpp"
+#include "sparse/Convert.hpp"
+#include "sparse/SparseOps.hpp"
+
+using namespace gsuite;
+
+namespace {
+
+Graph
+triangleGraph()
+{
+    // 0 -> 1, 1 -> 2, 2 -> 0, 0 -> 2
+    Graph g(3, 2);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    g.addEdge(0, 2);
+    return g;
+}
+
+} // namespace
+
+TEST(Graph, DegreeCounting)
+{
+    const Graph g = triangleGraph();
+    const auto in = g.inDegrees();
+    const auto out = g.outDegrees();
+    EXPECT_EQ(in[0], 1);
+    EXPECT_EQ(in[2], 2);
+    EXPECT_EQ(out[0], 2);
+    EXPECT_EQ(out[1], 1);
+    const auto self = g.selfLoopDegrees();
+    EXPECT_EQ(self[0], 2);
+    EXPECT_EQ(self[2], 3);
+}
+
+TEST(Graph, AdjacencyOrientation)
+{
+    // Edge u -> v must land at row v (dst aggregates src).
+    const Graph g = triangleGraph();
+    const DenseMatrix a = csrToDense(g.adjacencyCsr());
+    EXPECT_EQ(a.at(1, 0), 1.0f); // 0 -> 1
+    EXPECT_EQ(a.at(2, 1), 1.0f); // 1 -> 2
+    EXPECT_EQ(a.at(0, 2), 1.0f); // 2 -> 0
+    EXPECT_EQ(a.at(0, 1), 0.0f);
+}
+
+TEST(Graph, DedupEdges)
+{
+    Graph g(3, 1);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.dedupEdges();
+    EXPECT_EQ(g.numEdges(), 2);
+    g.checkInvariants();
+}
+
+TEST(Graph, SummaryMentionsCounts)
+{
+    Graph g = triangleGraph();
+    g.name = "tri";
+    const std::string s = g.summary();
+    EXPECT_NE(s.find("tri"), std::string::npos);
+    EXPECT_NE(s.find("4"), std::string::npos);
+}
+
+TEST(Transforms, SelfLoopAdjacencyHasDiagonal)
+{
+    const Graph g = triangleGraph();
+    const DenseMatrix a = csrToDense(adjacencyWithSelfLoops(g));
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(a.at(i, i), 1.0f);
+}
+
+TEST(Transforms, GcnNormalizationValues)
+{
+    // For edge u -> v the normalized weight is 1/sqrt(d_u d_v) with
+    // self-loop degrees.
+    const Graph g = triangleGraph();
+    const auto deg = g.selfLoopDegrees();
+    const DenseMatrix a = csrToDense(gcnNormalizedAdjacency(g));
+    const float expected =
+        1.0f / std::sqrt(static_cast<float>(deg[0] * deg[1]));
+    EXPECT_NEAR(a.at(1, 0), expected, 1e-6f);
+    const float self0 = 1.0f / static_cast<float>(deg[0]);
+    EXPECT_NEAR(a.at(0, 0), self0, 1e-6f);
+}
+
+TEST(Transforms, SageMeanRowsSumToOne)
+{
+    const Graph g = triangleGraph();
+    const CsrMatrix mean = sageMeanAdjacency(g);
+    for (int64_t r = 0; r < mean.rows(); ++r) {
+        float sum = 0.0f;
+        for (int64_t i = mean.rowPtr[static_cast<size_t>(r)];
+             i < mean.rowPtr[static_cast<size_t>(r) + 1]; ++i)
+            sum += mean.vals[static_cast<size_t>(i)];
+        EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    }
+}
+
+TEST(Transforms, GinAdjacencyDiagonal)
+{
+    const Graph g = triangleGraph();
+    const DenseMatrix a = csrToDense(ginAdjacency(g, 0.25f));
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(a.at(i, i), 1.25f, 1e-6f);
+    EXPECT_EQ(a.at(1, 0), 1.0f);
+}
+
+TEST(Generators, RmatProducesRequestedCounts)
+{
+    Rng rng(3);
+    RmatParams p;
+    p.nodes = 256;
+    p.edges = 1000;
+    const Graph g = generateRmat(p, rng);
+    EXPECT_EQ(g.numNodes(), 256);
+    EXPECT_EQ(g.numEdges(), 1000);
+    g.checkInvariants();
+}
+
+TEST(Generators, RmatIsDeterministic)
+{
+    RmatParams p;
+    p.nodes = 128;
+    p.edges = 400;
+    Rng r1(9), r2(9);
+    const Graph a = generateRmat(p, r1);
+    const Graph b = generateRmat(p, r2);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+}
+
+TEST(Generators, RmatNoSelfLoopsByDefault)
+{
+    Rng rng(4);
+    RmatParams p;
+    p.nodes = 64;
+    p.edges = 300;
+    const Graph g = generateRmat(p, rng);
+    for (int64_t i = 0; i < g.numEdges(); ++i)
+        EXPECT_NE(g.src[static_cast<size_t>(i)],
+                  g.dst[static_cast<size_t>(i)]);
+}
+
+TEST(Generators, RmatIsSkewedVsErdosRenyi)
+{
+    Rng r1(5), r2(5);
+    RmatParams p;
+    p.nodes = 2048;
+    p.edges = 8192;
+    p.a = 0.62;
+    p.b = (1 - 0.62) * 0.45;
+    p.c = p.b;
+    const Graph rmat = generateRmat(p, r1);
+    const Graph er = generateErdosRenyi(2048, 8192, r2);
+
+    auto max_deg = [](const Graph &g) {
+        const auto d = g.inDegrees();
+        return *std::max_element(d.begin(), d.end());
+    };
+    // The heavy tail must show up as a much larger max degree.
+    EXPECT_GT(max_deg(rmat), 2 * max_deg(er));
+}
+
+TEST(Generators, FeaturesSparseForWideRows)
+{
+    Rng rng(6);
+    Graph g = generateErdosRenyi(50, 100, rng);
+    fillFeatures(g, 512, rng);
+    int64_t nonzero = 0;
+    for (int64_t i = 0; i < g.features.size(); ++i)
+        nonzero += g.features.data()[i] != 0.0f;
+    // Bag-of-words style: sparse but nonempty.
+    EXPECT_GT(nonzero, 0);
+    EXPECT_LT(nonzero, g.features.size() / 10);
+}
+
+TEST(Datasets, TableIvStatistics)
+{
+    const auto &all = allDatasets();
+    ASSERT_EQ(all.size(), 5u);
+    const DatasetInfo &cora = datasetInfo(DatasetId::Cora);
+    EXPECT_EQ(cora.nodes, 2708);
+    EXPECT_EQ(cora.featureLen, 1433);
+    EXPECT_EQ(cora.edges, 5429);
+    const DatasetInfo &lj = datasetInfo(DatasetId::LiveJournal);
+    EXPECT_EQ(lj.nodes, 4847571);
+    EXPECT_EQ(lj.edges, 68993773);
+    EXPECT_EQ(lj.featureLen, 1);
+    const DatasetInfo &rd = datasetInfo(DatasetId::Reddit);
+    EXPECT_EQ(rd.nodes, 232965);
+    EXPECT_EQ(rd.edges, 11606919);
+    EXPECT_EQ(rd.featureLen, 602);
+}
+
+TEST(Datasets, LookupByNameAndShortForm)
+{
+    EXPECT_EQ(datasetInfoByName("cora").id, DatasetId::Cora);
+    EXPECT_EQ(datasetInfoByName("CR").id, DatasetId::Cora);
+    EXPECT_EQ(datasetInfoByName("LJ").id, DatasetId::LiveJournal);
+    EXPECT_EQ(datasetInfoByName(" PubMed ").id, DatasetId::PubMed);
+    EXPECT_TRUE(isKnownDataset("reddit"));
+    EXPECT_FALSE(isKnownDataset("imagenet"));
+}
+
+TEST(Datasets, FullScaleCoraMatchesTableIv)
+{
+    const Graph g =
+        loadDataset(DatasetId::Cora, DatasetScale::full(), 7);
+    EXPECT_EQ(g.numNodes(), 2708);
+    EXPECT_EQ(g.numEdges(), 5429);
+    EXPECT_EQ(g.featureLen(), 1433);
+    g.checkInvariants();
+}
+
+TEST(Datasets, ScalingDividesCounts)
+{
+    const DatasetScale s{4, 8, 100};
+    const Graph g = loadDataset(DatasetId::PubMed, s, 7);
+    EXPECT_EQ(g.numNodes(), 19717 / 4);
+    EXPECT_EQ(g.numEdges(), 44438 / 8);
+    EXPECT_EQ(g.featureLen(), 100);
+}
+
+TEST(Datasets, DeterministicAcrossLoads)
+{
+    const Graph a = loadDataset(DatasetId::CiteSeer,
+                                DatasetScale::full(), 11);
+    const Graph b = loadDataset(DatasetId::CiteSeer,
+                                DatasetScale::full(), 11);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(DenseMatrix::maxAbsDiff(a.features, b.features), 0.0);
+}
+
+TEST(Datasets, SeedChangesGraph)
+{
+    const Graph a =
+        loadDataset(DatasetId::Cora, DatasetScale::full(), 1);
+    const Graph b =
+        loadDataset(DatasetId::Cora, DatasetScale::full(), 2);
+    EXPECT_NE(a.src, b.src);
+}
+
+TEST(Datasets, ScaleDescribe)
+{
+    EXPECT_EQ(DatasetScale::full().describe(), "full");
+    EXPECT_EQ((DatasetScale{16, 64, 64}).describe(),
+              "V/16 E/64 f<=64");
+    EXPECT_EQ((DatasetScale{8, 16, 0}).describe(), "V/8 E/16");
+}
+
+TEST(Datasets, DefaultScalesKeepSmallGraphsFull)
+{
+    EXPECT_TRUE(defaultSimScale(DatasetId::Cora).isFull());
+    EXPECT_TRUE(defaultSimScale(DatasetId::CiteSeer).isFull());
+    EXPECT_FALSE(defaultSimScale(DatasetId::Reddit).isFull());
+    EXPECT_TRUE(
+        defaultFunctionalScale(DatasetId::PubMed).isFull());
+    EXPECT_FALSE(
+        defaultFunctionalScale(DatasetId::LiveJournal).isFull());
+}
+
+TEST(EdgeListIo, RoundTrip)
+{
+    Graph g = triangleGraph();
+    g.name = "tri";
+    const std::string path = "/tmp/gsuite_test_edges.txt";
+    saveEdgeList(g, path);
+    const Graph back = loadEdgeList(path, 2);
+    EXPECT_EQ(back.numNodes(), 3);
+    EXPECT_EQ(back.numEdges(), 4);
+    EXPECT_EQ(back.featureLen(), 2);
+    EXPECT_EQ(back.src, g.src);
+    EXPECT_EQ(back.dst, g.dst);
+    std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, BareFileInfersNodeCount)
+{
+    const std::string path = "/tmp/gsuite_test_bare.txt";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("0 5\n3 2\n", f);
+        std::fclose(f);
+    }
+    const Graph g = loadEdgeList(path, 4);
+    EXPECT_EQ(g.numNodes(), 6);
+    EXPECT_EQ(g.numEdges(), 2);
+    std::remove(path.c_str());
+}
+
+/** Parameterized: every dataset generates at its sim scale and keeps
+ *  the heavy-tail property. */
+class DatasetSweep : public ::testing::TestWithParam<DatasetId>
+{
+};
+
+TEST_P(DatasetSweep, GeneratesAtSimScale)
+{
+    const DatasetId id = GetParam();
+    const Graph g = loadDataset(id, defaultSimScale(id), 7);
+    g.checkInvariants();
+    EXPECT_GT(g.numNodes(), 0);
+    EXPECT_GT(g.numEdges(), 0);
+    EXPECT_GT(g.featureLen(), 0);
+    // Degree skew: max in-degree well above the mean.
+    const auto deg = g.inDegrees();
+    const int64_t max_deg =
+        *std::max_element(deg.begin(), deg.end());
+    const double mean =
+        static_cast<double>(g.numEdges()) / g.numNodes();
+    EXPECT_GT(max_deg, 4 * mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSweep,
+    ::testing::Values(DatasetId::Cora, DatasetId::CiteSeer,
+                      DatasetId::PubMed, DatasetId::Reddit,
+                      DatasetId::LiveJournal));

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Model-level tests: the MP == SpMM equivalence property (the paper's
+ * two computational models must compute identical embeddings), both
+ * against the naive reference implementation, pipeline composition,
+ * and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/ExecutionEngine.hpp"
+#include "graph/Datasets.hpp"
+#include "graph/Generators.hpp"
+#include "models/GnnModel.hpp"
+#include "models/Reference.hpp"
+
+using namespace gsuite;
+
+namespace {
+
+Graph
+smallGraph(uint64_t seed = 3, int64_t nodes = 200, int64_t edges = 800,
+           int64_t flen = 24)
+{
+    Rng rng(seed);
+    Graph g = generateErdosRenyi(nodes, edges, rng);
+    fillFeatures(g, flen, rng);
+    return g;
+}
+
+DenseMatrix
+runPipeline(const Graph &g, const ModelConfig &cfg)
+{
+    FunctionalEngine engine;
+    GnnPipeline p(g, cfg);
+    p.run(engine);
+    return p.output();
+}
+
+} // namespace
+
+TEST(ModelNames, Parsing)
+{
+    EXPECT_EQ(gnnModelFromName("GCN"), GnnModelKind::Gcn);
+    EXPECT_EQ(gnnModelFromName("sag"), GnnModelKind::Sage);
+    EXPECT_EQ(gnnModelFromName("GraphSAGE"), GnnModelKind::Sage);
+    EXPECT_EQ(compModelFromName("MP"), CompModel::Mp);
+    EXPECT_EQ(compModelFromName("spmm"), CompModel::Spmm);
+    EXPECT_STREQ(gnnModelName(GnnModelKind::Gin), "gin");
+    EXPECT_STREQ(compModelName(CompModel::Spmm), "spmm");
+}
+
+TEST(GatModel, MatchesReference)
+{
+    const Graph g = smallGraph(41, 150, 600, 20);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gat;
+    cfg.comp = CompModel::Mp;
+    for (const int layers : {1, 2, 3}) {
+        cfg.layers = layers;
+        FunctionalEngine engine;
+        GnnPipeline p(g, cfg);
+        p.run(engine);
+        const DenseMatrix ref = referenceForward(g, cfg, p.weights());
+        EXPECT_LT(DenseMatrix::maxAbsDiff(p.output(), ref), 1e-3)
+            << "layers=" << layers;
+    }
+}
+
+TEST(GatModel, AttentionWeightsSumToOnePerDestination)
+{
+    // With uniform attention inputs, GAT with constant z must reduce
+    // to a plain average: feed constant features so every z row is
+    // identical, then each output row must equal z itself.
+    Graph g(6, 4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 1);
+    g.addEdge(3, 4);
+    g.features.fill(1.0f);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gat;
+    cfg.layers = 1;
+    cfg.outDim = 3;
+    FunctionalEngine engine;
+    GnnPipeline p(g, cfg);
+    p.run(engine);
+    // All rows of z are equal; the attention-weighted average of
+    // identical rows is that row, for every node.
+    const DenseMatrix &out = p.output();
+    for (int64_t v = 1; v < g.numNodes(); ++v)
+        for (int64_t c = 0; c < out.cols(); ++c)
+            EXPECT_NEAR(out.at(v, c), out.at(0, c), 1e-4f);
+}
+
+TEST(GatModel, SpmmIsRejected)
+{
+    const Graph g = smallGraph(43, 40, 80, 8);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gat;
+    cfg.comp = CompModel::Spmm;
+    EXPECT_EXIT({ GnnPipeline p(g, cfg); },
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GatModel, KernelCompositionHasEdgeSoftmax)
+{
+    const Graph g = smallGraph(45, 50, 120, 8);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gat;
+    cfg.layers = 1;
+    GnnPipeline p(g, cfg);
+    const auto names = p.kernelNames();
+    auto has = [&](const char *n) {
+        return std::find(names.begin(), names.end(), n) !=
+               names.end();
+    };
+    EXPECT_TRUE(has("scatter_max_l0"));
+    EXPECT_TRUE(has("scatter_denom_l0"));
+    EXPECT_TRUE(has("attExp_l0"));
+    EXPECT_TRUE(has("attMul_l0"));
+    EXPECT_TRUE(has("scatter_l0"));
+}
+
+TEST(ModelNames, GatParses)
+{
+    EXPECT_EQ(gnnModelFromName("gat"), GnnModelKind::Gat);
+    EXPECT_STREQ(gnnModelName(GnnModelKind::Gat), "gat");
+}
+
+TEST(ModelNames, UnknownNamesAreFatal)
+{
+    EXPECT_EXIT(gnnModelFromName("transformer"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(compModelFromName("dataflow"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GnnPipelineTest, GcnMpEqualsSpmm)
+{
+    const Graph g = smallGraph();
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gcn;
+    cfg.comp = CompModel::Mp;
+    const DenseMatrix mp = runPipeline(g, cfg);
+    cfg.comp = CompModel::Spmm;
+    const DenseMatrix sp = runPipeline(g, cfg);
+    EXPECT_LT(DenseMatrix::maxAbsDiff(mp, sp), 1e-3);
+}
+
+TEST(GnnPipelineTest, GinMpEqualsSpmm)
+{
+    const Graph g = smallGraph(5);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gin;
+    cfg.comp = CompModel::Mp;
+    const DenseMatrix mp = runPipeline(g, cfg);
+    cfg.comp = CompModel::Spmm;
+    const DenseMatrix sp = runPipeline(g, cfg);
+    EXPECT_LT(DenseMatrix::maxAbsDiff(mp, sp), 1e-3);
+}
+
+TEST(GnnPipelineTest, SageMpEqualsDglStyleSpmm)
+{
+    const Graph g = smallGraph(7);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Sage;
+    cfg.comp = CompModel::Mp;
+    const DenseMatrix mp = runPipeline(g, cfg);
+    cfg.comp = CompModel::Spmm;
+    cfg.allowSpmmSage = true;
+    const DenseMatrix sp = runPipeline(g, cfg);
+    EXPECT_LT(DenseMatrix::maxAbsDiff(mp, sp), 1e-3);
+}
+
+TEST(GnnPipelineTest, SpmmSageRejectedWithoutOptIn)
+{
+    const Graph g = smallGraph(9, 50, 100, 8);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Sage;
+    cfg.comp = CompModel::Spmm;
+    EXPECT_EXIT({ GnnPipeline p(g, cfg); },
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GnnPipelineTest, GcnKernelComposition)
+{
+    const Graph g = smallGraph(11, 60, 150, 12);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gcn;
+    cfg.comp = CompModel::Mp;
+    cfg.layers = 2;
+    GnnPipeline p(g, cfg);
+    const auto names = p.kernelNames();
+    // Per layer: sgemm, indexSelect, scatter (+relu except last).
+    ASSERT_EQ(names.size(), 7u);
+    EXPECT_EQ(names[0], "sgemm_l0");
+    EXPECT_EQ(names[1], "indexSelect_l0");
+    EXPECT_EQ(names[2], "scatter_l0");
+    EXPECT_EQ(names[3], "relu_l0");
+    EXPECT_EQ(names[6], "scatter_l1");
+}
+
+TEST(GnnPipelineTest, SpmmPipelineLaunchesSpgemmOnce)
+{
+    const Graph g = smallGraph(13, 60, 150, 12);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gcn;
+    cfg.comp = CompModel::Spmm;
+    cfg.layers = 3;
+    GnnPipeline p(g, cfg);
+    const auto names = p.kernelNames();
+    const auto spgemms = std::count_if(
+        names.begin(), names.end(), [](const std::string &n) {
+            return n.rfind("spgemm", 0) == 0;
+        });
+    // Normalization (two SpGEMMs) happens once, not per layer.
+    EXPECT_EQ(spgemms, 2);
+    const auto spmms = std::count_if(
+        names.begin(), names.end(), [](const std::string &n) {
+            return n.rfind("spmm", 0) == 0;
+        });
+    EXPECT_EQ(spmms, 3);
+}
+
+TEST(GnnPipelineTest, OutputShape)
+{
+    const Graph g = smallGraph(15, 80, 200, 10);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gin;
+    cfg.comp = CompModel::Mp;
+    cfg.layers = 3;
+    cfg.hidden = 12;
+    cfg.outDim = 5;
+    const DenseMatrix out = runPipeline(g, cfg);
+    EXPECT_EQ(out.rows(), 80);
+    EXPECT_EQ(out.cols(), 5);
+}
+
+TEST(GnnPipelineTest, SingleLayerWorks)
+{
+    const Graph g = smallGraph(17, 40, 100, 6);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gcn;
+    cfg.comp = CompModel::Mp;
+    cfg.layers = 1;
+    const DenseMatrix out = runPipeline(g, cfg);
+    EXPECT_EQ(out.cols(), cfg.outDim);
+}
+
+TEST(GnnPipelineTest, InvalidConfigIsFatal)
+{
+    const Graph g = smallGraph(19, 30, 60, 4);
+    ModelConfig cfg;
+    cfg.layers = 0;
+    EXPECT_EXIT({ GnnPipeline p(g, cfg); },
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GnnPipelineTest, DeterministicAcrossRebuilds)
+{
+    const Graph g = smallGraph(21);
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Sage;
+    cfg.comp = CompModel::Mp;
+    const DenseMatrix a = runPipeline(g, cfg);
+    const DenseMatrix b = runPipeline(g, cfg);
+    EXPECT_EQ(DenseMatrix::maxAbsDiff(a, b), 0.0);
+}
+
+TEST(GnnPipelineTest, SeedChangesWeights)
+{
+    const Graph g = smallGraph(23);
+    ModelConfig cfg;
+    cfg.seed = 1;
+    const DenseMatrix a = runPipeline(g, cfg);
+    cfg.seed = 2;
+    const DenseMatrix b = runPipeline(g, cfg);
+    EXPECT_GT(DenseMatrix::maxAbsDiff(a, b), 1e-3);
+}
+
+/**
+ * The central property sweep: for every model and both computational
+ * models, the kernel pipeline must match the naive reference
+ * implementation.
+ */
+class ModelReferenceSweep
+    : public ::testing::TestWithParam<
+          std::tuple<GnnModelKind, CompModel, int>>
+{
+};
+
+TEST_P(ModelReferenceSweep, PipelineMatchesReference)
+{
+    const auto [model, comp, layers] = GetParam();
+    const Graph g = smallGraph(31 + layers, 150, 600, 20);
+    ModelConfig cfg;
+    cfg.model = model;
+    cfg.comp = comp;
+    cfg.layers = layers;
+    cfg.allowSpmmSage = true; // exercise the DGL-style SAGE too
+
+    FunctionalEngine engine;
+    GnnPipeline p(g, cfg);
+    p.run(engine);
+    const DenseMatrix ref = referenceForward(g, cfg, p.weights());
+    EXPECT_LT(DenseMatrix::maxAbsDiff(p.output(), ref), 1e-3)
+        << "model=" << gnnModelName(model)
+        << " comp=" << compModelName(comp) << " layers=" << layers;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelReferenceSweep,
+    ::testing::Combine(
+        ::testing::Values(GnnModelKind::Gcn, GnnModelKind::Gin,
+                          GnnModelKind::Sage),
+        ::testing::Values(CompModel::Mp, CompModel::Spmm),
+        ::testing::Values(1, 2, 3)));
+
+/** MP == SpMM on every (scaled) paper dataset for GCN. */
+class DatasetEquivalence : public ::testing::TestWithParam<DatasetId>
+{
+};
+
+TEST_P(DatasetEquivalence, GcnMpEqualsSpmmOnDataset)
+{
+    const DatasetId id = GetParam();
+    DatasetScale scale = defaultSimScale(id);
+    // Keep the CI footprint small: cap features, shrink further.
+    scale.featureCap = scale.featureCap > 0
+                           ? std::min<int64_t>(scale.featureCap, 32)
+                           : 32;
+    scale.nodeDivisor *= 4;
+    scale.edgeDivisor *= 4;
+    const Graph g = loadDataset(id, scale, 7);
+
+    ModelConfig cfg;
+    cfg.model = GnnModelKind::Gcn;
+    cfg.comp = CompModel::Mp;
+    FunctionalEngine e1;
+    GnnPipeline mp(g, cfg);
+    mp.run(e1);
+    cfg.comp = CompModel::Spmm;
+    FunctionalEngine e2;
+    GnnPipeline sp(g, cfg);
+    sp.run(e2);
+    EXPECT_LT(DenseMatrix::maxAbsDiff(mp.output(), sp.output()),
+              1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetEquivalence,
+    ::testing::Values(DatasetId::Cora, DatasetId::CiteSeer,
+                      DatasetId::PubMed, DatasetId::Reddit,
+                      DatasetId::LiveJournal));

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the suite's report writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "suite/Report.hpp"
+#include "suite/Runner.hpp"
+
+using namespace gsuite;
+
+namespace {
+
+RunOutcome
+sampleOutcome(EngineKind engine = EngineKind::Functional)
+{
+    UserParams p;
+    p.dataset = "cora";
+    p.runs = 1;
+    p.featureCap = 16;
+    p.nodeDivisor = 4;
+    p.edgeDivisor = 4;
+    p.engine = engine;
+    return BenchmarkRunner(p).run();
+}
+
+} // namespace
+
+TEST(Report, RenderMentionsConfigAndKernels)
+{
+    const RunOutcome out = sampleOutcome();
+    const std::string report = renderReport(out);
+    EXPECT_NE(report.find("cora"), std::string::npos);
+    EXPECT_NE(report.find("sgemm_l0"), std::string::npos);
+    EXPECT_NE(report.find("scatter"), std::string::npos);
+    EXPECT_NE(report.find("kernel time by class"),
+              std::string::npos);
+    EXPECT_NE(report.find("end-to-end"), std::string::npos);
+}
+
+TEST(Report, SimRunsIncludeSimColumns)
+{
+    const RunOutcome out = sampleOutcome(EngineKind::Sim);
+    const std::string report = renderReport(out);
+    EXPECT_NE(report.find("sim cycles"), std::string::npos);
+    EXPECT_NE(report.find("MemDep%"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTrip)
+{
+    const RunOutcome out = sampleOutcome();
+    const std::string path = "/tmp/gsuite_report_test.csv";
+    writeReportCsv(out, path);
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string header;
+    std::getline(f, header);
+    EXPECT_NE(header.find("kernel,class,wall_us"),
+              std::string::npos);
+    size_t rows = 0;
+    std::string line;
+    while (std::getline(f, line))
+        ++rows;
+    EXPECT_EQ(rows, out.timeline.size());
+    std::remove(path.c_str());
+}

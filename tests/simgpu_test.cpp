@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Tests for the GPU timing simulator: ISA classification, trace
+ * building, device allocation, the sectored cache, the memory system
+ * and end-to-end simulation of synthetic kernels with known
+ * behaviour (ALU-bound, memory-bound, barriers, atomics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "simgpu/Cache.hpp"
+#include "simgpu/DeviceAllocator.hpp"
+#include "simgpu/GpuSimulator.hpp"
+#include "simgpu/Isa.hpp"
+#include "simgpu/KernelLaunch.hpp"
+#include "simgpu/MemorySystem.hpp"
+#include "simgpu/Trace.hpp"
+
+using namespace gsuite;
+
+namespace {
+
+/** A launch whose warps all run the same generator body. */
+KernelLaunch
+uniformLaunch(const char *name, int64_t ctas, int threads,
+              std::function<void(TraceBuilder &)> body)
+{
+    KernelLaunch l;
+    l.name = name;
+    l.kind = KernelClass::Aux;
+    l.dims.numCtas = ctas;
+    l.dims.threadsPerCta = threads;
+    l.genTrace = [body = std::move(body)](int64_t, int,
+                                          WarpTrace &out) {
+        TraceBuilder b(out);
+        body(b);
+        b.exit();
+    };
+    return l;
+}
+
+GpuConfig
+tinyNoSampling()
+{
+    GpuConfig cfg = GpuConfig::testTiny();
+    cfg.smSampleFactor = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Isa, ClassificationMatchesFig5Legend)
+{
+    EXPECT_EQ(instrClassOf(Op::FP32), InstrClass::Fp32);
+    EXPECT_EQ(instrClassOf(Op::INT), InstrClass::Int);
+    EXPECT_EQ(instrClassOf(Op::LDG), InstrClass::LoadStore);
+    EXPECT_EQ(instrClassOf(Op::STG), InstrClass::LoadStore);
+    EXPECT_EQ(instrClassOf(Op::ATOM), InstrClass::LoadStore);
+    EXPECT_EQ(instrClassOf(Op::LDS), InstrClass::LoadStore);
+    EXPECT_EQ(instrClassOf(Op::CTRL), InstrClass::Control);
+    EXPECT_EQ(instrClassOf(Op::BAR), InstrClass::Control);
+    EXPECT_EQ(instrClassOf(Op::SFU), InstrClass::Other);
+    EXPECT_STREQ(instrClassName(InstrClass::LoadStore), "Load/Store");
+}
+
+TEST(Trace, MaskOfLanes)
+{
+    EXPECT_EQ(maskOfLanes(32), 0xffffffffu);
+    EXPECT_EQ(maskOfLanes(0), 0u);
+    EXPECT_EQ(maskOfLanes(1), 1u);
+    EXPECT_EQ(maskOfLanes(8), 0xffu);
+}
+
+TEST(Trace, BuilderTracksDependencies)
+{
+    WarpTrace t;
+    TraceBuilder b(t);
+    const Reg r1 = b.alu(Op::INT);
+    const Reg r2 = b.alu(Op::FP32, r1);
+    b.exit();
+    ASSERT_EQ(t.instrs.size(), 3u);
+    EXPECT_EQ(t.instrs[1].srcA, r1);
+    EXPECT_EQ(t.instrs[1].dst, r2);
+    EXPECT_NE(r1, r2);
+    EXPECT_EQ(t.instrs[2].op, Op::EXIT);
+}
+
+TEST(Trace, LoadAttachesAddresses)
+{
+    WarpTrace t;
+    TraceBuilder b(t);
+    const std::array<uint64_t, 3> addrs = {100, 200, 300};
+    b.load({addrs.data(), addrs.size()});
+    ASSERT_EQ(t.instrs.size(), 1u);
+    EXPECT_EQ(t.instrs[0].addrCount, 3);
+    EXPECT_EQ(t.instrs[0].activeMask, maskOfLanes(3));
+    const auto span = t.addrsOf(t.instrs[0]);
+    EXPECT_EQ(span[1], 200u);
+}
+
+TEST(Trace, ActiveLanesPopcount)
+{
+    SimInstr in;
+    in.activeMask = 0xffffffffu;
+    EXPECT_EQ(in.activeLanes(), 32);
+    in.activeMask = 0x5;
+    EXPECT_EQ(in.activeLanes(), 2);
+}
+
+TEST(DeviceAllocatorTest, StableAlignedAddresses)
+{
+    DeviceAllocator alloc;
+    int x = 0, y = 0;
+    const uint64_t ax = alloc.map(&x, 100);
+    const uint64_t ay = alloc.map(&y, 4);
+    EXPECT_NE(ax, ay);
+    EXPECT_EQ(ax % 256, 0u);
+    EXPECT_EQ(ay % 256, 0u);
+    EXPECT_EQ(alloc.map(&x, 100), ax); // idempotent
+    EXPECT_EQ(alloc.addressOf(&y), ay);
+    EXPECT_TRUE(alloc.isMapped(&x));
+    alloc.reset();
+    EXPECT_FALSE(alloc.isMapped(&x));
+}
+
+TEST(CacheModel, HitAfterFill)
+{
+    Cache c(CacheGeometry{1024, 128, 32, 2, false});
+    EXPECT_FALSE(c.probe(0x1000, 1).hit);
+    c.fill(0x1000, 1, 10);
+    const CacheProbe p = c.probe(0x1000, 2);
+    EXPECT_TRUE(p.hit);
+    EXPECT_EQ(p.ready, 10u);
+}
+
+TEST(CacheModel, SectorGranularity)
+{
+    Cache c(CacheGeometry{1024, 128, 32, 2, false});
+    c.fill(0x1000, 1, 1);
+    // Same line, different sector: miss until filled.
+    EXPECT_FALSE(c.probe(0x1020, 2).hit);
+    c.fill(0x1020, 2, 2);
+    EXPECT_TRUE(c.probe(0x1020, 3).hit);
+    EXPECT_TRUE(c.probe(0x1000, 3).hit);
+}
+
+TEST(CacheModel, LruEviction)
+{
+    // 2-way, 4 sets (1024/128/2): addresses mapping to set 0.
+    Cache c(CacheGeometry{1024, 128, 32, 2, false});
+    const uint64_t set_stride = 4 * 128; // numSets * lineBytes
+    c.fill(0 * set_stride, 1, 1);
+    c.fill(1 * set_stride, 2, 2);
+    EXPECT_TRUE(c.probe(0, 3).hit); // touch A; B becomes LRU
+    c.fill(2 * set_stride, 4, 4);   // evicts B
+    EXPECT_TRUE(c.probe(0, 5).hit);
+    EXPECT_FALSE(c.probe(1 * set_stride, 5).hit);
+    EXPECT_TRUE(c.probe(2 * set_stride, 5).hit);
+}
+
+TEST(CacheModel, FlushInvalidates)
+{
+    Cache c(CacheGeometry{1024, 128, 32, 2, false});
+    c.fill(0x40, 1, 1);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x40, 2).hit);
+}
+
+TEST(MemorySystemTest, CoalescesContiguousLanes)
+{
+    const GpuConfig cfg = tinyNoSampling();
+    MemorySystem mem(cfg);
+    KernelStats st;
+    std::array<uint64_t, 32> addrs{};
+    for (int i = 0; i < 32; ++i)
+        addrs[static_cast<size_t>(i)] = 0x10000 + 4 * i; // 128 bytes
+    const auto res = mem.warpAccess(0, 0, {addrs.data(), 32},
+                                    MemAccessKind::Load, st);
+    EXPECT_EQ(res.sectors, 4); // 128 B / 32 B
+    EXPECT_EQ(st.memSectors, 4u);
+    EXPECT_EQ(st.memInstrs, 1u);
+}
+
+TEST(MemorySystemTest, DivergentLanesTouchManySectors)
+{
+    const GpuConfig cfg = tinyNoSampling();
+    MemorySystem mem(cfg);
+    KernelStats st;
+    std::array<uint64_t, 32> addrs{};
+    for (int i = 0; i < 32; ++i)
+        addrs[static_cast<size_t>(i)] =
+            0x10000 + 4096ull * static_cast<uint64_t>(i);
+    const auto res = mem.warpAccess(0, 0, {addrs.data(), 32},
+                                    MemAccessKind::Load, st);
+    EXPECT_EQ(res.sectors, 32);
+}
+
+TEST(MemorySystemTest, SecondAccessHitsL1)
+{
+    const GpuConfig cfg = tinyNoSampling();
+    MemorySystem mem(cfg);
+    KernelStats st;
+    const std::array<uint64_t, 1> a = {0x2000};
+    mem.warpAccess(0, 0, {a.data(), 1}, MemAccessKind::Load, st);
+    EXPECT_EQ(st.l1Misses, 1u);
+    mem.warpAccess(0, 5000, {a.data(), 1}, MemAccessKind::Load, st);
+    EXPECT_EQ(st.l1Hits, 1u);
+    EXPECT_EQ(st.l2Misses, 1u); // only the first went to L2
+}
+
+TEST(MemorySystemTest, OtherSmL1IsIndependentButL2Shared)
+{
+    const GpuConfig cfg = tinyNoSampling();
+    MemorySystem mem(cfg);
+    KernelStats st;
+    const std::array<uint64_t, 1> a = {0x3000};
+    mem.warpAccess(0, 0, {a.data(), 1}, MemAccessKind::Load, st);
+    mem.warpAccess(1, 5000, {a.data(), 1}, MemAccessKind::Load, st);
+    EXPECT_EQ(st.l1Misses, 2u); // both SMs miss their own L1
+    EXPECT_EQ(st.l2Hits, 1u);   // but the second hits shared L2
+}
+
+TEST(MemorySystemTest, AtomicsBypassL1AndSerializeConflicts)
+{
+    const GpuConfig cfg = tinyNoSampling();
+    MemorySystem mem(cfg);
+    KernelStats st;
+    std::array<uint64_t, 4> same = {0x4000, 0x4000, 0x4000, 0x4000};
+    const auto res = mem.warpAccess(0, 0, {same.data(), 4},
+                                    MemAccessKind::Atomic, st);
+    EXPECT_EQ(st.l1Hits + st.l1Misses, 0u); // L1 untouched
+    EXPECT_EQ(res.sectors, 1);
+
+    std::array<uint64_t, 4> distinct = {0x5000, 0x5004, 0x5008,
+                                        0x500c};
+    const auto res2 = mem.warpAccess(0, 10000, {distinct.data(), 4},
+                                     MemAccessKind::Atomic, st);
+    // Conflicting lanes must cost more than conflict-free ones.
+    EXPECT_GT(res.completion - 0, res2.completion - 10000);
+}
+
+TEST(MemorySystemTest, L1BypassSkipsL1)
+{
+    GpuConfig cfg = tinyNoSampling();
+    cfg.l1BypassLoads = true;
+    MemorySystem mem(cfg);
+    KernelStats st;
+    const std::array<uint64_t, 1> a = {0x6000};
+    mem.warpAccess(0, 0, {a.data(), 1}, MemAccessKind::Load, st);
+    mem.warpAccess(0, 5000, {a.data(), 1}, MemAccessKind::Load, st);
+    EXPECT_EQ(st.l1Hits + st.l1Misses, 0u);
+    EXPECT_EQ(st.l2Hits, 1u);
+}
+
+TEST(Simulator, AluKernelCompletesWithIssuedCycles)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l = uniformLaunch(
+        "alu", 2, 64, [](TraceBuilder &b) { b.aluChain(Op::INT, 20); });
+    const KernelStats st = sim.run(l);
+    EXPECT_GT(st.cycles, 0u);
+    EXPECT_EQ(st.warpsSimulated, 4);
+    // 4 warps x 21 instructions (chain + exit).
+    EXPECT_EQ(st.warpInstrs, 4u * 21u);
+    EXPECT_GT(st.stallCycles[static_cast<size_t>(
+                  StallReason::Issued)], 0u);
+    EXPECT_EQ(st.ctasSimulated, 2);
+}
+
+TEST(Simulator, DependentAluChainShowsExecDependency)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l = uniformLaunch(
+        "dep", 1, 32, [](TraceBuilder &b) { b.aluChain(Op::INT, 50); });
+    const KernelStats st = sim.run(l);
+    EXPECT_GT(st.stallCycles[static_cast<size_t>(
+                  StallReason::ExecutionDependency)], 0u);
+}
+
+TEST(Simulator, LoadChainShowsMemoryDependency)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l =
+        uniformLaunch("mem", 1, 32, [](TraceBuilder &b) {
+            std::array<uint64_t, 32> a{};
+            for (int i = 0; i < 32; ++i)
+                a[static_cast<size_t>(i)] =
+                    0x100000ull + 4096ull * static_cast<uint64_t>(i);
+            const Reg r = b.load({a.data(), 32});
+            b.alu(Op::FP32, r); // depends on the load
+        });
+    const KernelStats st = sim.run(l);
+    EXPECT_GT(st.stallCycles[static_cast<size_t>(
+                  StallReason::MemoryDependency)], 0u);
+    EXPECT_GT(st.l1Misses, 0u);
+}
+
+TEST(Simulator, BarrierShowsSynchronization)
+{
+    GpuSimulator sim(tinyNoSampling());
+    // Two warps per CTA; warp 1 runs a long ALU chain before the
+    // barrier so warp 0 must wait at it.
+    KernelLaunch l;
+    l.name = "bar";
+    l.kind = KernelClass::Aux;
+    l.dims.numCtas = 1;
+    l.dims.threadsPerCta = 64;
+    l.genTrace = [](int64_t, int warp, WarpTrace &out) {
+        TraceBuilder b(out);
+        b.aluChain(Op::INT, warp == 1 ? 200 : 1);
+        b.barrier();
+        b.aluChain(Op::INT, 2);
+        b.exit();
+    };
+    const KernelStats st = sim.run(l);
+    EXPECT_GT(st.stallCycles[static_cast<size_t>(
+                  StallReason::Synchronization)], 0u);
+}
+
+TEST(Simulator, AtomicDrainBlocksExit)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l =
+        uniformLaunch("atom", 1, 32, [](TraceBuilder &b) {
+            std::array<uint64_t, 32> a{};
+            for (int i = 0; i < 32; ++i)
+                a[static_cast<size_t>(i)] = 0x200000ull;
+            const Reg v = b.alu(Op::FP32);
+            b.atomic({a.data(), 32}, v);
+        });
+    const KernelStats st = sim.run(l);
+    EXPECT_GT(st.stallCycles[static_cast<size_t>(
+                  StallReason::Synchronization)], 0u);
+}
+
+TEST(Simulator, ColdStartShowsInstructionFetch)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l = uniformLaunch(
+        "tiny", 1, 32, [](TraceBuilder &b) { b.aluChain(Op::INT, 2); });
+    const KernelStats st = sim.run(l);
+    // A 3-instruction kernel is dominated by the cold i-fetch.
+    EXPECT_GT(st.stallShare(StallReason::InstructionFetch), 0.3);
+}
+
+TEST(Simulator, OccupancyBucketsSumToSchedulerSlots)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l = uniformLaunch(
+        "occ", 4, 128, [](TraceBuilder &b) {
+            b.aluChain(Op::FP32, 30);
+        });
+    const KernelStats st = sim.run(l);
+    uint64_t total = 0;
+    for (uint64_t v : st.occCycles)
+        total += v;
+    EXPECT_EQ(total, st.schedulerSlots);
+}
+
+TEST(Simulator, PartialWarpsBucketToW8)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l = uniformLaunch(
+        "narrow", 2, 32, [](TraceBuilder &b) {
+            b.aluChain(Op::FP32, 20, maskOfLanes(4));
+        });
+    const KernelStats st = sim.run(l);
+    // The 4-lane ALU chain buckets to W8; only the full-mask EXIT
+    // instructions land in W32.
+    EXPECT_GT(st.occCycles[static_cast<size_t>(OccBucket::W8)], 0u);
+    EXPECT_GT(st.occCycles[static_cast<size_t>(OccBucket::W8)],
+              st.occCycles[static_cast<size_t>(OccBucket::W32)]);
+}
+
+TEST(Simulator, LrrAndGtoBothComplete)
+{
+    for (const SchedulerPolicy pol :
+         {SchedulerPolicy::Gto, SchedulerPolicy::Lrr}) {
+        GpuConfig cfg = tinyNoSampling();
+        cfg.scheduler = pol;
+        GpuSimulator sim(cfg);
+        const KernelLaunch l = uniformLaunch(
+            "sched", 4, 128,
+            [](TraceBuilder &b) { b.aluChain(Op::INT, 40); });
+        const KernelStats st = sim.run(l);
+        EXPECT_EQ(st.warpInstrs, 16u * 41u) << "policy failed";
+    }
+}
+
+TEST(Simulator, SmSubsetSamplingReducesSimulatedCtas)
+{
+    GpuConfig cfg = GpuConfig::testTiny();
+    cfg.smSampleFactor = 4;
+    GpuSimulator sim(cfg);
+    const KernelLaunch l = uniformLaunch(
+        "sampled", 40, 32,
+        [](TraceBuilder &b) { b.aluChain(Op::INT, 5); });
+    const KernelStats st = sim.run(l);
+    EXPECT_EQ(st.ctasTotal, 40);
+    EXPECT_EQ(st.ctasExpected, 10);
+    EXPECT_EQ(st.ctasSimulated, 10);
+    EXPECT_DOUBLE_EQ(st.samplingFactor(), 1.0);
+}
+
+TEST(Simulator, MaxCtasCapScalesTime)
+{
+    GpuConfig cfg = tinyNoSampling();
+    GpuSimulator sim(cfg);
+    SimOptions opts;
+    opts.maxCtas = 4;
+    const KernelLaunch l = uniformLaunch(
+        "capped", 16, 32,
+        [](TraceBuilder &b) { b.aluChain(Op::INT, 5); });
+    const KernelStats st = sim.run(l, opts);
+    EXPECT_EQ(st.ctasSimulated, 4);
+    EXPECT_DOUBLE_EQ(st.samplingFactor(), 4.0);
+    EXPECT_GT(st.timeMs(1.0), 0.0);
+}
+
+TEST(Simulator, StatSetExportHasKeyMetrics)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l = uniformLaunch(
+        "export", 1, 32, [](TraceBuilder &b) { b.aluChain(Op::INT, 5); });
+    const StatSet s = sim.run(l).toStatSet();
+    EXPECT_TRUE(s.has("cycles"));
+    EXPECT_TRUE(s.has("stall_MemoryDependency"));
+    EXPECT_TRUE(s.has("occ_W32"));
+    EXPECT_TRUE(s.has("l1_hit_rate"));
+    EXPECT_TRUE(s.has("instr_INT"));
+}
+
+TEST(KernelStatsTest, SharesSumToOne)
+{
+    GpuSimulator sim(tinyNoSampling());
+    const KernelLaunch l =
+        uniformLaunch("shares", 2, 64, [](TraceBuilder &b) {
+            std::array<uint64_t, 8> a{};
+            for (int i = 0; i < 8; ++i)
+                a[static_cast<size_t>(i)] =
+                    0x300000ull + 64ull * static_cast<uint64_t>(i);
+            const Reg r = b.load({a.data(), 8});
+            b.alu(Op::FP32, r);
+            b.aluChain(Op::INT, 3);
+        });
+    const KernelStats st = sim.run(l);
+    double stall_total = 0, occ_total = 0, instr_total = 0;
+    for (int r = 0; r < kNumStallReasons; ++r)
+        stall_total += st.stallShare(static_cast<StallReason>(r));
+    for (int b = 0; b < kNumOccBuckets; ++b)
+        occ_total += st.occShare(static_cast<OccBucket>(b));
+    for (int c = 0; c < kNumInstrClasses; ++c)
+        instr_total += st.instrShare(static_cast<InstrClass>(c));
+    EXPECT_NEAR(stall_total, 1.0, 1e-9);
+    EXPECT_NEAR(occ_total, 1.0, 1e-9);
+    EXPECT_NEAR(instr_total, 1.0, 1e-9);
+}
+
+TEST(GpuConfigTest, ValidateRejectsBadGeometry)
+{
+    GpuConfig cfg = GpuConfig::testTiny();
+    // 1536 B / (128 B x 4 ways) = 3 sets: not a power of two.
+    cfg.l1d.sizeBytes = 1536;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GpuConfigTest, DefaultsAreValid)
+{
+    GpuConfig::v100Sim().validate();
+    GpuConfig::testTiny().validate();
+    SUCCEED();
+}
