@@ -38,7 +38,9 @@ runSimPipeline(DatasetId id, GnnModelKind model, CompModel comp,
 
     SimEngine::Options eopts;
     eopts.sim.maxCtas = opts.maxCtas;
+    eopts.sim.numThreads = opts.simThreads;
     eopts.profileCaches = opts.profileCaches;
+    eopts.parallelLaunches = opts.parallelLaunches;
     SimEngine engine(eopts);
 
     ModelConfig cfg;

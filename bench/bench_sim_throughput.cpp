@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: wall-clock and resident trace
+ * memory per kernel class, comparing the legacy-equivalent engine
+ * configuration (one worker thread, effectively-unbounded trace
+ * chunks — the eager-materialization footprint) against the
+ * optimized configuration (streamed chunks + parallel SM stepping).
+ *
+ * Emits machine-readable JSON (default BENCH_sim_throughput.json) so
+ * later PRs can track the performance trajectory:
+ *
+ *   --json FILE    output path
+ *   --threads N    worker threads for the optimized config (0 = auto)
+ *   --chunk N      trace-chunk instructions (default 256)
+ *   --quick        smaller workloads for smoke runs
+ *
+ * KernelStats are bit-identical between the two configurations (the
+ * determinism suite enforces this); only wall-clock and footprint
+ * change.
+ */
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/BenchCommon.hpp"
+#include "kernels/Scatter.hpp"
+#include "kernels/Sgemm.hpp"
+#include "kernels/Spmm.hpp"
+#include "simgpu/GpuSimulator.hpp"
+#include "sparse/Csr.hpp"
+#include "tensor/DenseMatrix.hpp"
+#include "util/Logging.hpp"
+#include "util/Options.hpp"
+#include "util/Random.hpp"
+#include "util/Timer.hpp"
+
+using namespace gsuite;
+
+namespace {
+
+long
+peakRssKb()
+{
+    struct rusage ru;
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+struct CaseResult {
+    std::string name;
+    double baselineMs = 0.0;
+    double optimizedMs = 0.0;
+    uint64_t baselineTracePeak = 0;
+    uint64_t optimizedTracePeak = 0;
+    uint64_t cycles = 0;
+    uint64_t warpInstrs = 0;
+
+    double
+    speedup() const
+    {
+        return optimizedMs > 0.0 ? baselineMs / optimizedMs : 0.0;
+    }
+};
+
+DenseMatrix
+randomMatrix(int64_t r, int64_t c, uint64_t seed)
+{
+    DenseMatrix m(r, c);
+    Rng rng(seed);
+    m.fillUniform(rng, -1.0f, 1.0f);
+    return m;
+}
+
+CsrMatrix
+skewedCsr(int64_t n, uint64_t seed)
+{
+    // Power-law-ish degrees: heavy hubs every 41 rows, like the
+    // paper's social/citation graphs after scaling. Hub rows expand
+    // to multi-thousand-instruction traces, which is what streaming
+    // trace generation exists to bound.
+    Rng rng(seed);
+    SparseBuilder bld(n, n);
+    for (int64_t r = 0; r < n; ++r) {
+        const int64_t deg = r % 41 == 0 ? 1024 : 2 + r % 9;
+        for (int64_t k = 0; k < deg; ++k)
+            bld.add(r, static_cast<int64_t>(
+                           rng.nextBelow(static_cast<uint64_t>(n))),
+                    rng.nextFloat(-1.0f, 1.0f));
+    }
+    return bld.finish();
+}
+
+/**
+ * Simulate @p launch under both engine configurations, repeating
+ * @p reps times and keeping the best wall-clock of each (standard
+ * min-of-N timing).
+ */
+CaseResult
+measure(const std::string &name, const KernelLaunch &launch,
+        const GpuConfig &cfg, int64_t max_ctas, int threads,
+        int chunk, int reps)
+{
+    CaseResult res;
+    res.name = name;
+
+    SimOptions base;
+    base.maxCtas = max_ctas;
+    base.numThreads = 1;
+    base.traceChunkInstrs = 1 << 22;  // eager-equivalent footprint
+    base.perSmFastForward = false;    // legacy stepping
+
+    SimOptions opt;
+    opt.maxCtas = max_ctas;
+    opt.numThreads = threads;
+    opt.traceChunkInstrs = chunk;
+
+    GpuSimulator sim(cfg);
+    for (int i = 0; i < reps; ++i) {
+        Timer t;
+        const KernelStats st = sim.run(launch, base);
+        const double ms = t.elapsedMs();
+        if (i == 0 || ms < res.baselineMs)
+            res.baselineMs = ms;
+        res.baselineTracePeak = st.traceBytesPeak;
+        res.cycles = st.cycles;
+        res.warpInstrs = st.warpInstrs;
+    }
+    for (int i = 0; i < reps; ++i) {
+        Timer t;
+        const KernelStats st = sim.run(launch, opt);
+        const double ms = t.elapsedMs();
+        if (i == 0 || ms < res.optimizedMs)
+            res.optimizedMs = ms;
+        res.optimizedTracePeak = st.traceBytesPeak;
+        panicIf(st.cycles != res.cycles,
+                "optimized config changed simulated cycles");
+    }
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionSet opts;
+    opts.parseArgs(argc, argv);
+    const std::string json_path =
+        opts.getString("json", "BENCH_sim_throughput.json");
+    const int threads =
+        static_cast<int>(opts.getInt("threads", 0));
+    const int chunk = static_cast<int>(opts.getInt("chunk", 256));
+    const bool quick = opts.getBool("quick", false);
+
+    const int64_t n = quick ? 1200 : 4000;
+    const int64_t feat = quick ? 32 : 64;
+    const int64_t max_ctas = quick ? 256 : 1024;
+    const int reps = quick ? 1 : 3;
+
+    GpuConfig cfg = GpuConfig::v100Sim();
+    const int resolved_threads =
+        threads > 0 ? threads
+                    : std::min(ThreadPool::defaultLanes(),
+                               cfg.numSms);
+
+    bench::banner(
+        "simulator throughput",
+        "baseline: 1 thread, eager-size chunks | optimized: " +
+            std::to_string(resolved_threads) + " thread(s), " +
+            std::to_string(chunk) + "-instr chunks");
+
+    std::vector<CaseResult> results;
+
+    { // SpMM over a skewed graph (irregular gather archetype).
+        const CsrMatrix a = skewedCsr(n, 11);
+        const DenseMatrix b = randomMatrix(n, feat, 12);
+        DenseMatrix c;
+        SpmmKernel k("spmm", a, b, c);
+        k.execute();
+        DeviceAllocator alloc;
+        results.push_back(measure("SpMM", k.makeLaunch(alloc), cfg,
+                                  max_ctas, threads, chunk, reps));
+    }
+    { // SGEMM (dense compute archetype).
+        const DenseMatrix a = randomMatrix(n / 2, 256, 13);
+        const DenseMatrix b = randomMatrix(256, 128, 14);
+        DenseMatrix c;
+        SgemmKernel k("sgemm", a, b, c);
+        k.execute();
+        DeviceAllocator alloc;
+        results.push_back(measure("SGEMM", k.makeLaunch(alloc), cfg,
+                                  max_ctas, threads, chunk, reps));
+    }
+    { // Scatter (atomic contention archetype).
+        const int64_t e = n * 4;
+        const DenseMatrix msg = randomMatrix(e, 16, 15);
+        Rng rng(16);
+        std::vector<int64_t> idx(static_cast<size_t>(e));
+        for (auto &v : idx)
+            v = static_cast<int64_t>(
+                rng.nextBelow(static_cast<uint64_t>(n)));
+        DenseMatrix out(n, 16);
+        ScatterKernel k("scatter", msg, idx, out,
+                        ScatterKernel::Reduce::Sum);
+        k.execute();
+        DeviceAllocator alloc;
+        results.push_back(measure("Scatter", k.makeLaunch(alloc),
+                                  cfg, max_ctas, threads, chunk,
+                                  reps));
+    }
+
+    TablePrinter table("simulator throughput");
+    table.header({"kernel", "base ms", "opt ms", "speedup",
+                  "base trace KiB", "opt trace KiB"});
+    for (const auto &r : results) {
+        table.row({r.name, fmtDouble(r.baselineMs, 2),
+                   fmtDouble(r.optimizedMs, 2),
+                   fmtDouble(r.speedup(), 2),
+                   fmtDouble(static_cast<double>(
+                                 r.baselineTracePeak) /
+                                 1024.0,
+                             1),
+                   fmtDouble(static_cast<double>(
+                                 r.optimizedTracePeak) /
+                                 1024.0,
+                             1)});
+    }
+    table.print();
+
+    FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f)
+        fatal("cannot write '%s'", json_path.c_str());
+    std::fprintf(f, "{\n  \"threads\": %d,\n  \"chunk\": %d,\n"
+                    "  \"peak_rss_kb\": %ld,\n  \"cases\": [\n",
+                 resolved_threads, chunk, peakRssKb());
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"kernel\": \"%s\", \"baseline_ms\": %.3f, "
+            "\"optimized_ms\": %.3f, \"speedup\": %.3f, "
+            "\"cycles\": %llu, \"warp_instrs\": %llu, "
+            "\"baseline_trace_bytes_peak\": %llu, "
+            "\"optimized_trace_bytes_peak\": %llu}%s\n",
+            r.name.c_str(), r.baselineMs, r.optimizedMs,
+            r.speedup(),
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.warpInstrs),
+            static_cast<unsigned long long>(r.baselineTracePeak),
+            static_cast<unsigned long long>(r.optimizedTracePeak),
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

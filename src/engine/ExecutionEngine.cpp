@@ -1,5 +1,7 @@
 #include "engine/ExecutionEngine.hpp"
 
+#include <algorithm>
+
 #include "util/Timer.hpp"
 
 namespace gsuite {
@@ -42,6 +44,14 @@ SimEngine::SimEngine(Options opts_in)
 {
 }
 
+int
+SimEngine::effectiveParallel() const
+{
+    if (opts.parallelLaunches > 0)
+        return opts.parallelLaunches;
+    return std::min(4, ThreadPool::defaultLanes());
+}
+
 void
 SimEngine::run(Kernel &kernel)
 {
@@ -53,16 +63,59 @@ SimEngine::run(Kernel &kernel)
     kernel.execute();
     rec.wallUs = t.elapsedUs();
 
-    const KernelLaunch launch = kernel.makeLaunch(alloc);
-    rec.sim = sim.run(launch, opts.sim);
-    rec.hasSim = true;
+    KernelLaunch launch = kernel.makeLaunch(alloc);
 
     if (opts.profileCaches) {
         HwProfiler prof(opts.hwConfig);
         rec.hw = prof.profile(launch);
         rec.hasHw = true;
     }
+
+    if (effectiveParallel() <= 1) {
+        rec.sim = sim.run(launch, opts.sim);
+        rec.hasSim = true;
+        records.push_back(std::move(rec));
+        return;
+    }
+
+    // Defer the timing simulation: launches are mutually independent
+    // (each starts from a flushed device), so they can run
+    // concurrently at the next sync(). The launch's trace closures
+    // reference the kernel's operand buffers — callers must sync()
+    // before those die (GnnPipeline::run and timeline() do).
     records.push_back(std::move(rec));
+    pending.push_back(
+        PendingSim{records.size() - 1, std::move(launch)});
+}
+
+void
+SimEngine::sync()
+{
+    if (pending.empty())
+        return;
+    const int lanes = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(effectiveParallel()),
+                         pending.size()));
+    if (!simPool || simPool->lanes() != lanes)
+        simPool = std::make_unique<ThreadPool>(lanes);
+    // Lane 0 reuses the engine's own simulator; each extra lane owns
+    // one more. Per-launch sims stay single-threaded so lanes don't
+    // oversubscribe each other.
+    while (static_cast<int>(laneSims.size()) < lanes - 1)
+        laneSims.push_back(std::make_unique<GpuSimulator>(opts.gpu));
+    SimOptions lane_opts = opts.sim;
+    lane_opts.numThreads = 1;
+    simPool->parallelFor(
+        pending.size(), [&](size_t i, int lane) {
+            GpuSimulator &lane_sim =
+                lane == 0 ? sim
+                          : *laneSims[static_cast<size_t>(lane - 1)];
+            PendingSim &p = pending[i];
+            records[p.recordIndex].sim =
+                lane_sim.run(p.launch, lane_opts);
+            records[p.recordIndex].hasSim = true;
+        });
+    pending.clear();
 }
 
 } // namespace gsuite

@@ -12,6 +12,7 @@
 #ifndef GSUITE_ENGINE_EXECUTIONENGINE_HPP
 #define GSUITE_ENGINE_EXECUTIONENGINE_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "simgpu/DeviceAllocator.hpp"
 #include "simgpu/GpuSimulator.hpp"
 #include "simgpu/KernelStats.hpp"
+#include "util/ThreadPool.hpp"
 
 namespace gsuite {
 
@@ -45,14 +47,29 @@ class ExecutionEngine
     /** Execute one kernel and append a record to the timeline. */
     virtual void run(Kernel &kernel) = 0;
 
-    /** All kernels executed so far, in order. */
-    const std::vector<KernelRecord> &timeline() const
+    /**
+     * Wait for any deferred measurement work (e.g. concurrently
+     * simulated launches) to finish. Must be called before operand
+     * buffers referenced by recorded launches are destroyed; reading
+     * the timeline does it implicitly.
+     */
+    virtual void sync() {}
+
+    /** All kernels executed so far, in order (sync()s first). */
+    const std::vector<KernelRecord> &
+    timeline()
     {
+        sync();
         return records;
     }
 
-    /** Drop the timeline (new measurement run). */
-    void clearTimeline() { records.clear(); }
+    /** Drop the timeline (new measurement run; sync()s first). */
+    void
+    clearTimeline()
+    {
+        sync();
+        records.clear();
+    }
 
     /** Sum of functional wall-clock times, microseconds. */
     double totalWallUs() const;
@@ -92,18 +109,38 @@ class SimEngine : public ExecutionEngine
         SimOptions sim;
         bool profileCaches = false; ///< also fill KernelRecord::hw
         HwProfilerConfig hwConfig;
+
+        /**
+         * Independent launches simulated concurrently, each on its
+         * own single-threaded GpuSimulator instance. Launch timing is
+         * independent of launch order (every launch starts from a
+         * flushed device), so results are identical to serial
+         * simulation. 1 = inline/serial; 0 = auto.
+         */
+        int parallelLaunches = 1;
     };
 
     SimEngine() : SimEngine(Options{}) {}
     explicit SimEngine(Options opts);
 
     void run(Kernel &kernel) override;
+    void sync() override;
 
     const GpuConfig &gpuConfig() const { return sim.config(); }
 
   private:
+    struct PendingSim {
+        size_t recordIndex;
+        KernelLaunch launch;
+    };
+
     Options opts;
     GpuSimulator sim;
+    std::vector<PendingSim> pending;
+    std::unique_ptr<ThreadPool> simPool;
+    std::vector<std::unique_ptr<GpuSimulator>> laneSims;
+
+    int effectiveParallel() const;
 };
 
 } // namespace gsuite

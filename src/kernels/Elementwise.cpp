@@ -150,16 +150,17 @@ ElementwiseKernel::makeLaunch(DeviceAllocator &alloc) const
     launch.dims.threadsPerCta = kCtaThreads;
     launch.bytesEstimate = static_cast<uint64_t>(total) * 8;
 
+    // Streaming generator: short fixed per-warp sequence, one chunk.
     const EwOp kind_op = op;
-    launch.genTrace = [=](int64_t cta, int warp, WarpTrace &w) {
-        TraceBuilder b(w);
+    launch.streamTrace = [=](int64_t cta, int warp) -> WarpTraceStream {
+        return [=](TraceBuilder &b) {
         const int64_t t0 =
             (cta * kCtaWarps + warp) * static_cast<int64_t>(32);
         const int lanes =
             static_cast<int>(std::clamp<int64_t>(total - t0, 0, 32));
         if (lanes == 0) {
             b.exit();
-            return;
+            return true;
         }
         const uint32_t mask = maskOfLanes(lanes);
         b.aluChain(Op::INT, 2, mask);
@@ -214,6 +215,8 @@ ElementwiseKernel::makeLaunch(DeviceAllocator &alloc) const
                 out_base + static_cast<uint64_t>(t0 + l) * 4;
         b.store({a.data(), static_cast<size_t>(lanes)}, rv);
         b.exit();
+        return true;
+        };
     };
     return launch;
 }

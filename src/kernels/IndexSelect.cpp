@@ -53,16 +53,17 @@ IndexSelectKernel::makeLaunch(DeviceAllocator &alloc) const
     launch.bytesEstimate = static_cast<uint64_t>(total) * 8 +
                            static_cast<uint64_t>(e) * 8;
 
+    // Streaming generator: short fixed per-warp sequence, one chunk.
     const std::vector<int64_t> *idx = &index;
-    launch.genTrace = [=, this](int64_t cta, int warp, WarpTrace &out) {
-        TraceBuilder b(out);
+    launch.streamTrace = [=](int64_t cta, int warp) -> WarpTraceStream {
+        return [=](TraceBuilder &b) {
         const int64_t t0 =
             (cta * kCtaWarps + warp) * static_cast<int64_t>(32);
         const int lanes =
             static_cast<int>(std::clamp<int64_t>(total - t0, 0, 32));
         if (lanes == 0) {
             b.exit();
-            return;
+            return true;
         }
         const uint32_t mask = maskOfLanes(lanes);
 
@@ -100,6 +101,8 @@ IndexSelectKernel::makeLaunch(DeviceAllocator &alloc) const
         }
         b.store({a.data(), static_cast<size_t>(lanes)}, rval);
         b.exit();
+        return true;
+        };
     };
     return launch;
 }

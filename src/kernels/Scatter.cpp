@@ -94,17 +94,20 @@ ScatterKernel::makeLaunch(DeviceAllocator &alloc) const
     launch.dims.threadsPerCta = kCtaThreads;
     launch.bytesEstimate = static_cast<uint64_t>(total) * 8;
 
+    // Streaming generator: a scatter warp's trace is a short fixed
+    // sequence, so the whole warp fits one chunk (single-call
+    // stream).
     const std::vector<int64_t> *idx = &index;
     const bool scaled = this->scaled();
-    launch.genTrace = [=, this](int64_t cta, int warp, WarpTrace &out) {
-        TraceBuilder b(out);
+    launch.streamTrace = [=](int64_t cta, int warp) -> WarpTraceStream {
+        return [=](TraceBuilder &b) {
         const int64_t t0 =
             (cta * kCtaWarps + warp) * static_cast<int64_t>(32);
         const int lanes =
             static_cast<int>(std::clamp<int64_t>(total - t0, 0, 32));
         if (lanes == 0) {
             b.exit();
-            return;
+            return true;
         }
         const uint32_t mask = maskOfLanes(lanes);
 
@@ -147,6 +150,8 @@ ScatterKernel::makeLaunch(DeviceAllocator &alloc) const
         }
         b.atomic({a.data(), static_cast<size_t>(lanes)}, rval);
         b.exit();
+        return true;
+        };
     };
     return launch;
 }

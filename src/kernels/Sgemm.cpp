@@ -93,16 +93,31 @@ SgemmKernel::makeLaunch(DeviceAllocator &alloc) const
         return tb ? col * b_cols + kk : kk * b_cols + col;
     };
 
-    launch.genTrace = [=](int64_t cta, int warp, WarpTrace &out) {
-        TraceBuilder b2(out);
+    // Streaming generator: resumable over k-tiles, so deep GEMMs
+    // keep O(chunk) resident trace instead of O(k) tile bodies.
+    launch.streamTrace = [=](int64_t cta, int warp) -> WarpTraceStream {
         const int64_t by = cta / cta_x;
         const int64_t bx = cta % cta_x;
+
+        struct State {
+            bool prologueDone = false;
+            int64_t t = 0;
+            Reg acc = kNoReg;
+        };
+        State st;
+
+        return [=](TraceBuilder &b2) mutable {
         // Warp covers two consecutive tile rows: lanes 0..15 row 2w,
         // lanes 16..31 row 2w+1.
         std::array<uint64_t, 32> addrs{};
 
-        Reg acc = b2.alu(Op::FP32); // accumulator init
-        for (int64_t t = 0; t < k_tiles; ++t) {
+        if (!st.prologueDone) {
+            st.acc = b2.alu(Op::FP32); // accumulator init
+            st.prologueDone = true;
+        }
+        Reg acc = st.acc;
+        while (st.t < k_tiles && !b2.full()) {
+            const int64_t t = st.t++;
             // Load the A sub-tile: op(A)[by*16 + ty][t*16 + tx].
             int cnt = 0;
             for (int l = 0; l < 32; ++l) {
@@ -151,6 +166,10 @@ SgemmKernel::makeLaunch(DeviceAllocator &alloc) const
             b2.barrier();
             b2.control();
         }
+        st.acc = acc;
+        if (st.t < k_tiles)
+            return false; // suspended; resume at tile st.t
+
         // Epilogue: store the C element of each thread.
         int cnt = 0;
         for (int l = 0; l < 32; ++l) {
@@ -165,6 +184,8 @@ SgemmKernel::makeLaunch(DeviceAllocator &alloc) const
         if (cnt > 0)
             b2.store({addrs.data(), static_cast<size_t>(cnt)}, acc);
         b2.exit();
+        return true;
+        };
     };
     return launch;
 }

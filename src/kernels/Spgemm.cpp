@@ -59,114 +59,160 @@ SpgemmKernel::makeLaunch(DeviceAllocator &alloc) const
     launch.dims.numCtas = ceilDiv(n, kCtaWarps); // one warp per row
     launch.dims.threadsPerCta = kCtaThreads;
 
+    // Streaming generator, resumable at both loop levels (A-row
+    // chunks and the lock-step B expansion) — hub rows expand to
+    // enormous traces, so suspension must be possible mid-expansion.
     const CsrMatrix *pa = &a;
     const CsrMatrix *pb = &b;
     const CsrMatrix *pc = &c;
-    launch.genTrace = [=](int64_t cta, int warp, WarpTrace &out) {
-        TraceBuilder tb(out);
+    launch.streamTrace = [=](int64_t cta, int warp) -> WarpTraceStream {
         const int64_t row = cta * kCtaWarps + warp;
         if (row >= n) {
-            tb.exit();
-            return;
+            return [](TraceBuilder &tb) {
+                tb.exit();
+                return true;
+            };
         }
-        std::array<uint64_t, 32> addrs{};
 
-        // Row extent of A.
-        const std::array<uint64_t, 2> rp = {
-            arp + static_cast<uint64_t>(row) * 8,
-            arp + static_cast<uint64_t>(row + 1) * 8};
-        Reg r = tb.load({rp.data(), rp.size()});
-        tb.alu(Op::INT, r);
-        tb.control();
+        struct State {
+            bool prologueDone = false;
+            int64_t ch = 0;          ///< current A chunk base
+            bool chunkHeaderDone = false;
+            int64_t t = 0;           ///< lock-step iteration in chunk
+            int64_t maxBnnz = 0;
+            Reg rav = kNoReg;        ///< A values, alive across calls
+            Reg rbp = kNoReg;        ///< B row extents, ditto
+            int64_t sch = 0;         ///< store chunk base
+        };
+        State st;
+        st.ch = pa->rowPtr[static_cast<size_t>(row)];
+        st.sch = pc->rowPtr[static_cast<size_t>(row)];
 
-        const int64_t abegin = pa->rowPtr[static_cast<size_t>(row)];
-        const int64_t aend = pa->rowPtr[static_cast<size_t>(row) + 1];
+        return [=](TraceBuilder &tb) mutable {
+            std::array<uint64_t, 32> addrs{};
+            const int64_t aend =
+                pa->rowPtr[static_cast<size_t>(row) + 1];
 
-        // Lanes take A-row entries in chunks of 32.
-        for (int64_t ch = abegin; ch < aend; ch += 32) {
-            const int lanes =
-                static_cast<int>(std::min<int64_t>(32, aend - ch));
-            const uint32_t mask = maskOfLanes(lanes);
-
-            // Coalesced loads of the A entries.
-            for (int l = 0; l < lanes; ++l)
-                addrs[static_cast<size_t>(l)] =
-                    aci + static_cast<uint64_t>(ch + l) * 8;
-            const Reg rac =
-                tb.load({addrs.data(), static_cast<size_t>(lanes)});
-            for (int l = 0; l < lanes; ++l)
-                addrs[static_cast<size_t>(l)] =
-                    ava + static_cast<uint64_t>(ch + l) * 4;
-            const Reg rav =
-                tb.load({addrs.data(), static_cast<size_t>(lanes)});
-
-            // Divergent loads of each lane's B row extent.
-            int64_t max_bnnz = 0;
-            for (int l = 0; l < lanes; ++l) {
-                const int64_t acol =
-                    pa->colIdx[static_cast<size_t>(ch + l)];
-                addrs[static_cast<size_t>(l)] =
-                    brp + static_cast<uint64_t>(acol) * 8;
-                max_bnnz = std::max(max_bnnz, pb->rowNnz(acol));
+            if (!st.prologueDone) {
+                // Row extent of A.
+                const std::array<uint64_t, 2> rp = {
+                    arp + static_cast<uint64_t>(row) * 8,
+                    arp + static_cast<uint64_t>(row + 1) * 8};
+                Reg r = tb.load({rp.data(), rp.size()});
+                tb.alu(Op::INT, r);
+                tb.control();
+                st.prologueDone = true;
             }
-            const Reg rbp = tb.load(
-                {addrs.data(), static_cast<size_t>(lanes)}, rac);
-            tb.alu(Op::INT, rbp, kNoReg, mask);
 
-            // Lock-step expansion: iteration t processes the t-th
-            // nonzero of every lane's B row (divergent lanes drop
-            // out as their rows end).
-            for (int64_t t = 0; t < max_bnnz; ++t) {
-                int cnt = 0;
-                for (int l = 0; l < lanes; ++l) {
-                    const int64_t acol =
-                        pa->colIdx[static_cast<size_t>(ch + l)];
-                    const int64_t bb =
-                        pb->rowPtr[static_cast<size_t>(acol)];
-                    const int64_t be =
-                        pb->rowPtr[static_cast<size_t>(acol) + 1];
-                    if (bb + t < be)
-                        addrs[static_cast<size_t>(cnt++)] =
-                            bci + static_cast<uint64_t>(bb + t) * 8;
+            // Lanes take A-row entries in chunks of 32.
+            for (; st.ch < aend; st.ch += 32, st.chunkHeaderDone = false,
+                                 st.t = 0) {
+                const int64_t ch = st.ch;
+                const int lanes = static_cast<int>(
+                    std::min<int64_t>(32, aend - ch));
+                const uint32_t mask = maskOfLanes(lanes);
+
+                if (!st.chunkHeaderDone) {
+                    if (tb.full())
+                        return false;
+                    // Coalesced loads of the A entries.
+                    for (int l = 0; l < lanes; ++l)
+                        addrs[static_cast<size_t>(l)] =
+                            aci + static_cast<uint64_t>(ch + l) * 8;
+                    const Reg rac = tb.load(
+                        {addrs.data(), static_cast<size_t>(lanes)});
+                    for (int l = 0; l < lanes; ++l)
+                        addrs[static_cast<size_t>(l)] =
+                            ava + static_cast<uint64_t>(ch + l) * 4;
+                    st.rav = tb.load(
+                        {addrs.data(), static_cast<size_t>(lanes)});
+
+                    // Divergent loads of each lane's B row extent.
+                    st.maxBnnz = 0;
+                    for (int l = 0; l < lanes; ++l) {
+                        const int64_t acol =
+                            pa->colIdx[static_cast<size_t>(ch + l)];
+                        addrs[static_cast<size_t>(l)] =
+                            brp + static_cast<uint64_t>(acol) * 8;
+                        st.maxBnnz =
+                            std::max(st.maxBnnz, pb->rowNnz(acol));
+                    }
+                    st.rbp = tb.load(
+                        {addrs.data(), static_cast<size_t>(lanes)},
+                        rac);
+                    tb.alu(Op::INT, st.rbp, kNoReg, mask);
+                    st.chunkHeaderDone = true;
                 }
-                if (cnt == 0)
-                    break;
-                const uint32_t am = maskOfLanes(cnt);
-                const Reg rbc = tb.load(
-                    {addrs.data(), static_cast<size_t>(cnt)}, rbp);
-                // Matching value load (same lanes, value array).
-                for (int i = 0; i < cnt; ++i)
-                    addrs[static_cast<size_t>(i)] =
-                        bva + (addrs[static_cast<size_t>(i)] - bci) / 2;
-                const Reg rbv = tb.load(
-                    {addrs.data(), static_cast<size_t>(cnt)});
-                const Reg prod = tb.alu(Op::FP32, rav, rbv, am);
-                // Hash-accumulator insert: hash + probe.
-                tb.alu(Op::INT, rbc, kNoReg, am);
-                tb.alu(Op::INT, prod, kNoReg, am);
-                tb.control(am);
-            }
-            tb.control();
-        }
 
-        // Write the finished C row (coalesced column/value stores).
-        const int64_t cbegin = pc->rowPtr[static_cast<size_t>(row)];
-        const int64_t cend = pc->rowPtr[static_cast<size_t>(row) + 1];
-        for (int64_t ch = cbegin; ch < cend; ch += 32) {
-            const int lanes =
-                static_cast<int>(std::min<int64_t>(32, cend - ch));
-            const Reg rv2 = tb.alu(Op::INT, kNoReg, kNoReg,
-                                   maskOfLanes(lanes));
-            for (int l = 0; l < lanes; ++l)
-                addrs[static_cast<size_t>(l)] =
-                    cci + static_cast<uint64_t>(ch + l) * 8;
-            tb.store({addrs.data(), static_cast<size_t>(lanes)}, rv2);
-            for (int l = 0; l < lanes; ++l)
-                addrs[static_cast<size_t>(l)] =
-                    cva + static_cast<uint64_t>(ch + l) * 4;
-            tb.store({addrs.data(), static_cast<size_t>(lanes)}, rv2);
-        }
-        tb.exit();
+                // Lock-step expansion: iteration t processes the t-th
+                // nonzero of every lane's B row (divergent lanes drop
+                // out as their rows end).
+                for (; st.t < st.maxBnnz; ++st.t) {
+                    if (tb.full())
+                        return false; // resume at (st.ch, st.t)
+                    const int64_t t = st.t;
+                    int cnt = 0;
+                    for (int l = 0; l < lanes; ++l) {
+                        const int64_t acol =
+                            pa->colIdx[static_cast<size_t>(ch + l)];
+                        const int64_t bb =
+                            pb->rowPtr[static_cast<size_t>(acol)];
+                        const int64_t be =
+                            pb->rowPtr[static_cast<size_t>(acol) + 1];
+                        if (bb + t < be)
+                            addrs[static_cast<size_t>(cnt++)] =
+                                bci +
+                                static_cast<uint64_t>(bb + t) * 8;
+                    }
+                    if (cnt == 0)
+                        break;
+                    const uint32_t am = maskOfLanes(cnt);
+                    const Reg rbc = tb.load(
+                        {addrs.data(), static_cast<size_t>(cnt)},
+                        st.rbp);
+                    // Matching value load (same lanes, value array).
+                    for (int i = 0; i < cnt; ++i)
+                        addrs[static_cast<size_t>(i)] =
+                            bva +
+                            (addrs[static_cast<size_t>(i)] - bci) / 2;
+                    const Reg rbv = tb.load(
+                        {addrs.data(), static_cast<size_t>(cnt)});
+                    const Reg prod =
+                        tb.alu(Op::FP32, st.rav, rbv, am);
+                    // Hash-accumulator insert: hash + probe.
+                    tb.alu(Op::INT, rbc, kNoReg, am);
+                    tb.alu(Op::INT, prod, kNoReg, am);
+                    tb.control(am);
+                }
+                tb.control();
+            }
+
+            // Write the finished C row (coalesced column/value
+            // stores).
+            const int64_t cend =
+                pc->rowPtr[static_cast<size_t>(row) + 1];
+            for (; st.sch < cend; st.sch += 32) {
+                if (tb.full())
+                    return false;
+                const int64_t ch = st.sch;
+                const int lanes = static_cast<int>(
+                    std::min<int64_t>(32, cend - ch));
+                const Reg rv2 = tb.alu(Op::INT, kNoReg, kNoReg,
+                                       maskOfLanes(lanes));
+                for (int l = 0; l < lanes; ++l)
+                    addrs[static_cast<size_t>(l)] =
+                        cci + static_cast<uint64_t>(ch + l) * 8;
+                tb.store({addrs.data(), static_cast<size_t>(lanes)},
+                         rv2);
+                for (int l = 0; l < lanes; ++l)
+                    addrs[static_cast<size_t>(l)] =
+                        cva + static_cast<uint64_t>(ch + l) * 4;
+                tb.store({addrs.data(), static_cast<size_t>(lanes)},
+                         rv2);
+            }
+            tb.exit();
+            return true;
+        };
     };
     return launch;
 }

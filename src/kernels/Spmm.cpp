@@ -51,70 +51,93 @@ SpmmKernel::makeLaunch(DeviceAllocator &alloc) const
         static_cast<uint64_t>(2) * static_cast<uint64_t>(a.nnz()) *
         static_cast<uint64_t>(f);
 
+    // Streaming generator: the row loop is resumable so a
+    // Reddit-scale row materializes one chunk at a time instead of
+    // the whole gather sequence at once.
     const CsrMatrix *acsr = &a;
-    launch.genTrace = [=](int64_t cta, int warp, WarpTrace &out) {
-        TraceBuilder tb(out);
+    launch.streamTrace = [=](int64_t cta, int warp) -> WarpTraceStream {
         const int64_t wg = cta * kCtaWarps + warp;
         if (wg >= total_warps) {
-            tb.exit();
-            return;
+            return [](TraceBuilder &tb) {
+                tb.exit();
+                return true;
+            };
         }
         const int64_t row = wg / f_chunks;
         const int64_t chunk = wg % f_chunks;
         const int lanes =
             static_cast<int>(std::min<int64_t>(32, f - chunk * 32));
         const uint32_t mask = maskOfLanes(std::max(lanes, 1));
-
-        tb.aluChain(Op::INT, 2, mask);
-
-        // rowPtr[row], rowPtr[row+1]: one sector, scalar load.
-        const std::array<uint64_t, 2> rp = {
-            rp_base + static_cast<uint64_t>(row) * 8,
-            rp_base + static_cast<uint64_t>(row + 1) * 8};
-        const Reg rrp = tb.load({rp.data(), rp.size()});
-        tb.alu(Op::INT, rrp);
-        tb.control(mask);
-
-        Reg acc = tb.alu(Op::FP32, kNoReg, kNoReg, mask);
-        std::array<uint64_t, 32> addrs{};
-        const int64_t begin = acsr->rowPtr[static_cast<size_t>(row)];
         const int64_t end = acsr->rowPtr[static_cast<size_t>(row) + 1];
-        for (int64_t j = begin; j < end; ++j) {
-            // colIdx[j] and vals[j]: warp-uniform scalar loads.
-            const std::array<uint64_t, 1> ca = {
-                ci_base + static_cast<uint64_t>(j) * 8};
-            const Reg rc = tb.load({ca.data(), 1});
-            const std::array<uint64_t, 1> va = {
-                va_base + static_cast<uint64_t>(j) * 4};
-            const Reg rv = tb.load({va.data(), 1});
-            // Address math from the loaded column.
-            const Reg raddr = tb.alu(Op::INT, rc, kNoReg, mask);
-            // Gather the B row chunk (coalesced within the row but
-            // the row itself is data-dependent).
-            const int64_t col = acsr->colIdx[static_cast<size_t>(j)];
+
+        struct State {
+            bool prologueDone = false;
+            int64_t j = 0;
+            Reg acc = kNoReg;
+        };
+        State st;
+        st.j = acsr->rowPtr[static_cast<size_t>(row)];
+
+        return [=](TraceBuilder &tb) mutable {
+            std::array<uint64_t, 32> addrs{};
+            if (!st.prologueDone) {
+                tb.aluChain(Op::INT, 2, mask);
+                // rowPtr[row], rowPtr[row+1]: one sector, scalar load.
+                const std::array<uint64_t, 2> rp = {
+                    rp_base + static_cast<uint64_t>(row) * 8,
+                    rp_base + static_cast<uint64_t>(row + 1) * 8};
+                const Reg rrp = tb.load({rp.data(), rp.size()});
+                tb.alu(Op::INT, rrp);
+                tb.control(mask);
+                st.acc = tb.alu(Op::FP32, kNoReg, kNoReg, mask);
+                st.prologueDone = true;
+            }
+            while (st.j < end && !tb.full()) {
+                const int64_t j = st.j++;
+                // colIdx[j] and vals[j]: warp-uniform scalar loads.
+                const std::array<uint64_t, 1> ca = {
+                    ci_base + static_cast<uint64_t>(j) * 8};
+                const Reg rc = tb.load({ca.data(), 1});
+                const std::array<uint64_t, 1> va = {
+                    va_base + static_cast<uint64_t>(j) * 4};
+                const Reg rv = tb.load({va.data(), 1});
+                // Address math from the loaded column.
+                const Reg raddr = tb.alu(Op::INT, rc, kNoReg, mask);
+                // Gather the B row chunk (coalesced within the row
+                // but the row itself is data-dependent).
+                const int64_t col =
+                    acsr->colIdx[static_cast<size_t>(j)];
+                for (int l = 0; l < lanes; ++l) {
+                    addrs[static_cast<size_t>(l)] =
+                        b_base +
+                        static_cast<uint64_t>(col * f + chunk * 32 +
+                                              l) *
+                            4;
+                }
+                const Reg rb = tb.load(
+                    {addrs.data(),
+                     static_cast<size_t>(std::max(lanes, 1))},
+                    raddr);
+                Reg prod = tb.alu(Op::FP32, rb, rv, mask);
+                st.acc = tb.alu(Op::FP32, st.acc, prod, mask);
+                tb.control(mask);
+            }
+            if (st.j < end)
+                return false; // suspended; resume at nonzero j
+
+            // Store the output chunk.
             for (int l = 0; l < lanes; ++l) {
                 addrs[static_cast<size_t>(l)] =
-                    b_base +
-                    static_cast<uint64_t>(col * f + chunk * 32 + l) *
+                    c_base +
+                    static_cast<uint64_t>(row * f + chunk * 32 + l) *
                         4;
             }
-            const Reg rb = tb.load(
-                {addrs.data(), static_cast<size_t>(std::max(lanes, 1))},
-                raddr);
-            Reg prod = tb.alu(Op::FP32, rb, rv, mask);
-            acc = tb.alu(Op::FP32, acc, prod, mask);
-            tb.control(mask);
-        }
-
-        // Store the output chunk.
-        for (int l = 0; l < lanes; ++l) {
-            addrs[static_cast<size_t>(l)] =
-                c_base +
-                static_cast<uint64_t>(row * f + chunk * 32 + l) * 4;
-        }
-        tb.store({addrs.data(), static_cast<size_t>(std::max(lanes, 1))},
-                 acc);
-        tb.exit();
+            tb.store({addrs.data(),
+                      static_cast<size_t>(std::max(lanes, 1))},
+                     st.acc);
+            tb.exit();
+            return true;
+        };
     };
     return launch;
 }

@@ -99,6 +99,9 @@ GnnPipeline::run(ExecutionEngine &engine)
 {
     for (auto &k : kernels)
         engine.run(*k);
+    // Deferred simulations reference the pipeline's operand buffers;
+    // they must finish while this pipeline is alive.
+    engine.sync();
 }
 
 std::vector<std::string>

@@ -14,7 +14,7 @@ HwProfiler::HwProfiler(HwProfilerConfig cfg) : cfg(cfg)
 HwProfileResult
 HwProfiler::profile(const KernelLaunch &launch)
 {
-    panicIf(!launch.genTrace, "profiling a launch without traces");
+    panicIf(!launch.hasTraceGen(), "profiling a launch without traces");
 
     std::vector<Cache> l1;
     l1.reserve(static_cast<size_t>(cfg.numSms));
@@ -38,8 +38,17 @@ HwProfiler::profile(const KernelLaunch &launch)
         Cache &myL1 = l1[static_cast<size_t>(
             cta % static_cast<int64_t>(cfg.numSms))];
         for (int w = 0; w < warps; ++w) {
+            // Stream the warp's trace in bounded chunks; the cache
+            // replay only needs one chunk resident at a time.
+            WarpTraceStream stream = launch.makeStream(cta, w);
+            uint8_t reg_cursor = 0;
+            bool stream_done = false;
+            while (!stream_done) {
             trace.clear();
-            launch.genTrace(cta, w, trace);
+            TraceBuilder tb(trace, 512, reg_cursor);
+            stream_done = stream(tb);
+            panicIf(trace.instrs.empty(),
+                    "trace stream made no progress");
             for (const SimInstr &in : trace.instrs) {
                 if (!isGlobalMemOp(in.op))
                     continue;
@@ -83,6 +92,7 @@ HwProfiler::profile(const KernelLaunch &launch)
                     if (use_l1 && in.op == Op::LDG && !l1_hit)
                         myL1.fill(addr, now, now);
                 }
+            }
             }
         }
     }

@@ -50,6 +50,15 @@ GpuConfig::validate() const
     check_cache(l2, "L2");
     if (dramBytesPerCyclePerSm <= 0)
         fatal("GpuConfig: DRAM bandwidth must be positive");
+    if (numL2Slices < 1 ||
+        (numL2Slices & (numL2Slices - 1)) != 0)
+        fatal("GpuConfig: numL2Slices must be a positive power of two");
+    if (l2.numSets() % numL2Slices != 0 ||
+        l2.numSets() / numL2Slices < 1)
+        fatal("GpuConfig: numL2Slices must divide the L2 set count");
+    CacheGeometry slice = l2;
+    slice.sizeBytes = l2.sizeBytes / static_cast<uint64_t>(numL2Slices);
+    check_cache(slice, "L2 slice");
 }
 
 } // namespace gsuite

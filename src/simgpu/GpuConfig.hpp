@@ -83,6 +83,16 @@ struct GpuConfig {
     CacheGeometry l1d{128 * 1024, 128, 32, 64, false};
     CacheGeometry l2{3 * 1024 * 1024, 128, 32, 24, true};
 
+    /**
+     * Address-sliced L2/DRAM banking: line addresses are distributed
+     * round-robin over this many independent slices, each owning
+     * 1/numL2Slices of the L2 capacity and DRAM bandwidth. Slices are
+     * the unit of parallelism (and of deterministic ownership) in the
+     * memory system; results do not depend on how many worker threads
+     * service them. Must be a power of two and divide l2's set count.
+     */
+    int numL2Slices = 4;
+
     double coreClockGhz = 1.38;
 
     /** Total DRAM bytes/cycle for the simulated subset. */

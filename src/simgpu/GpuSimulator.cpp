@@ -1,35 +1,125 @@
 #include "simgpu/GpuSimulator.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 
 #include "util/Logging.hpp"
 
 namespace gsuite {
 
-GpuSimulator::GpuSimulator(GpuConfig config)
-    : cfg(std::move(config)), mem(cfg)
+namespace {
+
+/** Validate before any member (MemorySystem divides by slice count). */
+GpuConfig
+validated(GpuConfig cfg)
 {
     cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
+GpuSimulator::GpuSimulator(GpuConfig config)
+    : cfg(validated(std::move(config))), mem(cfg)
+{
     sms.reserve(static_cast<size_t>(cfg.numSms));
     for (int i = 0; i < cfg.numSms; ++i)
         sms.push_back(std::make_unique<Sm>(cfg, i, mem));
+    smStats.resize(static_cast<size_t>(cfg.numSms));
+}
+
+int
+GpuSimulator::resolveThreads(const SimOptions &opts) const
+{
+    int threads = opts.numThreads > 0 ? opts.numThreads
+                                      : ThreadPool::defaultLanes();
+    return std::clamp(threads, 1, cfg.numSms);
+}
+
+void
+GpuSimulator::stepRange(int begin, int end, RunControl &ctl,
+                        int worker)
+{
+    bool issued = false;
+    uint64_t next_event = ~uint64_t{0};
+    for (int i = begin; i < end; ++i)
+        issued =
+            sms[static_cast<size_t>(i)]->stepCycle(ctl.cycle,
+                                                   next_event) ||
+            issued;
+    ctl.issuedBy[static_cast<size_t>(worker)] = issued ? 1 : 0;
+    ctl.eventBy[static_cast<size_t>(worker)] = next_event;
+}
+
+void
+GpuSimulator::controlPhase(RunControl &ctl)
+{
+    constexpr uint64_t kNoEvent = ~uint64_t{0};
+
+    bool issued = false;
+    uint64_t next_event = kNoEvent;
+    for (size_t w = 0; w < ctl.issuedBy.size(); ++w) {
+        issued = issued || ctl.issuedBy[w] != 0;
+        next_event = std::min(next_event, ctl.eventBy[w]);
+    }
+
+    // Advance first, then re-assign and re-check: the reported cycle
+    // count includes the cycle in which the last instruction issued
+    // (matching the original serial loop, which broke at the top of
+    // the iteration after the final issue).
+    if (issued || next_event <= ctl.cycle + 1 ||
+        next_event == kNoEvent) {
+        ctl.cycle += 1;
+    } else {
+        // Fast-forward: nothing can issue until next_event, so
+        // repeat each SM's current classification for the gap.
+        const uint64_t target = std::min(next_event, ctl.cycleLimit);
+        const uint64_t delta = target - ctl.cycle - 1;
+        if (delta > 0) {
+            for (auto &sm : sms)
+                sm->accountExtra(delta);
+        }
+        ctl.cycle = target;
+    }
+
+    if (ctl.cycle >= ctl.cycleLimit) {
+        ctl.done = true;
+        ctl.hitLimit = true;
+        return;
+    }
+
+    // Assign pending CTAs to SMs with free slots (round-robin by
+    // free-slot discovery order).
+    for (auto &sm : sms) {
+        while (ctl.nextCta < ctl.ctasToSim && sm->hasFreeCtaSlot())
+            sm->assignCta(ctl.nextCta++, ctl.cycle);
+    }
+
+    bool busy = ctl.nextCta < ctl.ctasToSim;
+    for (auto &sm : sms)
+        busy = busy || sm->busy();
+    if (!busy)
+        ctl.done = true;
 }
 
 KernelStats
 GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
 {
-    panicIf(!launch.genTrace, "KernelLaunch without a trace generator");
+    panicIf(!launch.hasTraceGen(),
+            "KernelLaunch without a trace generator");
     panicIf(launch.dims.numCtas <= 0 || launch.dims.threadsPerCta <= 0,
             "KernelLaunch with empty grid");
 
-    KernelStats stats;
-    stats.name = launch.name;
-    stats.kind = launch.kind;
-    stats.ctasTotal = launch.dims.numCtas;
+    const int threads = resolveThreads(opts);
+    const size_t chunk_instrs = static_cast<size_t>(
+        std::max(32, opts.traceChunkInstrs));
 
     mem.reset();
-    for (auto &sm : sms)
-        sm->beginLaunch(&launch, &stats);
+    for (auto &st : smStats)
+        st = KernelStats{};
+    for (size_t i = 0; i < sms.size(); ++i)
+        sms[i]->beginLaunch(&launch, &smStats[i], chunk_instrs,
+                            opts.perSmFastForward);
 
     // SM-subset sampling: the simulated numSms SMs stand for a GPU
     // with numSms * smSampleFactor SMs, so each should process a
@@ -41,54 +131,89 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
         (launch.dims.numCtas +
          static_cast<int64_t>(cfg.smSampleFactor) - 1) /
         static_cast<int64_t>(cfg.smSampleFactor);
-    const int64_t ctas_to_sim = std::min(expected, opts.maxCtas);
-    stats.ctasExpected = expected;
-    stats.ctasSimulated = ctas_to_sim;
 
-    int64_t next_cta = 0;
-    uint64_t cycle = 0;
-    while (cycle < opts.cycleLimit) {
-        // Assign pending CTAs to SMs with free slots (round-robin by
-        // free-slot discovery order).
-        for (auto &sm : sms) {
-            while (next_cta < ctas_to_sim && sm->hasFreeCtaSlot())
-                sm->assignCta(next_cta++, cycle);
-        }
+    RunControl ctl;
+    ctl.ctasToSim = std::min(expected, opts.maxCtas);
+    ctl.cycleLimit = opts.cycleLimit;
+    ctl.issuedBy.assign(static_cast<size_t>(threads), 0);
+    ctl.eventBy.assign(static_cast<size_t>(threads), ~uint64_t{0});
 
-        bool busy = next_cta < ctas_to_sim;
-        for (auto &sm : sms)
-            busy = busy || sm->busy();
-        if (!busy)
-            break;
-
-        bool issued = false;
-        uint64_t next_event = ~uint64_t{0};
-        for (auto &sm : sms)
-            issued = sm->stepCycle(cycle, next_event) || issued;
-
-        if (issued || next_event <= cycle + 1 ||
-            next_event == ~uint64_t{0}) {
-            cycle += 1;
-        } else {
-            // Fast-forward: nothing can issue until next_event, so
-            // repeat each SM's current classification for the gap.
-            const uint64_t target =
-                std::min(next_event, opts.cycleLimit);
-            const uint64_t delta = target - cycle - 1;
-            if (delta > 0) {
-                for (auto &sm : sms)
-                    sm->accountExtra(delta);
-            }
-            cycle = target;
-        }
+    // Initial CTA wave at cycle 0.
+    for (auto &sm : sms) {
+        while (ctl.nextCta < ctl.ctasToSim && sm->hasFreeCtaSlot())
+            sm->assignCta(ctl.nextCta++, 0);
     }
 
-    if (cycle >= opts.cycleLimit)
-        warn("kernel '%s' hit the %llu-cycle simulation limit",
-             launch.name.c_str(),
-             static_cast<unsigned long long>(opts.cycleLimit));
+    const int num_sms = cfg.numSms;
+    const int num_slices = mem.numSlices();
+    auto sm_begin = [&](int w) { return num_sms * w / threads; };
+    auto slice_begin = [&](int w) {
+        return num_slices * w / threads;
+    };
 
-    stats.cycles = cycle;
+    if (threads == 1) {
+        while (!ctl.done) {
+            stepRange(0, num_sms, ctl, 0);
+            for (int s = 0; s < num_slices; ++s)
+                mem.resolveSlice(s);
+            controlPhase(ctl);
+        }
+    } else {
+        if (!pool || pool->lanes() != threads)
+            pool = std::make_unique<ThreadPool>(threads);
+        SpinBarrier barrier(threads);
+        pool->runOnAll([&](int worker) {
+            for (;;) {
+                barrier.arriveAndWait(); // control published
+                if (ctl.done)
+                    return;
+                stepRange(sm_begin(worker), sm_begin(worker + 1),
+                          ctl, worker);
+                barrier.arriveAndWait(); // all SMs stepped
+                for (int s = slice_begin(worker);
+                     s < slice_begin(worker + 1); ++s)
+                    mem.resolveSlice(s);
+                barrier.arriveAndWait(); // memory resolved
+                if (worker == 0)
+                    controlPhase(ctl);
+            }
+        });
+    }
+
+    // Flush any still-parked memory access so its counters land.
+    for (auto &sm : sms)
+        sm->drainParkedMem();
+
+    // Deterministic reduction: per-SM stats merge in SM-index order,
+    // then the launch-global fields overwrite the zero-initialized
+    // slots the per-SM stats never touch.
+    KernelStats stats;
+    for (const auto &st : smStats)
+        stats.merge(st);
+    // SMs hold their chunks concurrently: the launch footprint is the
+    // sum of per-SM peaks (merge() combines peaks as max, which is
+    // right across launches but not across SMs of one launch).
+    stats.traceBytesPeak = 0;
+    for (const auto &st : smStats)
+        stats.traceBytesPeak += st.traceBytesPeak;
+    stats.name = launch.name;
+    stats.kind = launch.kind;
+    stats.ctasTotal = launch.dims.numCtas;
+    stats.ctasExpected = expected;
+    stats.ctasSimulated = ctl.ctasToSim;
+    stats.cycles = ctl.cycle;
+    stats.dramBusyCycles =
+        static_cast<uint64_t>(mem.dramBusyCycles());
+
+    if (ctl.hitLimit) {
+        warn("kernel '%s' hit the %" PRIu64
+             "-cycle simulation limit after %" PRIu64
+             " of %" PRIu64 " CTAs (expected %" PRIu64 ")",
+             launch.name.c_str(), opts.cycleLimit,
+             static_cast<uint64_t>(ctl.nextCta),
+             static_cast<uint64_t>(ctl.ctasToSim),
+             static_cast<uint64_t>(expected));
+    }
     return stats;
 }
 

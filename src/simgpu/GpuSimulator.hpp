@@ -4,6 +4,16 @@
  * the SMs and runs the cycle loop with stall fast-forwarding.
  *
  * This is the stand-in for GPGPU-Sim 4.0 in the paper's methodology.
+ *
+ * The cycle loop can step SMs concurrently on a persistent worker
+ * pool. Each cycle runs three barrier-separated phases:
+ *   step     — every worker steps its SMs (classify + issue + L1);
+ *   resolve  — every worker services its L2/DRAM address slices;
+ *   control  — worker 0 merges events, fast-forwards stalls, assigns
+ *              CTAs and decides termination.
+ * All cross-thread state is partitioned by SM index or slice index
+ * and every reduction runs in index order, so KernelStats are
+ * bit-identical for any worker-thread count.
  */
 
 #ifndef GSUITE_SIMGPU_GPUSIMULATOR_HPP
@@ -17,6 +27,7 @@
 #include "simgpu/KernelStats.hpp"
 #include "simgpu/MemorySystem.hpp"
 #include "simgpu/Sm.hpp"
+#include "util/ThreadPool.hpp"
 
 namespace gsuite {
 
@@ -33,6 +44,28 @@ struct SimOptions {
 
     /** Hard safety limit; the run aborts with a warning beyond it. */
     uint64_t cycleLimit = 50'000'000;
+
+    /**
+     * Worker threads stepping SMs (and servicing memory slices).
+     * 0 = auto: min(hardware threads, numSms). Results are identical
+     * for every value; this only affects wall-clock time.
+     */
+    int numThreads = 0;
+
+    /**
+     * Instruction budget per streamed trace chunk. Smaller chunks cap
+     * trace memory harder; larger chunks amortize generator calls.
+     * Statistics are invariant to this value.
+     */
+    int traceChunkInstrs = 256;
+
+    /**
+     * Per-SM idle fast-forwarding: an SM that cannot issue before a
+     * known future cycle replays its last classification instead of
+     * recomputing it. Statistics are invariant; disabling recovers
+     * the legacy every-SM-every-cycle stepping (ablation/debugging).
+     */
+    bool perSmFastForward = true;
 };
 
 /** Timing-detailed GPU simulator. */
@@ -48,9 +81,27 @@ class GpuSimulator
     const GpuConfig &config() const { return cfg; }
 
   private:
+    /** Shared per-run control state (see the cycle-phase contract). */
+    struct RunControl {
+        int64_t ctasToSim = 0;
+        int64_t nextCta = 0;
+        uint64_t cycle = 0;
+        uint64_t cycleLimit = 0;
+        bool done = false;
+        bool hitLimit = false;
+        std::vector<uint8_t> issuedBy; ///< per-worker issue flags
+        std::vector<uint64_t> eventBy; ///< per-worker event minima
+    };
+
     GpuConfig cfg;
     MemorySystem mem;
     std::vector<std::unique_ptr<Sm>> sms;
+    std::vector<KernelStats> smStats;
+    std::unique_ptr<ThreadPool> pool;
+
+    int resolveThreads(const SimOptions &opts) const;
+    void stepRange(int begin, int end, RunControl &ctl, int worker);
+    void controlPhase(RunControl &ctl);
 };
 
 } // namespace gsuite

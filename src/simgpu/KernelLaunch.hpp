@@ -1,11 +1,14 @@
 /**
  * @file
- * Kernel launch descriptor: grid geometry plus a lazy per-warp trace
- * generator.
+ * Kernel launch descriptor: grid geometry plus a streaming per-warp
+ * trace generator.
  *
- * Traces materialize only when a warp becomes resident on an SM, so
- * the simulator's footprint is O(resident warps) rather than
- * O(total dynamic instructions).
+ * Traces materialize chunk by chunk while a warp is resident on an
+ * SM, so the simulator's footprint is O(resident warps x chunk size)
+ * rather than O(total dynamic instructions). Kernels provide a
+ * resumable WarpTraceStream (preferred); an eager whole-trace
+ * generator is still accepted for tests and simple synthetic
+ * launches, and is adapted into a single-chunk stream internally.
  */
 
 #ifndef GSUITE_SIMGPU_KERNELLAUNCH_HPP
@@ -58,15 +61,63 @@ struct LaunchDims {
 };
 
 /**
- * A recorded kernel launch. genTrace fills @p out with the dynamic
- * instruction stream of warp @p warp of CTA @p cta; it must end the
- * stream with an EXIT instruction.
+ * Resumable per-warp trace stream.
+ *
+ * Each call appends a further chunk of the warp's dynamic instruction
+ * stream through the (budgeted) builder and returns true once the
+ * stream is complete. Contract for generators:
+ *  - every call must emit at least one instruction;
+ *  - the final call must end the stream with an EXIT instruction, and
+ *    EXIT must not appear earlier;
+ *  - generators should stop emitting once builder.full() turns true
+ *    (checked between logical instruction groups; a group may
+ *    overshoot the budget slightly);
+ *  - register ids obtained from the builder remain valid across
+ *    chunks (the rotation cursor is persisted by the simulator).
+ */
+using WarpTraceStream = std::function<bool(TraceBuilder &)>;
+
+/**
+ * A recorded kernel launch. streamTrace returns the resumable trace
+ * stream of warp @p warp of CTA @p cta; genTrace is the legacy eager
+ * form that fills a whole trace at once. Exactly one should be set
+ * (streamTrace wins when both are).
  */
 struct KernelLaunch {
     std::string name;
     KernelClass kind = KernelClass::Aux;
     LaunchDims dims;
+
+    /** Streaming trace generator (preferred; bounded memory). */
+    std::function<WarpTraceStream(int64_t cta, int warp)> streamTrace;
+
+    /**
+     * Eager whole-trace generator (legacy). Must end the stream with
+     * an EXIT instruction. Adapted into a single-chunk stream by
+     * makeStream(), so it costs O(full trace) memory per warp.
+     */
     std::function<void(int64_t cta, int warp, WarpTrace &out)> genTrace;
+
+    /** True if either trace representation is available. */
+    bool
+    hasTraceGen() const
+    {
+        return static_cast<bool>(streamTrace) ||
+               static_cast<bool>(genTrace);
+    }
+
+    /**
+     * The warp's trace stream; adapts genTrace when no streaming
+     * generator is set. panic()s if neither is set.
+     */
+    WarpTraceStream makeStream(int64_t cta, int warp) const;
+
+    /**
+     * Materialize the warp's full trace into @p out (cleared first).
+     * Works for either representation; intended for tests and
+     * offline analysis, not the simulation hot path.
+     */
+    void buildFullTrace(int64_t cta, int warp, WarpTrace &out) const;
 
     /** Estimated FLOPs (for reports only). */
     uint64_t flopEstimate = 0;

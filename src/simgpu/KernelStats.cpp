@@ -148,6 +148,10 @@ KernelStats::merge(const KernelStats &other)
     dramBusyCycles += other.dramBusyCycles;
     aluBusyCycles += other.aluBusyCycles;
     schedulerSlots += other.schedulerSlots;
+    // Launches run one after another, so the aggregate footprint is a
+    // high-water mark, not a sum (the per-SM sum within one launch is
+    // computed by the simulator's reduction instead).
+    traceBytesPeak = std::max(traceBytesPeak, other.traceBytesPeak);
 }
 
 StatSet
@@ -189,6 +193,7 @@ KernelStats::toStatSet() const
     s.set("compute_util", computeUtilization());
     s.set("memory_util", memoryUtilization());
     s.set("divergence", divergence());
+    s.set("trace_bytes_peak", static_cast<double>(traceBytesPeak));
     return s;
 }
 

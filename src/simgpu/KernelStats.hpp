@@ -93,6 +93,14 @@ struct KernelStats {
     uint64_t aluBusyCycles = 0;   ///< scheduler ALU port busy cycles
     uint64_t schedulerSlots = 0;  ///< cycles * schedulers * SMs
 
+    // --- simulator footprint -----------------------------------------------
+    /**
+     * High-water mark of resident decoded-trace bytes (sum over SMs
+     * of each SM's peak). Streaming trace generation caps this at
+     * O(resident warps x chunk size) regardless of kernel size.
+     */
+    uint64_t traceBytesPeak = 0;
+
     // --- derived metrics ----------------------------------------------------
     double l1HitRate() const;
     double l2HitRate() const;

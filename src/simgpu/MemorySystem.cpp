@@ -6,28 +6,62 @@
 
 namespace gsuite {
 
-MemorySystem::MemorySystem(const GpuConfig &cfg)
-    : cfg(cfg), l2(cfg.l2),
-      dramCyclesPerSector(cfg.l2.sectorBytes / cfg.dramBytesPerCycle())
+MemorySystem::MemorySystem(const GpuConfig &cfg) : cfg(cfg)
 {
     l1.reserve(static_cast<size_t>(cfg.numSms));
     for (int i = 0; i < cfg.numSms; ++i)
         l1.emplace_back(cfg.l1d);
+
+    CacheGeometry slice_geo = cfg.l2;
+    slice_geo.sizeBytes =
+        cfg.l2.sizeBytes / static_cast<uint64_t>(cfg.numL2Slices);
+    slices.reserve(static_cast<size_t>(cfg.numL2Slices));
+    for (int i = 0; i < cfg.numL2Slices; ++i)
+        slices.emplace_back(slice_geo);
+
+    parked.assign(static_cast<size_t>(cfg.numSms), ParkedReq{});
+
+    // Each slice owns an equal share of the DRAM bandwidth.
+    dramCyclesPerSector =
+        static_cast<double>(cfg.l2.sectorBytes) /
+        (cfg.dramBytesPerCycle() / cfg.numL2Slices);
 }
 
-MemAccessResult
-MemorySystem::warpAccess(int sm, uint64_t cycle,
-                         std::span<const uint64_t> lane_addrs,
-                         MemAccessKind kind, KernelStats &stats)
+int
+MemorySystem::sliceOf(uint64_t addr) const
+{
+    const uint64_t line =
+        addr / static_cast<uint64_t>(cfg.l2.lineBytes);
+    return static_cast<int>(
+        line & static_cast<uint64_t>(cfg.numL2Slices - 1));
+}
+
+uint64_t
+MemorySystem::sliceLocalAddr(uint64_t addr) const
+{
+    const uint64_t line_bytes =
+        static_cast<uint64_t>(cfg.l2.lineBytes);
+    const uint64_t line = addr / line_bytes;
+    return (line / static_cast<uint64_t>(cfg.numL2Slices)) *
+               line_bytes +
+           addr % line_bytes;
+}
+
+bool
+MemorySystem::beginAccess(int sm, uint64_t cycle,
+                          std::span<const uint64_t> lane_addrs,
+                          MemAccessKind kind, KernelStats &stats,
+                          MemAccessResult &out)
 {
     panicIf(sm < 0 || sm >= cfg.numSms, "SM index out of range");
+    ParkedReq &req = parked[static_cast<size_t>(sm)];
+    panicIf(req.active, "SM issued a second access with one parked");
 
     // --- coalescer: collapse lane addresses into unique sectors -------
     const uint64_t sector_bytes =
         static_cast<uint64_t>(cfg.l1d.sectorBytes);
     uint64_t sectors[32];
     int num_sectors = 0;
-    int max_conflict = 1;
     for (uint64_t a : lane_addrs) {
         const uint64_t s = a / sector_bytes;
         bool found = false;
@@ -40,6 +74,7 @@ MemorySystem::warpAccess(int sm, uint64_t cycle,
         if (!found)
             sectors[num_sectors++] = s;
     }
+    int max_conflict = 1;
     if (kind == MemAccessKind::Atomic) {
         // Conflicting lanes (same 4-byte word) serialize the RMW.
         for (size_t i = 0; i < lane_addrs.size(); ++i) {
@@ -52,85 +87,166 @@ MemorySystem::warpAccess(int sm, uint64_t cycle,
         }
     }
 
-    // --- issue sectors through the hierarchy -------------------------
-    uint64_t completion = cycle + 1;
-    for (int i = 0; i < num_sectors; ++i) {
-        // The LSU pumps up to 4 sector transactions per cycle.
-        const uint64_t issue_at = cycle + static_cast<uint64_t>(i / 4);
-        const uint64_t done = accessSector(
-            sm, sectors[i] * sector_bytes, kind, issue_at, stats);
-        completion = std::max(completion, done);
-    }
-    if (kind == MemAccessKind::Atomic)
-        completion += 2 * static_cast<uint64_t>(max_conflict);
-
     stats.memInstrs += 1;
     stats.memSectors += static_cast<uint64_t>(num_sectors);
 
-    MemAccessResult res;
-    res.completion = completion;
-    res.sectors = num_sectors;
-    res.lsuCycles = std::max(1, num_sectors / 4);
-    return res;
-}
+    out.sectors = num_sectors;
+    out.lsuCycles = std::max(1, num_sectors / 4);
+    out.completion = cycle + 1;
 
-uint64_t
-MemorySystem::accessSector(int sm, uint64_t addr, MemAccessKind kind,
-                           uint64_t cycle, KernelStats &stats)
-{
+    // --- phase-1 L1 stage --------------------------------------------
     const bool use_l1 =
         kind == MemAccessKind::Load
             ? !cfg.l1BypassLoads
             : kind == MemAccessKind::Store; // atomics bypass L1
 
-    if (use_l1) {
-        const CacheProbe p = l1[static_cast<size_t>(sm)].probe(addr,
-                                                               cycle);
+    req.cycle = cycle;
+    req.kind = kind;
+    req.maxConflict = max_conflict;
+    req.numSectors = num_sectors;
+    bool any_pending = false;
+    for (int i = 0; i < num_sectors; ++i) {
+        SectorReq &q = req.sectors[i];
+        const uint64_t addr = sectors[i] * sector_bytes;
+        // The LSU pumps up to 4 sector transactions per cycle.
+        q.addr = addr;
+        q.issueAt = cycle + static_cast<uint64_t>(i / 4);
+        q.slice = static_cast<uint8_t>(sliceOf(addr));
+        q.needsL2 = true;
+        q.fillL1 = false;
+        q.l2Hit = false;
+        q.done = 0;
+
+        if (!use_l1)
+            continue; // atomics (or bypassed loads) go straight to L2
+        const CacheProbe p =
+            l1[static_cast<size_t>(sm)].probe(addr, q.issueAt);
         if (p.hit) {
             ++stats.l1Hits;
-            if (kind == MemAccessKind::Store) {
-                // Write-through: the store still updates L2 below,
-                // but the L1 copy stays coherent at no extra cost.
-            } else {
-                return std::max(
-                    cycle + static_cast<uint64_t>(cfg.l1Latency),
+            if (kind == MemAccessKind::Load) {
+                // Served by L1; no L2 traffic for this sector.
+                q.needsL2 = false;
+                q.done = std::max(
+                    q.issueAt + static_cast<uint64_t>(cfg.l1Latency),
                     p.ready);
             }
+            // Stores write through: the L1 copy stays coherent at no
+            // extra cost, but the sector still updates L2 below.
         } else {
             ++stats.l1Misses;
+            if (kind == MemAccessKind::Load)
+                q.fillL1 = true;
         }
     }
+    for (int i = 0; i < num_sectors; ++i)
+        any_pending = any_pending || req.sectors[i].needsL2;
 
-    // --- L2 ------------------------------------------------------------
-    const CacheProbe p2 = l2.probe(addr, cycle);
-    uint64_t data_ready;
-    if (p2.hit) {
-        ++stats.l2Hits;
-        data_ready = std::max(
-            cycle + static_cast<uint64_t>(cfg.l2Latency), p2.ready);
-    } else {
-        ++stats.l2Misses;
-        // DRAM with a simple latency-rate queueing model. Service
-        // time per 32B sector is sub-cycle, so queueing state is
-        // fractional; the requester sees whole cycles.
-        const double start =
-            std::max(static_cast<double>(cycle), dramNextFree);
-        dramNextFree = start + dramCyclesPerSector;
-        dramBusy += dramCyclesPerSector;
-        stats.dramBusyCycles = static_cast<uint64_t>(dramBusy);
-        stats.dramBytes += static_cast<uint64_t>(cfg.l2.sectorBytes);
-        data_ready = static_cast<uint64_t>(start) +
-                     static_cast<uint64_t>(cfg.dramLatency);
-        l2.fill(addr, cycle, data_ready);
+    if (!any_pending) {
+        // Pure L1-hit load: complete without touching the slices.
+        for (int i = 0; i < num_sectors; ++i)
+            out.completion =
+                std::max(out.completion, req.sectors[i].done);
+        return true;
     }
+    req.active = true;
+    return false;
+}
 
-    if (use_l1 && kind == MemAccessKind::Load)
-        l1[static_cast<size_t>(sm)].fill(addr, cycle, data_ready);
+void
+MemorySystem::resolveSlice(int slice)
+{
+    L2Slice &sl = slices[static_cast<size_t>(slice)];
+    for (auto &req : parked) {
+        if (!req.active)
+            continue;
+        for (int i = 0; i < req.numSectors; ++i) {
+            SectorReq &q = req.sectors[i];
+            if (!q.needsL2 || q.slice != slice)
+                continue;
+            const uint64_t local = sliceLocalAddr(q.addr);
+            const CacheProbe p = sl.cache.probe(local, q.issueAt);
+            uint64_t data_ready;
+            if (p.hit) {
+                q.l2Hit = true;
+                data_ready = std::max(
+                    q.issueAt + static_cast<uint64_t>(cfg.l2Latency),
+                    p.ready);
+            } else {
+                q.l2Hit = false;
+                // DRAM with a simple latency-rate queueing model per
+                // slice. Service time per 32B sector is sub-cycle, so
+                // queueing state is fractional; requesters see whole
+                // cycles.
+                const double start =
+                    std::max(static_cast<double>(q.issueAt),
+                             sl.dramNextFree);
+                sl.dramNextFree = start + dramCyclesPerSector;
+                sl.dramBusy += dramCyclesPerSector;
+                data_ready = static_cast<uint64_t>(start) +
+                             static_cast<uint64_t>(cfg.dramLatency);
+                sl.cache.fill(local, q.issueAt, data_ready);
+            }
+            if (req.kind == MemAccessKind::Atomic)
+                data_ready += 4; // read-modify-write at the L2 banks
+            q.done = data_ready;
+        }
+    }
+}
 
-    if (kind == MemAccessKind::Atomic)
-        data_ready += 4; // read-modify-write at the L2 banks
+uint64_t
+MemorySystem::finishAccess(int sm, KernelStats &stats)
+{
+    ParkedReq &req = parked[static_cast<size_t>(sm)];
+    panicIf(!req.active, "finishAccess without a parked request");
 
-    return data_ready;
+    uint64_t completion = req.cycle + 1;
+    for (int i = 0; i < req.numSectors; ++i) {
+        SectorReq &q = req.sectors[i];
+        completion = std::max(completion, q.done);
+        if (!q.needsL2)
+            continue;
+        if (q.l2Hit) {
+            ++stats.l2Hits;
+        } else {
+            ++stats.l2Misses;
+            stats.dramBytes +=
+                static_cast<uint64_t>(cfg.l2.sectorBytes);
+        }
+        if (q.fillL1)
+            l1[static_cast<size_t>(sm)].fill(q.addr, q.issueAt,
+                                             q.done);
+    }
+    if (req.kind == MemAccessKind::Atomic)
+        completion += 2 * static_cast<uint64_t>(req.maxConflict);
+    req.active = false;
+    return completion;
+}
+
+MemAccessResult
+MemorySystem::warpAccess(int sm, uint64_t cycle,
+                         std::span<const uint64_t> lane_addrs,
+                         MemAccessKind kind, KernelStats &stats)
+{
+    MemAccessResult res;
+    if (beginAccess(sm, cycle, lane_addrs, kind, stats, res)) {
+        stats.dramBusyCycles =
+            static_cast<uint64_t>(dramBusyCycles());
+        return res;
+    }
+    for (int s = 0; s < numSlices(); ++s)
+        resolveSlice(s);
+    res.completion = finishAccess(sm, stats);
+    stats.dramBusyCycles = static_cast<uint64_t>(dramBusyCycles());
+    return res;
+}
+
+double
+MemorySystem::dramBusyCycles() const
+{
+    double total = 0.0;
+    for (const auto &sl : slices)
+        total += sl.dramBusy;
+    return total;
 }
 
 void
@@ -138,9 +254,13 @@ MemorySystem::reset()
 {
     for (auto &c : l1)
         c.flush();
-    l2.flush();
-    dramNextFree = 0;
-    dramBusy = 0;
+    for (auto &sl : slices) {
+        sl.cache.flush();
+        sl.dramNextFree = 0.0;
+        sl.dramBusy = 0.0;
+    }
+    for (auto &req : parked)
+        req.active = false;
 }
 
 } // namespace gsuite

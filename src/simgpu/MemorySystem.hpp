@@ -1,8 +1,29 @@
 /**
  * @file
- * The GPU memory hierarchy: per-SM sectored L1D caches, a shared L2,
- * and a bandwidth-limited DRAM model, fed through a memory-access
- * coalescer.
+ * The GPU memory hierarchy: per-SM sectored L1D caches, an
+ * address-sliced L2, and bandwidth-limited per-slice DRAM channels,
+ * fed through a memory-access coalescer.
+ *
+ * The interface is split into three phases so the simulator can step
+ * SMs concurrently while staying bit-identical across worker-thread
+ * counts:
+ *
+ *  1. beginAccess() — called from the issuing SM's worker. Coalesces
+ *     lanes into sectors and probes that SM's L1 (state only ever
+ *     touched by its owner). Pure L1-hit loads complete immediately;
+ *     anything that needs L2/DRAM is parked (at most one request per
+ *     SM per cycle, enforced by the LSU port).
+ *  2. resolveSlice() — called once per slice per cycle, each slice by
+ *     exactly one worker. Walks the parked requests in SM-index order
+ *     and services the sectors this slice owns, so the L2/DRAM
+ *     ordering is a deterministic function of (cycle, slice, sm) and
+ *     never of thread scheduling.
+ *  3. finishAccess() — called from the owning SM's worker on the next
+ *     cycle. Merges per-sector completions, applies L1 fills, and
+ *     folds the slice-side counters into the SM's stats.
+ *
+ * warpAccess() bundles the three phases for serial callers (unit
+ * tests, offline tools); the simulator drives the phases directly.
  */
 
 #ifndef GSUITE_SIMGPU_MEMORYSYSTEM_HPP
@@ -34,7 +55,8 @@ struct MemAccessResult {
 
 /**
  * Orchestrates coalescing and the cache/DRAM stack. All per-launch
- * counters are written into the KernelStats passed to warpAccess.
+ * counters are written into per-SM KernelStats passed by the caller,
+ * so concurrent SMs never share a counter.
  */
 class MemorySystem
 {
@@ -42,13 +64,48 @@ class MemorySystem
     explicit MemorySystem(const GpuConfig &cfg);
 
     /**
-     * Perform one warp-level global-memory instruction.
+     * Phase 1: coalesce and probe L1 for one warp-level access.
      *
-     * @param sm Issuing SM index (selects the L1).
+     * @param sm Issuing SM index (selects the L1; caller must be the
+     *        SM's owning worker).
      * @param cycle Issue cycle.
      * @param lane_addrs Per-lane byte addresses (inactive lanes absent).
      * @param kind Load / store / atomic.
-     * @param stats Launch statistics to update.
+     * @param stats The issuing SM's statistics.
+     * @param out Filled with sectors/lsuCycles always; completion only
+     *        when the access completed in L1.
+     * @return True if complete; false if parked for slice resolution.
+     */
+    bool beginAccess(int sm, uint64_t cycle,
+                     std::span<const uint64_t> lane_addrs,
+                     MemAccessKind kind, KernelStats &stats,
+                     MemAccessResult &out);
+
+    /**
+     * Phase 2: service every parked sector owned by @p slice, in
+     * SM-index order. Each slice must be resolved by exactly one
+     * caller per cycle.
+     */
+    void resolveSlice(int slice);
+
+    /**
+     * Phase 3: complete the SM's parked request — apply L1 fills,
+     * fold L2/DRAM counters into @p stats — and return the
+     * warp-level completion cycle. Must only be called when
+     * hasParked(sm).
+     */
+    uint64_t finishAccess(int sm, KernelStats &stats);
+
+    /** True while @p sm has a parked (unfinished) request. */
+    bool
+    hasParked(int sm) const
+    {
+        return parked[static_cast<size_t>(sm)].active;
+    }
+
+    /**
+     * Serial convenience wrapper running all three phases (unit
+     * tests / non-simulator callers).
      */
     MemAccessResult warpAccess(int sm, uint64_t cycle,
                                std::span<const uint64_t> lane_addrs,
@@ -57,21 +114,57 @@ class MemorySystem
     /** Flush all caches and reset DRAM queueing (between launches). */
     void reset();
 
-    /** DRAM busy cycles accumulated since the last reset(). */
-    double dramBusyCycles() const { return dramBusy; }
+    /** Number of independent L2/DRAM slices. */
+    int
+    numSlices() const
+    {
+        return static_cast<int>(slices.size());
+    }
+
+    /** DRAM busy cycles (sum over slices) since the last reset(). */
+    double dramBusyCycles() const;
 
   private:
+    /** One coalesced sector of a parked request. */
+    struct SectorReq {
+        uint64_t addr = 0;    ///< sector base address
+        uint64_t issueAt = 0; ///< LSU pump cycle for this sector
+        uint64_t done = 0;    ///< completion (filled by its slice)
+        uint8_t slice = 0;
+        bool needsL2 = false; ///< false: satisfied by L1 in phase 1
+        bool fillL1 = false;  ///< load that missed L1: fill on finish
+        bool l2Hit = false;   ///< slice-side outcome, for stats
+    };
+
+    /** At most one parked request per SM (LSU-port invariant). */
+    struct ParkedReq {
+        bool active = false;
+        uint64_t cycle = 0;
+        MemAccessKind kind = MemAccessKind::Load;
+        int maxConflict = 1;
+        int numSectors = 0;
+        SectorReq sectors[32];
+    };
+
+    /** One address slice: an L2 bank plus its DRAM channel. */
+    struct L2Slice {
+        Cache cache;
+        double dramNextFree = 0.0;
+        double dramBusy = 0.0;
+
+        explicit L2Slice(const CacheGeometry &g) : cache(g) {}
+    };
+
     const GpuConfig &cfg;
     std::vector<Cache> l1;
-    Cache l2;
+    std::vector<L2Slice> slices;
+    std::vector<ParkedReq> parked; ///< one slot per SM
     /** Fractional cycle bookkeeping: DRAM service is sub-cycle. */
-    double dramNextFree = 0.0;
-    double dramBusy = 0.0;
-    double dramCyclesPerSector;
+    double dramCyclesPerSector; ///< per slice
 
-    /** Sector-granular access through L1 -> L2 -> DRAM. */
-    uint64_t accessSector(int sm, uint64_t addr, MemAccessKind kind,
-                          uint64_t cycle, KernelStats &stats);
+    int sliceOf(uint64_t addr) const;
+    /** Remap @p addr into a slice-local address (slice bits removed). */
+    uint64_t sliceLocalAddr(uint64_t addr) const;
 };
 
 } // namespace gsuite

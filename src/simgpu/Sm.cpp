@@ -17,27 +17,39 @@ Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem)
 }
 
 void
-Sm::beginLaunch(const KernelLaunch *new_launch, KernelStats *new_stats)
+Sm::beginLaunch(const KernelLaunch *new_launch, KernelStats *new_stats,
+                size_t chunk_instrs, bool idle_skip)
 {
     launch = new_launch;
     stats = new_stats;
+    chunkBudget = std::max<size_t>(1, chunk_instrs);
+    idleSkip = idle_skip;
     for (auto &w : warps) {
         w.active = false;
         w.done = false;
         w.waitingBarrier = false;
-        w.trace.clear();
+        w.chunk.clear();
+        w.stream = nullptr;
+        w.streamDone = false;
+        w.regCursor = 0;
         w.pc = 0;
         w.regReady.fill(0);
         w.regFromMem.reset();
         w.fetchReady = 0;
         w.atomicDrain = 0;
         w.cta = -1;
+        w.chunkBytes = 0;
     }
     std::fill(aluFree.begin(), aluFree.end(), uint64_t{0});
     std::fill(greedyWarp.begin(), greedyWarp.end(), -1);
     std::fill(rrCursor.begin(), rrCursor.end(), 0);
     lsuFree = 0;
     residentWarps = 0;
+    ageCounter = 0;
+    parkedWarp = -1;
+    idleUntil = 0;
+    residentTraceBytes = 0;
+    peakTraceBytes = 0;
     lastStall.fill(0);
     lastOcc.fill(0);
 
@@ -94,11 +106,13 @@ Sm::assignCta(int64_t cta_id, uint64_t cycle)
         w.active = true;
         w.done = false;
         w.waitingBarrier = false;
-        w.trace.clear();
-        launch->genTrace(cta_id, wi, w.trace);
-        panicIf(w.trace.instrs.empty() ||
-                    w.trace.instrs.back().op != Op::EXIT,
-                "warp trace must end with EXIT");
+        // The first chunk materializes lazily at the next step phase,
+        // on this SM's owning worker — assignment stays cheap and
+        // trace generation runs in parallel across SMs.
+        w.chunk.clear();
+        w.stream = launch->makeStream(cta_id, wi);
+        w.streamDone = false;
+        w.regCursor = 0;
         w.pc = 0;
         w.regReady.fill(0);
         w.regFromMem.reset();
@@ -107,11 +121,62 @@ Sm::assignCta(int64_t cta_id, uint64_t cycle)
         w.atomicDrain = 0;
         w.cta = static_cast<int>(cta - ctas.data());
         w.ageStamp = ageCounter++;
+        w.chunkBytes = 0;
         cta->warpSlots.push_back(slot);
         ++cta->liveWarps;
         ++residentWarps;
     }
     stats->warpsSimulated += warps_per_cta;
+    idleUntil = 0; // new warps change the SM's classification
+}
+
+void
+Sm::refillChunk(WarpCtx &w)
+{
+    panicIf(w.streamDone, "trace stream ran past its EXIT");
+    residentTraceBytes -= w.chunkBytes;
+    w.chunk.clear();
+    TraceBuilder tb(w.chunk, chunkBudget, w.regCursor);
+    w.streamDone = w.stream(tb);
+    panicIf(w.chunk.instrs.empty(), "trace stream made no progress");
+    panicIf(w.streamDone && w.chunk.instrs.back().op != Op::EXIT,
+            "warp trace must end with EXIT");
+    w.pc = 0;
+    w.chunkBytes =
+        w.chunk.instrs.size() * sizeof(SimInstr) +
+        w.chunk.addrs.size() * sizeof(uint64_t);
+    residentTraceBytes += w.chunkBytes;
+    if (residentTraceBytes > peakTraceBytes) {
+        peakTraceBytes = residentTraceBytes;
+        stats->traceBytesPeak = peakTraceBytes;
+    }
+}
+
+void
+Sm::finalizeParkedMem()
+{
+    if (parkedWarp < 0)
+        return;
+    const uint64_t completion = mem.finishAccess(smId, *stats);
+    WarpCtx &w = warps[static_cast<size_t>(parkedWarp)];
+    switch (parkedKind) {
+      case MemAccessKind::Load:
+        w.regReady[parkedDst] = completion;
+        w.regFromMem[parkedDst] = true;
+        break;
+      case MemAccessKind::Atomic:
+        w.atomicDrain = std::max(w.atomicDrain, completion);
+        break;
+      case MemAccessKind::Store:
+        break; // stores have no consumer-visible completion
+    }
+    parkedWarp = -1;
+}
+
+void
+Sm::drainParkedMem()
+{
+    finalizeParkedMem();
 }
 
 Sm::Classification
@@ -123,7 +188,7 @@ Sm::classify(const WarpCtx &w, uint64_t cycle) const
     if (w.fetchReady > cycle)
         return {StallReason::InstructionFetch, w.fetchReady};
 
-    const SimInstr &in = w.trace.instrs[w.pc];
+    const SimInstr &in = w.chunk.instrs[w.pc];
     if (in.op == Op::EXIT && w.atomicDrain > cycle)
         return {StallReason::Synchronization, w.atomicDrain};
 
@@ -168,6 +233,9 @@ Sm::finishWarp(int slot, uint64_t cycle)
     WarpCtx &w = warps[static_cast<size_t>(slot)];
     w.done = true;
     w.active = false;
+    w.stream = nullptr;
+    residentTraceBytes -= w.chunkBytes;
+    w.chunkBytes = 0;
     --residentWarps;
     CtaCtx &cta = ctas[static_cast<size_t>(w.cta)];
     --cta.liveWarps;
@@ -191,7 +259,7 @@ void
 Sm::issueInstr(int slot, uint64_t cycle, int sched)
 {
     WarpCtx &w = warps[static_cast<size_t>(slot)];
-    const SimInstr &in = w.trace.instrs[w.pc];
+    const SimInstr &in = w.chunk.instrs[w.pc];
 
     stats->instrByClass[static_cast<size_t>(instrClassOf(in.op))] += 1;
     stats->warpInstrs += 1;
@@ -235,23 +303,48 @@ Sm::issueInstr(int slot, uint64_t cycle, int sched)
         lsuFree = cycle + 1;
         break;
       case Op::LDG: {
-        const auto res = mem.warpAccess(smId, cycle, w.trace.addrsOf(in),
-                                        MemAccessKind::Load, *stats);
-        w.regReady[in.dst] = res.completion;
-        w.regFromMem[in.dst] = true;
+        MemAccessResult res;
+        const bool done_now =
+            mem.beginAccess(smId, cycle, w.chunk.addrsOf(in),
+                            MemAccessKind::Load, *stats, res);
+        if (done_now) {
+            w.regReady[in.dst] = res.completion;
+            w.regFromMem[in.dst] = true;
+        } else {
+            // Completion lands at the next step, after the slices
+            // resolve; no consumer can classify before then.
+            parkedWarp = slot;
+            parkedDst = in.dst;
+            parkedKind = MemAccessKind::Load;
+        }
         lsuFree = cycle + static_cast<uint64_t>(res.lsuCycles);
         break;
       }
       case Op::STG: {
-        const auto res = mem.warpAccess(smId, cycle, w.trace.addrsOf(in),
-                                        MemAccessKind::Store, *stats);
+        MemAccessResult res;
+        const bool done_now =
+            mem.beginAccess(smId, cycle, w.chunk.addrsOf(in),
+                            MemAccessKind::Store, *stats, res);
+        if (!done_now) {
+            parkedWarp = slot;
+            parkedDst = kNoReg;
+            parkedKind = MemAccessKind::Store;
+        }
         lsuFree = cycle + static_cast<uint64_t>(res.lsuCycles);
         break;
       }
       case Op::ATOM: {
-        const auto res = mem.warpAccess(smId, cycle, w.trace.addrsOf(in),
-                                        MemAccessKind::Atomic, *stats);
-        w.atomicDrain = std::max(w.atomicDrain, res.completion);
+        MemAccessResult res;
+        const bool done_now =
+            mem.beginAccess(smId, cycle, w.chunk.addrsOf(in),
+                            MemAccessKind::Atomic, *stats, res);
+        if (done_now) {
+            w.atomicDrain = std::max(w.atomicDrain, res.completion);
+        } else {
+            parkedWarp = slot;
+            parkedDst = kNoReg;
+            parkedKind = MemAccessKind::Atomic;
+        }
         lsuFree = cycle + static_cast<uint64_t>(res.lsuCycles);
         break;
       }
@@ -275,10 +368,15 @@ bool
 Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
 {
     constexpr uint64_t kNoEvent = ~uint64_t{0};
-    lastStall.fill(0);
-    lastOcc.fill(0);
+
+    // Fold last cycle's resolved memory access into warp state before
+    // anything classifies against it.
+    finalizeParkedMem();
+
     if (residentWarps == 0) {
         // Nothing resident: schedulers idle.
+        lastStall.fill(0);
+        lastOcc.fill(0);
         lastOcc[static_cast<size_t>(OccBucket::Idle)] +=
             static_cast<uint64_t>(cfg.numSchedulers);
         stats->occCycles[static_cast<size_t>(OccBucket::Idle)] +=
@@ -288,64 +386,53 @@ Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
         return false;
     }
 
-    // Pass 1: classify every resident warp.
+    // Nothing can change before idleUntil: replay the last
+    // classification instead of recomputing it.
+    if (idleUntil > cycle) {
+        accountExtra(1);
+        next_event = std::min(next_event, idleUntil);
+        return false;
+    }
+
+    lastStall.fill(0);
+    lastOcc.fill(0);
+
+    // Pass 1: refill exhausted trace chunks, classify every resident
+    // warp.
     for (size_t i = 0; i < warps.size(); ++i) {
-        if (warps[i].active && !warps[i].done)
-            cls[i] = classify(warps[i], cycle);
+        WarpCtx &w = warps[i];
+        if (!w.active || w.done)
+            continue;
+        if (w.pc >= w.chunk.instrs.size())
+            refillChunk(w);
+        cls[i] = classify(w, cycle);
     }
 
     bool issued_any = false;
     uint64_t min_event = kNoEvent;
 
-    // Pass 2: per-scheduler issue.
+    // Pass 2: per-scheduler issue. GTO tries the sticky warp first
+    // and then ready warps oldest-first; LRR rotates. Port-blocked
+    // candidates are marked (event = 1) so they are not retried.
     const int ns = cfg.numSchedulers;
     for (int s = 0; s < ns; ++s) {
         bool issued = false;
         bool structural = false;
         bool has_warp = false;
 
-        // Candidate order: GTO tries the sticky warp first and then
-        // the oldest ready warp; LRR rotates.
-        int order[64];
-        int count = 0;
-        for (int slot = s; slot < cfg.maxWarpsPerSm; slot += ns)
-            order[count++] = slot;
-        if (cfg.scheduler == SchedulerPolicy::Gto) {
-            std::sort(order, order + count, [&](int a, int b) {
-                const bool ga = a == greedyWarp[static_cast<size_t>(s)];
-                const bool gb = b == greedyWarp[static_cast<size_t>(s)];
-                if (ga != gb)
-                    return ga;
-                return warps[static_cast<size_t>(a)].ageStamp <
-                       warps[static_cast<size_t>(b)].ageStamp;
-            });
-        } else {
-            const int start = rrCursor[static_cast<size_t>(s)];
-            std::rotate(order, order + start % std::max(1, count),
-                        order + count);
-        }
-
-        for (int k = 0; k < count; ++k) {
-            const int slot = order[k];
+        auto try_issue = [&](int slot) -> bool {
+            // Returns true when the scheduler is done for this cycle.
             WarpCtx &w = warps[static_cast<size_t>(slot)];
-            if (!w.active || w.done)
-                continue;
-            has_warp = true;
-            if (cls[static_cast<size_t>(slot)].reason !=
-                StallReason::NotSelected)
-                continue; // blocked; counted in pass 3
-            if (cls[static_cast<size_t>(slot)].event != 0)
-                continue; // port-blocked earlier this cycle
-
-            const SimInstr &in = w.trace.instrs[w.pc];
+            const SimInstr &in = w.chunk.instrs[w.pc];
             const bool is_mem = isMemOp(in.op);
             const bool needs_alu = in.op == Op::FP32 ||
-                                   in.op == Op::INT || in.op == Op::SFU;
+                                   in.op == Op::INT ||
+                                   in.op == Op::SFU;
             if (is_mem && lsuFree > cycle) {
                 structural = true;
                 min_event = std::min(min_event, lsuFree);
-                cls[static_cast<size_t>(slot)].event = 1; // mark tried
-                continue;
+                cls[static_cast<size_t>(slot)].event = 1;
+                return false;
             }
             if (needs_alu &&
                 aluFree[static_cast<size_t>(s)] > cycle) {
@@ -353,21 +440,76 @@ Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
                 min_event = std::min(
                     min_event, aluFree[static_cast<size_t>(s)]);
                 cls[static_cast<size_t>(slot)].event = 1;
-                continue;
+                return false;
             }
-
             issueInstr(slot, cycle, s);
-            cls[static_cast<size_t>(slot)].reason = StallReason::Issued;
+            cls[static_cast<size_t>(slot)].reason =
+                StallReason::Issued;
             issued = true;
             issued_any = true;
-            if (cfg.scheduler == SchedulerPolicy::Gto)
-                greedyWarp[static_cast<size_t>(s)] = slot;
-            else
-                rrCursor[static_cast<size_t>(s)] = (k + 1) % count;
-
             const OccBucket b = bucketForLanes(in.activeLanes());
             lastOcc[static_cast<size_t>(b)] += 1;
-            break;
+            return true;
+        };
+
+        if (cfg.scheduler == SchedulerPolicy::Gto) {
+            // Selection without sorting: each round picks the sticky
+            // warp if eligible, else the oldest eligible candidate —
+            // the same order the sorted version visits.
+            for (;;) {
+                int best = -1;
+                uint64_t best_age = ~uint64_t{0};
+                for (int slot = s; slot < cfg.maxWarpsPerSm;
+                     slot += ns) {
+                    const WarpCtx &w =
+                        warps[static_cast<size_t>(slot)];
+                    if (!w.active || w.done)
+                        continue;
+                    has_warp = true;
+                    const Classification &c =
+                        cls[static_cast<size_t>(slot)];
+                    if (c.reason != StallReason::NotSelected ||
+                        c.event != 0)
+                        continue;
+                    if (slot == greedyWarp[static_cast<size_t>(s)]) {
+                        best = slot;
+                        break;
+                    }
+                    if (w.ageStamp < best_age) {
+                        best_age = w.ageStamp;
+                        best = slot;
+                    }
+                }
+                if (best < 0)
+                    break;
+                if (try_issue(best)) {
+                    greedyWarp[static_cast<size_t>(s)] = best;
+                    break;
+                }
+            }
+        } else {
+            const int count = cfg.maxWarpsPerSm / ns;
+            const int start =
+                count > 0
+                    ? rrCursor[static_cast<size_t>(s)] % count
+                    : 0;
+            for (int k = 0; k < count; ++k) {
+                const int slot = s + ((start + k) % count) * ns;
+                const WarpCtx &w = warps[static_cast<size_t>(slot)];
+                if (!w.active || w.done)
+                    continue;
+                has_warp = true;
+                const Classification &c =
+                    cls[static_cast<size_t>(slot)];
+                if (c.reason != StallReason::NotSelected ||
+                    c.event != 0)
+                    continue;
+                if (try_issue(slot)) {
+                    rrCursor[static_cast<size_t>(s)] =
+                        (k + 1) % count;
+                    break;
+                }
+            }
         }
 
         if (!issued) {
@@ -396,6 +538,12 @@ Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
         stats->occCycles[static_cast<size_t>(b)] +=
             lastOcc[static_cast<size_t>(b)];
     stats->schedulerSlots += static_cast<uint64_t>(ns);
+
+    // With no issue and all events known, this SM is frozen until the
+    // earliest of them: later steps replay this cycle's accounting.
+    if (idleSkip && !issued_any && min_event != kNoEvent &&
+        min_event > cycle + 1)
+        idleUntil = min_event;
 
     next_event = std::min(next_event, min_event);
     return issued_any;

@@ -8,6 +8,19 @@
  * and every scheduler slot into one of the Fig. 7 occupancy buckets.
  * Dependencies are tracked with a per-warp scoreboard of virtual
  * register ready-times; global memory goes through MemorySystem.
+ *
+ * Concurrency contract: one SM is only ever touched by its owning
+ * worker thread during the step phase. Global-memory instructions are
+ * split across the cycle barrier — the SM begins the access during
+ * its step (coalescing + its own L1), the memory slices resolve it
+ * after the step barrier, and the SM folds the completion back into
+ * its warp state at the start of its next step. Each SM writes its
+ * statistics into its own KernelStats instance; the simulator reduces
+ * them in SM-index order so totals are thread-count independent.
+ *
+ * Warp traces stream in fixed-budget chunks refilled on demand from
+ * the launch's WarpTraceStream, bounding trace memory at
+ * O(resident warps x chunk size).
  */
 
 #ifndef GSUITE_SIMGPU_SM_HPP
@@ -31,21 +44,34 @@ class Sm
   public:
     Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem);
 
-    /** Prepare for a new launch, pointing at its stats sink. */
-    void beginLaunch(const KernelLaunch *launch, KernelStats *stats);
+    /**
+     * Prepare for a new launch.
+     *
+     * @param launch The launch to simulate.
+     * @param stats This SM's private statistics sink.
+     * @param chunk_instrs Trace-chunk instruction budget.
+     * @param idle_skip Enable per-SM idle fast-forwarding.
+     */
+    void beginLaunch(const KernelLaunch *launch, KernelStats *stats,
+                     size_t chunk_instrs, bool idle_skip);
 
     /** True if another CTA can become resident. */
     bool hasFreeCtaSlot() const;
 
-    /** Make CTA @p cta_id resident, materializing its warp traces. */
+    /**
+     * Make CTA @p cta_id resident. Cheap: warp trace streams are only
+     * instantiated here; their first chunks materialize lazily during
+     * the next step phase (i.e. on the owning worker).
+     */
     void assignCta(int64_t cta_id, uint64_t cycle);
 
     /** True while any warp is resident and unfinished. */
     bool busy() const { return residentWarps > 0; }
 
     /**
-     * Simulate one cycle: classify all warps, let each scheduler issue
-     * at most one instruction, and record statistics.
+     * Simulate one cycle: finalize last cycle's parked memory access,
+     * refill exhausted trace chunks, classify all warps, let each
+     * scheduler issue at most one instruction, and record statistics.
      *
      * @param cycle Current cycle.
      * @param next_event Monotonically lowered to the earliest future
@@ -60,19 +86,29 @@ class Sm
      */
     void accountExtra(uint64_t delta);
 
+    /**
+     * Fold an unconsumed parked memory access into warp state and
+     * stats (end of run, when no further step will happen).
+     */
+    void drainParkedMem();
+
   private:
     struct WarpCtx {
         bool active = false;
         bool done = false;
         bool waitingBarrier = false;
-        WarpTrace trace;
-        size_t pc = 0;
+        WarpTrace chunk; ///< resident trace window (reused arena)
+        WarpTraceStream stream;
+        bool streamDone = false;
+        uint8_t regCursor = 0;
+        size_t pc = 0; ///< index into chunk
         std::array<uint64_t, kNumWarpRegs> regReady{};
         std::bitset<kNumWarpRegs> regFromMem;
         uint64_t fetchReady = 0;
         uint64_t atomicDrain = 0;
         int cta = -1;
         uint64_t ageStamp = 0;
+        uint64_t chunkBytes = 0; ///< current chunk footprint
     };
 
     struct CtaCtx {
@@ -94,6 +130,8 @@ class Sm
     MemorySystem &mem;
     const KernelLaunch *launch = nullptr;
     KernelStats *stats = nullptr;
+    size_t chunkBudget = 256;
+    bool idleSkip = true;
 
     std::vector<WarpCtx> warps;
     std::vector<CtaCtx> ctas;
@@ -106,6 +144,24 @@ class Sm
     int maxResidentCtas = 0;
     uint64_t ageCounter = 0;
 
+    /**
+     * Parked memory access awaiting slice resolution: the issuing
+     * warp slot (or -1) plus where the completion lands.
+     */
+    int parkedWarp = -1;
+    Reg parkedDst = kNoReg;
+    MemAccessKind parkedKind = MemAccessKind::Load;
+
+    /**
+     * Nothing on this SM can change before this cycle (no issue
+     * possible, all events known): stepCycle() just replays the last
+     * classification until then. Cleared by CTA assignment.
+     */
+    uint64_t idleUntil = 0;
+
+    uint64_t residentTraceBytes = 0;
+    uint64_t peakTraceBytes = 0;
+
     // Last cycle's per-state counts, for accountExtra().
     std::array<uint64_t, kNumStallReasons> lastStall{};
     std::array<uint64_t, kNumOccBuckets> lastOcc{};
@@ -115,6 +171,8 @@ class Sm
     void releaseBarrierIfComplete(CtaCtx &cta, uint64_t cycle);
     void finishWarp(int slot, uint64_t cycle);
     OccBucket bucketForLanes(int lanes) const;
+    void refillChunk(WarpCtx &w);
+    void finalizeParkedMem();
 };
 
 } // namespace gsuite

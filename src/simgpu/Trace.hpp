@@ -64,11 +64,40 @@ struct WarpTrace {
  * allocation. The rotation window (kNumWarpRegs) is large enough that
  * false dependencies are negligible, mirroring a compiler that has
  * plenty of architectural registers.
+ *
+ * A builder can be *budgeted* (streaming mode): full() turns true once
+ * the chunk holds at least the budgeted instruction count, and the
+ * register-rotation cursor lives outside the builder so it survives
+ * across the chunks of one warp. Emitting past the budget is allowed
+ * (the budget is a soft watermark); generators should simply check
+ * full() between logical instruction groups.
  */
 class TraceBuilder
 {
   public:
+    /** Unbounded builder with its own register cursor (eager mode). */
     explicit TraceBuilder(WarpTrace &trace);
+
+    /**
+     * Budgeted builder for one chunk of a streamed trace.
+     *
+     * @param trace The chunk to append to.
+     * @param instr_budget Soft cap on instructions for this chunk.
+     * @param reg_cursor Rotation cursor persisted by the caller
+     *        across refills of the same warp.
+     */
+    TraceBuilder(WarpTrace &trace, size_t instr_budget,
+                 uint8_t &reg_cursor);
+
+    /** True once the chunk reached its instruction budget. */
+    bool
+    full() const
+    {
+        return trace.instrs.size() >= budget;
+    }
+
+    /** The chunk being built (for eager-generator adapters). */
+    WarpTrace &buffer() { return trace; }
 
     /** Emit an ALU op; returns the destination register. */
     Reg alu(Op op, Reg a = kNoReg, Reg b = kNoReg,
@@ -106,7 +135,9 @@ class TraceBuilder
 
   private:
     WarpTrace &trace;
-    uint8_t nextReg = 0;
+    size_t budget;
+    uint8_t ownCursor = 0;
+    uint8_t *cursor;
 
     Reg allocReg();
     uint32_t pushAddrs(std::span<const uint64_t> lane_addrs,

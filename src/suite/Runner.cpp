@@ -12,6 +12,8 @@ AbstractionModule::makeEngine(const UserParams &params)
     if (params.engine == EngineKind::Sim) {
         SimEngine::Options opts;
         opts.profileCaches = params.profileCaches;
+        opts.sim.numThreads = params.simThreads;
+        opts.parallelLaunches = params.simParallelLaunches;
         return std::make_unique<SimEngine>(opts);
     }
     FunctionalEngine::Options opts;

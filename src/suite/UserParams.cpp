@@ -29,6 +29,7 @@ UserParams::fromOptions(const OptionSet &opts)
         "outdim",     "gineps",    "runs",        "seed",
         "profile-caches", "node-div", "edge-div", "feature-cap",
         "csv",        "verbose",   "quiet",
+        "sim-threads", "sim-parallel",
     };
     for (const auto &key : opts.keys()) {
         if (known.find(key) == known.end())
@@ -52,6 +53,10 @@ UserParams::fromOptions(const OptionSet &opts)
     p.runs = static_cast<int>(opts.getInt("runs", p.runs));
     p.seed = static_cast<uint64_t>(opts.getInt("seed", 7));
     p.profileCaches = opts.getBool("profile-caches", false);
+    p.simThreads =
+        static_cast<int>(opts.getInt("sim-threads", p.simThreads));
+    p.simParallelLaunches = static_cast<int>(
+        opts.getInt("sim-parallel", p.simParallelLaunches));
     p.nodeDivisor = opts.getInt("node-div", -1);
     p.edgeDivisor = opts.getInt("edge-div", -1);
     p.featureCap = opts.getInt("feature-cap", -1);
@@ -66,6 +71,8 @@ UserParams::fromOptions(const OptionSet &opts)
         fatal("--layers must be >= 1");
     if (p.runs < 1)
         fatal("--runs must be >= 1");
+    if (p.simThreads < 0 || p.simParallelLaunches < 0)
+        fatal("--sim-threads/--sim-parallel must be >= 0");
     return p;
 }
 

@@ -44,6 +44,17 @@ struct UserParams {
 
     bool profileCaches = false;
 
+    /**
+     * Worker threads per simulated launch (0 = auto). Statistics are
+     * bit-identical for every value.
+     */
+    int simThreads = 0;
+    /**
+     * Independent launches simulated concurrently by the sim engine
+     * (1 = serial, 0 = auto).
+     */
+    int simParallelLaunches = 1;
+
     /** Dataset scaling: <0 means "use the engine-appropriate
      *  default" (defaultSimScale / defaultFunctionalScale). */
     int64_t nodeDivisor = -1;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A persistent worker pool plus a light-weight spin barrier, built for
+ * the cycle-level simulator's per-cycle phase synchronization.
+ *
+ * The pool keeps its threads alive across invocations so a simulation
+ * run pays one condition-variable wakeup per kernel, not per cycle;
+ * the per-cycle barriers inside a run use SpinBarrier, which spins
+ * briefly and then yields (so oversubscribed hosts still make
+ * progress).
+ */
+
+#ifndef GSUITE_UTIL_THREADPOOL_HPP
+#define GSUITE_UTIL_THREADPOOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gsuite {
+
+/**
+ * Sense-reversing barrier for tightly-coupled phase loops. All
+ * @p parties must call arriveAndWait() to release a phase; the barrier
+ * is immediately reusable for the next phase.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(int parties);
+
+    /** Block (spin, then yield) until all parties have arrived. */
+    void arriveAndWait();
+
+  private:
+    const int parties;
+    const int spinLimit; ///< spins before yielding (1 when oversubscribed)
+    std::atomic<int> arrived{0};
+    std::atomic<uint64_t> phase{0};
+};
+
+/**
+ * Fixed-size pool of persistent workers. "Lanes" counts the calling
+ * thread too: a pool with N lanes owns N-1 background threads, and
+ * runOnAll(fn) executes fn(0..N-1) concurrently with the caller
+ * running lane 0.
+ */
+class ThreadPool
+{
+  public:
+    /** @param lanes Total concurrent lanes (>= 1, includes caller). */
+    explicit ThreadPool(int lanes);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int lanes() const { return numLanes; }
+
+    /**
+     * Run @p fn on every lane and return once all lanes finish. The
+     * caller executes lane 0. Not reentrant.
+     */
+    void runOnAll(const std::function<void(int lane)> &fn);
+
+    /**
+     * Dynamically-scheduled parallel loop: fn(i, lane) is called for
+     * every i in [0, n), each index exactly once. Lane ids let callers
+     * keep per-lane scratch (e.g. one simulator instance per lane).
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t i, int lane)> &fn);
+
+    /** A sensible default lane count for this host (>= 1). */
+    static int defaultLanes();
+
+  private:
+    int numLanes;
+    std::vector<std::thread> threads;
+
+    std::mutex mtx;
+    std::condition_variable wake;
+    std::condition_variable idle;
+    const std::function<void(int)> *job = nullptr;
+    uint64_t generation = 0;
+    int running = 0;
+    bool stopping = false;
+
+    void workerMain(int lane);
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_UTIL_THREADPOOL_HPP

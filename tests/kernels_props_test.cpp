@@ -157,7 +157,7 @@ TEST(ElementwiseExtended, ExpTraceUsesSfu)
     DeviceAllocator alloc;
     const KernelLaunch l = k.makeLaunch(alloc);
     WarpTrace t;
-    l.genTrace(0, 0, t);
+    l.buildFullTrace(0, 0, t);
     bool sfu = false;
     for (const auto &i : t.instrs)
         sfu |= i.op == Op::SFU;
@@ -211,7 +211,7 @@ TEST(TraceCoverage, IndexSelectStoresPartitionOutput)
     for (int64_t cta = 0; cta < l.dims.numCtas; ++cta) {
         for (int w = 0; w < l.dims.warpsPerCta(); ++w) {
             t.clear();
-            l.genTrace(cta, w, t);
+            l.buildFullTrace(cta, w, t);
             for (const auto &in2 : t.instrs)
                 if (in2.op == Op::STG)
                     for (uint64_t a : t.addrsOf(in2))
@@ -245,7 +245,7 @@ TEST(TraceCoverage, ScatterAtomicsCoverEveryMessage)
     for (int64_t cta = 0; cta < l.dims.numCtas; ++cta) {
         for (int w = 0; w < l.dims.warpsPerCta(); ++w) {
             t.clear();
-            l.genTrace(cta, w, t);
+            l.buildFullTrace(cta, w, t);
             for (const auto &in2 : t.instrs)
                 if (in2.op == Op::ATOM)
                     atomic_lanes += in2.addrCount;

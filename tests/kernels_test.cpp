@@ -39,14 +39,14 @@ randomMatrix(int64_t r, int64_t c, uint64_t seed)
 void
 checkTraces(const KernelLaunch &launch, int64_t max_ctas = 64)
 {
-    ASSERT_TRUE(static_cast<bool>(launch.genTrace));
+    ASSERT_TRUE(launch.hasTraceGen());
     ASSERT_GT(launch.dims.numCtas, 0);
     WarpTrace t;
     const int64_t ctas = std::min(launch.dims.numCtas, max_ctas);
     for (int64_t cta = 0; cta < ctas; ++cta) {
         for (int w = 0; w < launch.dims.warpsPerCta(); ++w) {
             t.clear();
-            launch.genTrace(cta, w, t);
+            launch.buildFullTrace(cta, w, t);
             ASSERT_FALSE(t.instrs.empty());
             EXPECT_EQ(t.instrs.back().op, Op::EXIT);
             for (const SimInstr &in : t.instrs) {
@@ -108,7 +108,7 @@ TEST(IndexSelectKernelTest, NarrowFeatureDivergence)
     DeviceAllocator alloc;
     const KernelLaunch l = k.makeLaunch(alloc);
     WarpTrace t;
-    l.genTrace(0, 0, t);
+    l.buildFullTrace(0, 0, t);
     // Find the gather (second load) and count unique sectors.
     int loads = 0;
     for (const SimInstr &in2 : t.instrs) {
@@ -190,7 +190,7 @@ TEST(ScatterKernelTest, TraceUsesAtomics)
     const KernelLaunch l = k.makeLaunch(alloc);
     checkTraces(l);
     WarpTrace t;
-    l.genTrace(0, 0, t);
+    l.buildFullTrace(0, 0, t);
     bool has_atomic = false;
     for (const SimInstr &in : t.instrs)
         has_atomic |= in.op == Op::ATOM;
@@ -223,7 +223,7 @@ TEST(SgemmKernelTest, TiledLaunchGeometryAndBarriers)
     EXPECT_EQ(l.flopEstimate, 2ull * 33 * 17 * 40);
     checkTraces(l);
     WarpTrace t;
-    l.genTrace(0, 0, t);
+    l.buildFullTrace(0, 0, t);
     int bars = 0, fp32 = 0, total = 0;
     for (const SimInstr &in : t.instrs) {
         bars += in.op == Op::BAR;
@@ -271,7 +271,7 @@ TEST(SpmmKernelTest, NarrowFeatureHasPartialMask)
     DeviceAllocator alloc;
     const KernelLaunch l = k.makeLaunch(alloc);
     WarpTrace t;
-    l.genTrace(0, 0, t); // row 0 has one nonzero
+    l.buildFullTrace(0, 0, t); // row 0 has one nonzero
     bool saw_partial = false;
     for (const SimInstr &in : t.instrs)
         saw_partial |= in.op == Op::STG && in.activeLanes() == 1;
@@ -351,7 +351,7 @@ TEST(ElementwiseKernelTest, SigmoidTraceUsesSfu)
     const KernelLaunch l = k.makeLaunch(alloc);
     checkTraces(l);
     WarpTrace t;
-    l.genTrace(0, 0, t);
+    l.buildFullTrace(0, 0, t);
     bool has_sfu = false;
     for (const SimInstr &in2 : t.instrs)
         has_sfu |= in2.op == Op::SFU;

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Determinism regression tests for the parallel simulation engine:
+ * KernelStats must be bit-identical regardless of worker-thread
+ * count, trace-chunk size, and eager-vs-streaming trace
+ * representation. These invariants are what lets the simulator use
+ * however many cores the host offers without changing any figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "engine/ExecutionEngine.hpp"
+#include "kernels/Elementwise.hpp"
+#include "kernels/Spmm.hpp"
+#include "simgpu/GpuSimulator.hpp"
+#include "simgpu/Trace.hpp"
+#include "sparse/Csr.hpp"
+#include "tensor/DenseMatrix.hpp"
+#include "util/Random.hpp"
+
+using namespace gsuite;
+
+namespace {
+
+/** Field-by-field equality of everything a launch's stats report. */
+void
+expectStatsEqual(const KernelStats &a, const KernelStats &b,
+                 bool compare_trace_peak = true)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ctasSimulated, b.ctasSimulated);
+    EXPECT_EQ(a.warpsSimulated, b.warpsSimulated);
+    EXPECT_EQ(a.warpInstrs, b.warpInstrs);
+    EXPECT_EQ(a.threadInstrs, b.threadInstrs);
+    for (size_t i = 0; i < a.instrByClass.size(); ++i)
+        EXPECT_EQ(a.instrByClass[i], b.instrByClass[i]) << "class " << i;
+    for (size_t i = 0; i < a.stallCycles.size(); ++i)
+        EXPECT_EQ(a.stallCycles[i], b.stallCycles[i]) << "stall " << i;
+    for (size_t i = 0; i < a.occCycles.size(); ++i)
+        EXPECT_EQ(a.occCycles[i], b.occCycles[i]) << "occ " << i;
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.memInstrs, b.memInstrs);
+    EXPECT_EQ(a.memSectors, b.memSectors);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    EXPECT_EQ(a.dramBusyCycles, b.dramBusyCycles);
+    EXPECT_EQ(a.aluBusyCycles, b.aluBusyCycles);
+    EXPECT_EQ(a.schedulerSlots, b.schedulerSlots);
+    if (compare_trace_peak) {
+        EXPECT_EQ(a.traceBytesPeak, b.traceBytesPeak);
+    }
+}
+
+/** A skewed SpMM workload (the paper's irregular-access archetype). */
+struct SpmmWorkload {
+    CsrMatrix adj;
+    DenseMatrix features;
+    DenseMatrix out;
+    SpmmKernel kernel;
+
+    SpmmWorkload()
+        : adj(makeAdj()), features(makeFeatures()),
+          kernel("spmm_det", adj, features, out)
+    {
+        kernel.execute();
+    }
+
+    static CsrMatrix
+    makeAdj()
+    {
+        // Heavy-tailed row lengths: a few hub rows, many short ones.
+        Rng rng(123);
+        SparseBuilder bld(300, 300);
+        for (int64_t r = 0; r < 300; ++r) {
+            const int64_t deg = r % 37 == 0 ? 60 : 1 + r % 7;
+            for (int64_t k = 0; k < deg; ++k)
+                bld.add(r,
+                        static_cast<int64_t>(rng.nextBelow(300)),
+                        rng.nextFloat(-1.0f, 1.0f));
+        }
+        return bld.finish();
+    }
+
+    static DenseMatrix
+    makeFeatures()
+    {
+        DenseMatrix f(300, 48);
+        Rng rng(7);
+        f.fillUniform(rng, -1.0f, 1.0f);
+        return f;
+    }
+};
+
+/**
+ * A synthetic launch exercising barriers, atomics, shared memory and
+ * divergent loads together (the hardest interleavings to keep
+ * deterministic).
+ */
+KernelLaunch
+mixedSyntheticLaunch()
+{
+    KernelLaunch l;
+    l.name = "mixed";
+    l.kind = KernelClass::Aux;
+    l.dims.numCtas = 24;
+    l.dims.threadsPerCta = 128;
+    l.genTrace = [](int64_t cta, int warp, WarpTrace &out) {
+        TraceBuilder b(out);
+        b.aluChain(Op::INT, 3 + warp);
+        std::array<uint64_t, 32> a{};
+        for (int i = 0; i < 32; ++i)
+            a[static_cast<size_t>(i)] =
+                0x10000ull +
+                static_cast<uint64_t>((cta * 7 + warp * 5 + i) % 97) *
+                    256ull;
+        const Reg r = b.load({a.data(), 32});
+        b.alu(Op::FP32, r);
+        b.barrier();
+        b.sharedStore(b.sharedLoad());
+        for (int i = 0; i < 32; ++i)
+            a[static_cast<size_t>(i)] =
+                0x40000ull + static_cast<uint64_t>(cta % 5) * 4;
+        const Reg v = b.alu(Op::FP32);
+        b.atomic({a.data(), 32}, v);
+        b.aluChain(Op::FP32, 4);
+        b.store({a.data(), 8}, v);
+        b.exit();
+    };
+    return l;
+}
+
+GpuConfig
+detConfig()
+{
+    // 8 SMs / 4 slices so up to 8 workers get distinct partitions.
+    GpuConfig cfg = GpuConfig::v100Sim();
+    cfg.smSampleFactor = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SimDeterminism, SpmmIdenticalAcrossThreadCounts)
+{
+    SpmmWorkload w;
+    DeviceAllocator alloc;
+    const KernelLaunch launch = w.kernel.makeLaunch(alloc);
+
+    SimOptions opts;
+    opts.maxCtas = 96;
+    std::vector<KernelStats> results;
+    for (const int threads : {1, 2, 4, 8}) {
+        GpuSimulator sim(detConfig());
+        opts.numThreads = threads;
+        results.push_back(sim.run(launch, opts));
+    }
+    for (size_t i = 1; i < results.size(); ++i)
+        expectStatsEqual(results[0], results[i]);
+    // Sanity: the workload is non-trivial.
+    EXPECT_GT(results[0].warpInstrs, 1000u);
+    EXPECT_GT(results[0].l2Misses, 0u);
+}
+
+TEST(SimDeterminism, MixedKernelIdenticalAcrossThreadCounts)
+{
+    const KernelLaunch launch = mixedSyntheticLaunch();
+    SimOptions opts;
+    std::vector<KernelStats> results;
+    for (const int threads : {1, 3, 8}) {
+        GpuSimulator sim(detConfig());
+        opts.numThreads = threads;
+        results.push_back(sim.run(launch, opts));
+    }
+    for (size_t i = 1; i < results.size(); ++i)
+        expectStatsEqual(results[0], results[i]);
+    EXPECT_GT(results[0].stallCycles[static_cast<size_t>(
+                  StallReason::Synchronization)],
+              0u);
+}
+
+TEST(SimDeterminism, ReusedSimulatorMatchesFreshSimulator)
+{
+    // SimEngine reuses one simulator across launches; state from a
+    // previous launch must never leak into the next.
+    SpmmWorkload w;
+    DeviceAllocator alloc;
+    const KernelLaunch launch = w.kernel.makeLaunch(alloc);
+    SimOptions opts;
+    opts.maxCtas = 64;
+
+    GpuSimulator reused(detConfig());
+    const KernelStats first = reused.run(launch, opts);
+    const KernelStats second = reused.run(launch, opts);
+    GpuSimulator fresh(detConfig());
+    const KernelStats clean = fresh.run(launch, opts);
+    expectStatsEqual(first, second);
+    expectStatsEqual(first, clean);
+}
+
+TEST(SimDeterminism, ChunkSizeInvariant)
+{
+    SpmmWorkload w;
+    DeviceAllocator alloc;
+    const KernelLaunch launch = w.kernel.makeLaunch(alloc);
+
+    SimOptions opts;
+    opts.maxCtas = 64;
+    std::vector<KernelStats> results;
+    for (const int chunk : {32, 128, 1 << 20}) {
+        GpuSimulator sim(detConfig());
+        opts.traceChunkInstrs = chunk;
+        results.push_back(sim.run(launch, opts));
+    }
+    // Timing and counters are chunk-invariant; only the resident
+    // trace footprint may differ.
+    for (size_t i = 1; i < results.size(); ++i)
+        expectStatsEqual(results[0], results[i],
+                         /*compare_trace_peak=*/false);
+    // Smaller chunks must bound trace memory at least as tightly.
+    EXPECT_LE(results[0].traceBytesPeak, results[2].traceBytesPeak);
+}
+
+TEST(SimDeterminism, ParallelLaunchEngineMatchesSerialEngine)
+{
+    // SimEngine's deferred concurrent launch simulation must produce
+    // the same per-kernel stats as inline serial simulation.
+    auto run_engine = [](int parallel) {
+        SimEngine::Options eopts;
+        eopts.gpu = detConfig();
+        eopts.sim.maxCtas = 48;
+        eopts.parallelLaunches = parallel;
+        SimEngine engine(eopts);
+
+        SpmmWorkload w;
+        DenseMatrix relu_out;
+        ElementwiseKernel ew("relu", ElementwiseKernel::EwOp::Relu,
+                             w.out, relu_out);
+        engine.run(w.kernel);
+        engine.run(ew);
+        engine.sync(); // before the workload dies
+
+        std::vector<KernelStats> stats;
+        for (const auto &rec : engine.timeline()) {
+            EXPECT_TRUE(rec.hasSim);
+            stats.push_back(rec.sim);
+        }
+        return stats;
+    };
+
+    const std::vector<KernelStats> serial = run_engine(1);
+    const std::vector<KernelStats> parallel = run_engine(3);
+    ASSERT_EQ(serial.size(), 2u);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        expectStatsEqual(serial[i], parallel[i]);
+}
+
+TEST(SimDeterminism, EagerAndStreamedTracesMatch)
+{
+    // The same logical trace, expressed eagerly and as a resumable
+    // stream, must simulate identically.
+    const int64_t iters = 200;
+    auto body = [](TraceBuilder &b, int64_t i) {
+        std::array<uint64_t, 8> a{};
+        for (int l = 0; l < 8; ++l)
+            a[static_cast<size_t>(l)] =
+                0x20000ull +
+                static_cast<uint64_t>((i * 8 + l) % 513) * 32ull;
+        const Reg r = b.load({a.data(), 8});
+        b.alu(Op::FP32, r);
+        b.control();
+    };
+
+    KernelLaunch eager;
+    eager.name = "eager";
+    eager.dims.numCtas = 4;
+    eager.dims.threadsPerCta = 64;
+    eager.genTrace = [body](int64_t, int, WarpTrace &out) {
+        TraceBuilder b(out);
+        for (int64_t i = 0; i < iters; ++i)
+            body(b, i);
+        b.exit();
+    };
+
+    KernelLaunch streamed = eager;
+    streamed.name = "streamed";
+    streamed.genTrace = nullptr;
+    streamed.streamTrace = [body](int64_t, int) -> WarpTraceStream {
+        int64_t i = 0;
+        return [body, i](TraceBuilder &b) mutable {
+            while (i < iters && !b.full())
+                body(b, i++);
+            if (i < iters)
+                return false;
+            b.exit();
+            return true;
+        };
+    };
+
+    SimOptions opts;
+    opts.traceChunkInstrs = 64;
+    GpuSimulator sim_e(detConfig());
+    GpuSimulator sim_s(detConfig());
+    const KernelStats st_e = sim_e.run(eager, opts);
+    const KernelStats st_s = sim_s.run(streamed, opts);
+    expectStatsEqual(st_e, st_s, /*compare_trace_peak=*/false);
+    // The streamed form must actually cap resident trace memory.
+    EXPECT_LT(st_s.traceBytesPeak, st_e.traceBytesPeak);
+}

@@ -134,7 +134,7 @@ TEST(SoftmaxXentTest, TraceIsWellFormed)
     DeviceAllocator alloc;
     const KernelLaunch l = k.makeLaunch(alloc);
     WarpTrace t;
-    l.genTrace(0, 0, t);
+    l.buildFullTrace(0, 0, t);
     ASSERT_FALSE(t.instrs.empty());
     EXPECT_EQ(t.instrs.back().op, Op::EXIT);
     bool has_sfu = false;
