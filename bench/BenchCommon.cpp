@@ -21,6 +21,14 @@ dsShort(DatasetId id)
     return datasetInfo(id).shortForm.c_str();
 }
 
+std::string
+dsShortByName(const std::string &name)
+{
+    if (isFileDataset(name))
+        return name;
+    return datasetInfoByName(name).shortForm;
+}
+
 const std::vector<GnnModelKind> &
 paperModels()
 {
@@ -29,32 +37,37 @@ paperModels()
     return models;
 }
 
+bool
+sageSpmmUnsupported(const UserParams &p)
+{
+    return p.model == GnnModelKind::Sage &&
+           p.comp == CompModel::Spmm &&
+           p.framework == Framework::Gsuite;
+}
+
 SimRun
 runSimPipeline(DatasetId id, GnnModelKind model, CompModel comp,
                const SimBenchOptions &opts)
 {
-    const DatasetScale scale = defaultSimScale(id);
-    const Graph graph = loadDataset(id, scale, opts.seed);
+    UserParams p;
+    p.dataset = datasetInfo(id).name;
+    p.model = model;
+    p.comp = comp;
+    p.framework = Framework::Gsuite;
+    p.engine = EngineKind::Sim;
+    p.runs = 1;
+    p.layers = opts.layers;
+    p.seed = opts.seed;
+    p.maxCtas = opts.maxCtas;
+    p.profileCaches = opts.profileCaches;
+    p.simThreads = opts.simThreads;
+    p.simParallelLaunches = opts.parallelLaunches;
 
-    SimEngine::Options eopts;
-    eopts.sim.maxCtas = opts.maxCtas;
-    eopts.sim.numThreads = opts.simThreads;
-    eopts.profileCaches = opts.profileCaches;
-    eopts.parallelLaunches = opts.parallelLaunches;
-    SimEngine engine(eopts);
-
-    ModelConfig cfg;
-    cfg.model = model;
-    cfg.comp = comp;
-    cfg.layers = opts.layers;
-    cfg.seed = opts.seed;
-    GnnPipeline pipeline(graph, cfg);
-    pipeline.run(engine);
-
+    const RunOutcome out = BenchSession::runPoint(p);
     SimRun run;
-    run.timeline = engine.timeline();
+    run.timeline = out.timeline;
     run.byClass = simStatsByClass(run.timeline);
-    run.scale = scale.describe();
+    run.scale = out.scaleDescription;
     return run;
 }
 
@@ -73,9 +86,44 @@ BenchArgs::parse(int argc, char **argv)
     args.csvPath = opts.getString("csv", "");
     args.quick = opts.getBool("quick", false);
     args.layers = static_cast<int>(opts.getInt("layers", 2));
+    args.sweepThreads =
+        static_cast<int>(opts.getInt("sweep-threads", 1));
     if (opts.getBool("quiet", false))
         setLogLevel(LogLevel::Quiet);
     return args;
+}
+
+UserParams
+BenchArgs::simBase() const
+{
+    UserParams p;
+    p.framework = Framework::Gsuite;
+    p.engine = EngineKind::Sim;
+    p.runs = 1;
+    p.layers = layers;
+    p.maxCtas = maxCtas();
+    p.simThreads = 0;          // auto (budget-composed in sweeps)
+    p.simParallelLaunches = 0; // auto
+    return p;
+}
+
+UserParams
+BenchArgs::functionalBase() const
+{
+    UserParams p;
+    p.framework = Framework::Gsuite;
+    p.engine = EngineKind::Functional;
+    p.runs = quick ? 1 : 3;
+    p.layers = layers;
+    return p;
+}
+
+BenchSession::Options
+BenchArgs::sessionOptions() const
+{
+    BenchSession::Options opts;
+    opts.sweepThreads = sweepThreads;
+    return opts;
 }
 
 void

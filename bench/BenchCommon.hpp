@@ -1,8 +1,10 @@
 /**
  * @file
- * Shared helpers for the per-figure bench binaries: standard
- * model/dataset grids, simulator pipeline execution with per-class
- * aggregation, and consistent labels matching the paper's figures.
+ * Shared helpers for the per-figure bench binaries: the paper's
+ * model/dataset grids and labels, common CLI flags, and a
+ * convenience single-point simulator run. All grid execution lives
+ * in suite/SweepSpec + suite/BenchSession; all result aggregation
+ * and emission in suite/ResultStore.
  */
 
 #ifndef GSUITE_BENCH_BENCHCOMMON_HPP
@@ -12,10 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "engine/ExecutionEngine.hpp"
-#include "graph/Datasets.hpp"
-#include "models/GnnModel.hpp"
-#include "suite/Runner.hpp"
+#include "suite/BenchSession.hpp"
 #include "util/Csv.hpp"
 #include "util/Options.hpp"
 #include "util/Table.hpp"
@@ -28,8 +27,18 @@ const std::vector<DatasetId> &paperDatasets();
 /** Two-letter dataset label (CR/CS/PB/RD/LJ). */
 const char *dsShort(DatasetId id);
 
+/** Dataset short form from a point's dataset name. */
+std::string dsShortByName(const std::string &name);
+
 /** The three paper models in paper order. */
 const std::vector<GnnModelKind> &paperModels();
+
+/**
+ * SweepSpec::skip predicate for the combination the paper found no
+ * implementation of: gSuite SpMM GraphSAGE (Section II-C). DGL runs
+ * SAGE via SpMM, so only the gSuite path is unsupported.
+ */
+bool sageSpmmUnsupported(const UserParams &p);
 
 /** Result of one simulated pipeline. */
 struct SimRun {
@@ -50,7 +59,8 @@ struct SimBenchOptions {
 
 /**
  * Build and simulate one pipeline at the dataset's sim scale,
- * returning per-kernel-class merged statistics.
+ * returning per-kernel-class merged statistics. Thin wrapper over
+ * BenchSession::runPoint.
  */
 SimRun runSimPipeline(DatasetId id, GnnModelKind model, CompModel comp,
                       const SimBenchOptions &opts = {});
@@ -58,22 +68,28 @@ SimRun runSimPipeline(DatasetId id, GnnModelKind model, CompModel comp,
 /** Percentage formatting for figure cells. */
 std::string pct(double fraction);
 
-/** Parse common bench flags (--csv FILE, --quick, --layers N). */
+/**
+ * Parse common bench flags (--csv FILE, --quick, --layers N,
+ * --sweep-threads N) and build the standard sweep ingredients.
+ */
 struct BenchArgs {
     std::string csvPath;
     bool quick = false; ///< smaller CTA budget for smoke runs
     int layers = 2;
+    int sweepThreads = 1; ///< concurrent sweep points (0 = auto)
 
     static BenchArgs parse(int argc, char **argv);
 
-    SimBenchOptions
-    simOptions() const
-    {
-        SimBenchOptions opts;
-        opts.maxCtas = quick ? 256 : 2048;
-        opts.layers = layers;
-        return opts;
-    }
+    int64_t maxCtas() const { return quick ? 256 : 2048; }
+
+    /** Base params for simulator sweeps (gSuite, 1 run, sim scale). */
+    UserParams simBase() const;
+
+    /** Base params for functional sweeps (mean of 3 runs; 1 quick). */
+    UserParams functionalBase() const;
+
+    /** Session options honouring --sweep-threads. */
+    BenchSession::Options sessionOptions() const;
 };
 
 /** Print the standard bench banner with scale disclosure. */

@@ -11,7 +11,6 @@
 
 #include "bench/BenchCommon.hpp"
 #include "kernels/IndexSelect.hpp"
-#include "util/Random.hpp"
 
 using namespace gsuite;
 using namespace gsuite::bench;
@@ -25,6 +24,41 @@ main(int argc, char **argv)
            "fully divergent), with the resulting L1 hit rate and "
            "cycles. PubMed-sized synthetic graph.");
 
+    std::vector<SweepVariant> widths;
+    for (const int64_t f : {1, 4, 16, 64, 256}) {
+        widths.push_back({std::to_string(f), [f](UserParams &p) {
+                              p.featureCap = f;
+                          }});
+    }
+
+    const SweepSpec spec = SweepSpec{}
+                               .base(args.simBase())
+                               .variants(widths)
+                               .datasets({DatasetId::PubMed});
+
+    // Custom point runner: a bare gather kernel (no pipeline), fed
+    // straight through the timing simulator.
+    const ResultStore store =
+        BenchSession(args.sessionOptions())
+            .run(spec, [](const SweepPoint &pt) {
+                RunOutcome out;
+                out.params = pt.params;
+                out.scaleDescription =
+                    pt.params.resolveScale().describe();
+                const Graph g = loadDatasetFor(pt.params);
+                out.graphSummary = g.summary();
+
+                DenseMatrix result;
+                IndexSelectKernel k("is", g.features, g.src, result);
+                k.execute();
+
+                auto engine =
+                    AbstractionModule::makeEngine(pt.params);
+                engine->run(k);
+                out.timeline = engine->timeline();
+                return out;
+            });
+
     CsvWriter csv(args.csvPath);
     csv.header({"feature_width", "sectors_per_mem_instr",
                 "l1_hit_rate", "memdep_share", "cycles"});
@@ -32,32 +66,18 @@ main(int argc, char **argv)
     TablePrinter table;
     table.header({"f", "sectors/instr", "L1 hit%", "MemDep%",
                   "cycles"});
-
-    const DatasetInfo &info = datasetInfoByName("pubmed");
-    for (const int64_t f : {1, 4, 16, 64, 256}) {
-        DatasetScale scale = defaultSimScale(info.id);
-        scale.featureCap = f;
-        const Graph g = loadDataset(info.id, scale, 7);
-
-        DenseMatrix out;
-        IndexSelectKernel k("is", g.features, g.src, out);
-        k.execute();
-
-        SimEngine::Options opts;
-        opts.sim.maxCtas = args.simOptions().maxCtas;
-        SimEngine engine(opts);
-        engine.run(k);
-        const KernelStats &s = engine.timeline().back().sim;
-
-        table.row({std::to_string(f), fmtDouble(s.divergence(), 2),
+    for (const auto &r : store) {
+        if (!r.ok)
+            continue;
+        const KernelStats &s = r.outcome.timeline.back().sim;
+        table.row({r.point.variant, fmtDouble(s.divergence(), 2),
                    pct(s.l1HitRate()),
-                   pct(s.stallShare(
-                       StallReason::MemoryDependency)),
+                   pct(s.stallShare(StallReason::MemoryDependency)),
                    std::to_string(s.cycles)});
-        csv.row({std::to_string(f), fmtDouble(s.divergence(), 4),
+        csv.row({r.point.variant, fmtDouble(s.divergence(), 4),
                  fmtDouble(s.l1HitRate(), 4),
-                 fmtDouble(s.stallShare(
-                               StallReason::MemoryDependency), 4),
+                 fmtDouble(
+                     s.stallShare(StallReason::MemoryDependency), 4),
                  std::to_string(s.cycles)});
     }
     table.print();

@@ -13,27 +13,6 @@
 using namespace gsuite;
 using namespace gsuite::bench;
 
-namespace {
-
-std::map<KernelClass, KernelStats>
-runWithBypass(DatasetId id, GnnModelKind model, bool bypass,
-              int64_t max_ctas)
-{
-    const Graph g = loadDataset(id, defaultSimScale(id), 7);
-    SimEngine::Options opts;
-    opts.gpu.l1BypassLoads = bypass;
-    opts.sim.maxCtas = max_ctas;
-    SimEngine engine(opts);
-    ModelConfig cfg;
-    cfg.model = model;
-    cfg.comp = CompModel::Mp;
-    GnnPipeline p(g, cfg);
-    p.run(engine);
-    return simStatsByClass(engine.timeline());
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -41,6 +20,23 @@ main(int argc, char **argv)
     banner("Ablation: L1 load bypass, gSuite-MP kernels",
            "Cycles with the sectored L1 vs with global loads routed "
            "straight to L2; <1.0 speedup means the L1 was helping.");
+
+    const SweepSpec spec =
+        SweepSpec{}
+            .base(args.simBase())
+            .variants({{"l1",
+                        [](UserParams &p) {
+                            p.l1BypassLoads = false;
+                        }},
+                       {"bypass",
+                        [](UserParams &p) {
+                            p.l1BypassLoads = true;
+                        }}})
+            .models({GnnModelKind::Gcn, GnnModelKind::Gin})
+            .datasets(paperDatasets());
+
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
 
     CsvWriter csv(args.csvPath);
     csv.header({"model", "dataset", "kernel", "l1_cycles",
@@ -52,15 +48,24 @@ main(int argc, char **argv)
     for (const GnnModelKind model :
          {GnnModelKind::Gcn, GnnModelKind::Gin}) {
         for (const DatasetId id : paperDatasets()) {
-            const auto on = runWithBypass(id, model, false,
-                                          args.simOptions().maxCtas);
-            const auto off = runWithBypass(id, model, true,
-                                           args.simOptions().maxCtas);
+            const std::string ds = datasetInfo(id).name;
+            auto variantRun = [&](const char *variant) {
+                return store.find([&](const SweepPoint &pt) {
+                    return pt.variant == variant &&
+                           pt.params.model == model &&
+                           pt.params.dataset == ds;
+                });
+            };
+            const SweepResult *on = variantRun("l1");
+            const SweepResult *off = variantRun("bypass");
+            if (!on || !on->ok || !off || !off->ok)
+                continue;
             for (const KernelClass cls :
                  {KernelClass::IndexSelect, KernelClass::Scatter}) {
-                const auto oit = on.find(cls);
-                const auto fit = off.find(cls);
-                if (oit == on.end() || fit == off.end())
+                const auto oit = on->simByClass.find(cls);
+                const auto fit = off->simByClass.find(cls);
+                if (oit == on->simByClass.end() ||
+                    fit == off->simByClass.end())
                     continue;
                 const double speedup =
                     static_cast<double>(oit->second.cycles) /

@@ -12,7 +12,6 @@
 #include <cstdio>
 
 #include "bench/BenchCommon.hpp"
-#include "frameworks/FrameworkAdapter.hpp"
 
 using namespace gsuite;
 using namespace gsuite::bench;
@@ -25,6 +24,29 @@ main(int argc, char **argv)
            "Functional kernel wall-clock (no framework overheads), "
            "2-layer GCN, hidden width = feature cap.");
 
+    // Feature-width steps as sweep variants; runs=2 gives a warm-up
+    // run plus the measured run (the last kernel-time sample).
+    std::vector<SweepVariant> widths;
+    for (const int64_t fcap : {8, 32, 128}) {
+        widths.push_back({std::to_string(fcap),
+                          [fcap](UserParams &p) {
+                              p.featureCap = fcap;
+                              p.hidden = static_cast<int>(fcap);
+                          }});
+    }
+
+    const SweepSpec spec =
+        SweepSpec{}
+            .base(args.functionalBase())
+            .runs(2)
+            .variants(widths)
+            .comps({CompModel::Mp, CompModel::Spmm})
+            .datasets({DatasetId::Cora, DatasetId::PubMed,
+                       DatasetId::Reddit});
+
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
+
     CsvWriter csv(args.csvPath);
     csv.header({"dataset", "feature_cap", "mp_ms", "spmm_ms",
                 "mp_over_spmm"});
@@ -34,32 +56,28 @@ main(int argc, char **argv)
                   "MP/SpMM"});
     for (const DatasetId id :
          {DatasetId::Cora, DatasetId::PubMed, DatasetId::Reddit}) {
-        for (const int64_t fcap : {8, 32, 128}) {
-            DatasetScale scale = defaultFunctionalScale(id);
-            scale.featureCap = fcap;
-            const Graph g = loadDataset(id, scale, 7);
-
-            ModelConfig cfg;
-            cfg.model = GnnModelKind::Gcn;
-            cfg.layers = args.layers;
-            cfg.hidden = static_cast<int>(fcap);
-
-            auto kernel_ms = [&](CompModel comp) {
-                cfg.comp = comp;
-                FunctionalEngine engine;
-                GnnPipeline p(g, cfg);
-                // Warm-up + measured run, like the paper's repeats.
-                p.run(engine);
-                engine.clearTimeline();
-                p.run(engine);
-                return engine.totalWallUs() / 1e3;
+        const std::string ds = datasetInfo(id).name;
+        for (const SweepVariant &width : widths) {
+            auto compRun = [&](CompModel comp) {
+                return store.find([&](const SweepPoint &pt) {
+                    return pt.variant == width.label &&
+                           pt.params.comp == comp &&
+                           pt.params.dataset == ds;
+                });
             };
-            const double mp_ms = kernel_ms(CompModel::Mp);
-            const double sp_ms = kernel_ms(CompModel::Spmm);
-            table.row({dsShort(id), std::to_string(fcap),
+            const SweepResult *mp = compRun(CompModel::Mp);
+            const SweepResult *sp = compRun(CompModel::Spmm);
+            if (!mp || !mp->ok || !sp || !sp->ok)
+                continue;
+            // Warmed kernel time: the final per-run sample.
+            const double mp_ms =
+                mp->outcome.kernelSamplesUs.back() / 1e3;
+            const double sp_ms =
+                sp->outcome.kernelSamplesUs.back() / 1e3;
+            table.row({dsShort(id), width.label,
                        fmtDouble(mp_ms, 2), fmtDouble(sp_ms, 2),
                        fmtDouble(mp_ms / sp_ms, 2)});
-            csv.row({dsShort(id), std::to_string(fcap),
+            csv.row({dsShort(id), width.label,
                      fmtDouble(mp_ms, 4), fmtDouble(sp_ms, 4),
                      fmtDouble(mp_ms / sp_ms, 4)});
         }

@@ -13,32 +13,28 @@
 using namespace gsuite;
 using namespace gsuite::bench;
 
-namespace {
-
-std::map<KernelClass, KernelStats>
-runWithPolicy(DatasetId id, SchedulerPolicy pol, int64_t max_ctas)
-{
-    const Graph g = loadDataset(id, defaultSimScale(id), 7);
-    SimEngine::Options opts;
-    opts.gpu.scheduler = pol;
-    opts.sim.maxCtas = max_ctas;
-    SimEngine engine(opts);
-    ModelConfig cfg;
-    cfg.model = GnnModelKind::Gcn;
-    cfg.comp = CompModel::Mp;
-    GnnPipeline p(g, cfg);
-    p.run(engine);
-    return simStatsByClass(engine.timeline());
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
     banner("Ablation: GTO vs LRR warp scheduling, GCN gSuite-MP",
            "Cycles per kernel class and the LRR/GTO ratio.");
+
+    const SweepSpec spec =
+        SweepSpec{}
+            .base(args.simBase())
+            .variants({{"gto",
+                        [](UserParams &p) {
+                            p.scheduler = SchedulerPolicy::Gto;
+                        }},
+                       {"lrr",
+                        [](UserParams &p) {
+                            p.scheduler = SchedulerPolicy::Lrr;
+                        }}})
+            .datasets(paperDatasets());
+
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
 
     CsvWriter csv(args.csvPath);
     csv.header({"dataset", "kernel", "gto_cycles", "lrr_cycles",
@@ -48,16 +44,24 @@ main(int argc, char **argv)
     table.header({"dataset", "kernel", "GTO cycles", "LRR cycles",
                   "LRR/GTO"});
     for (const DatasetId id : paperDatasets()) {
-        const auto gto = runWithPolicy(id, SchedulerPolicy::Gto,
-                                       args.simOptions().maxCtas);
-        const auto lrr = runWithPolicy(id, SchedulerPolicy::Lrr,
-                                       args.simOptions().maxCtas);
+        const std::string ds = datasetInfo(id).name;
+        auto policyRun = [&](const char *variant) {
+            return store.find([&](const SweepPoint &pt) {
+                return pt.variant == variant &&
+                       pt.params.dataset == ds;
+            });
+        };
+        const SweepResult *gto = policyRun("gto");
+        const SweepResult *lrr = policyRun("lrr");
+        if (!gto || !gto->ok || !lrr || !lrr->ok)
+            continue;
         for (const KernelClass cls :
              {KernelClass::Sgemm, KernelClass::IndexSelect,
               KernelClass::Scatter}) {
-            const auto git = gto.find(cls);
-            const auto lit = lrr.find(cls);
-            if (git == gto.end() || lit == lrr.end())
+            const auto git = gto->simByClass.find(cls);
+            const auto lit = lrr->simByClass.find(cls);
+            if (git == gto->simByClass.end() ||
+                lit == lrr->simByClass.end())
                 continue;
             const double ratio =
                 static_cast<double>(lit->second.cycles) /

@@ -7,6 +7,7 @@
  */
 
 #include <cstdio>
+#include <map>
 
 #include "bench/BenchCommon.hpp"
 #include "training/GcnTrainer.hpp"
@@ -40,42 +41,75 @@ main(int argc, char **argv)
            "Forward / loss / backward / update split per epoch; "
            "sim dataset scales.");
 
+    const int epochs = args.quick ? 3 : 10;
+    const SweepSpec spec =
+        SweepSpec{}
+            .base(args.simBase())
+            .engine(EngineKind::Sim) // sim dataset scales...
+            .datasets(paperDatasets());
+
+    // Custom point runner: a full training loop on the functional
+    // engine, with phase shares and the final epoch's loss/accuracy
+    // attached as metrics.
+    const ResultStore store =
+        BenchSession(args.sessionOptions())
+            .run(spec, [epochs](const SweepPoint &pt) {
+                RunOutcome out;
+                out.params = pt.params;
+                out.scaleDescription =
+                    pt.params.resolveScale().describe();
+                const Graph g = loadDatasetFor(pt.params);
+                out.graphSummary = g.summary();
+
+                TrainConfig cfg;
+                cfg.epochs = epochs;
+                GcnTrainer trainer(g, cfg);
+                FunctionalEngine engine;
+                const auto history = trainer.train(engine);
+                out.timeline = engine.timeline();
+
+                std::map<std::string, double> by_phase;
+                double total = 0;
+                for (const auto &rec : out.timeline) {
+                    by_phase[phaseOf(rec.name)] += rec.wallUs;
+                    total += rec.wallUs;
+                }
+                for (const char *phase :
+                     {"forward", "loss", "backward", "update"})
+                    out.metrics[phase] = by_phase[phase] / total;
+                out.metrics["epoch_ms"] =
+                    history.back().kernelUs / 1e3;
+                out.metrics["final_loss"] = history.back().loss;
+                out.metrics["final_acc"] =
+                    history.back().accuracy;
+                return out;
+            });
+
+    auto rows = [](const SweepResult &r)
+        -> std::vector<std::vector<std::string>> {
+        if (!r.ok)
+            return {};
+        const auto &m = r.outcome.metrics;
+        return {{dsShortByName(r.point.params.dataset),
+                 pct(m.at("forward")), pct(m.at("loss")),
+                 pct(m.at("backward")), pct(m.at("update")),
+                 fmtDouble(m.at("epoch_ms"), 2),
+                 fmtDouble(m.at("final_loss"), 4),
+                 fmtDouble(m.at("final_acc"), 3)}};
+    };
+
     CsvWriter csv(args.csvPath);
     csv.header({"dataset", "forward_pct", "loss_pct", "backward_pct",
                 "update_pct", "epoch_ms", "final_loss",
                 "final_acc"});
-
     TablePrinter table;
     table.header({"dataset", "fwd%", "loss%", "bwd%", "upd%",
                   "epoch ms", "loss@10", "acc@10"});
-    for (const DatasetId id : paperDatasets()) {
-        const Graph g = loadDataset(id, defaultSimScale(id), 7);
-        TrainConfig cfg;
-        cfg.epochs = args.quick ? 3 : 10;
-        GcnTrainer trainer(g, cfg);
-        FunctionalEngine engine;
-        const auto history = trainer.train(engine);
-
-        std::map<std::string, double> by_phase;
-        double total = 0;
-        for (const auto &rec : engine.timeline()) {
-            by_phase[phaseOf(rec.name)] += rec.wallUs;
-            total += rec.wallUs;
+    for (const auto &r : store) {
+        for (const auto &row : rows(r)) {
+            table.row(row);
+            csv.row(row);
         }
-        table.row({dsShort(id), pct(by_phase["forward"] / total),
-                   pct(by_phase["loss"] / total),
-                   pct(by_phase["backward"] / total),
-                   pct(by_phase["update"] / total),
-                   fmtDouble(history.back().kernelUs / 1e3, 2),
-                   fmtDouble(history.back().loss, 4),
-                   fmtDouble(history.back().accuracy, 3)});
-        csv.row({dsShort(id), pct(by_phase["forward"] / total),
-                 pct(by_phase["loss"] / total),
-                 pct(by_phase["backward"] / total),
-                 pct(by_phase["update"] / total),
-                 fmtDouble(history.back().kernelUs / 1e3, 4),
-                 fmtDouble(history.back().loss, 5),
-                 fmtDouble(history.back().accuracy, 4)});
     }
     table.print();
 
@@ -87,7 +121,7 @@ main(int argc, char **argv)
     TrainConfig cfg;
     GcnTrainer trainer(g, cfg);
     SimEngine::Options sopts;
-    sopts.sim.maxCtas = args.simOptions().maxCtas;
+    sopts.sim.maxCtas = args.maxCtas();
     SimEngine sim(sopts);
     trainer.runEpoch(sim);
     TablePrinter simtab;

@@ -11,7 +11,6 @@
 #include <cstdio>
 
 #include "bench/BenchCommon.hpp"
-#include "frameworks/FrameworkAdapter.hpp"
 
 using namespace gsuite;
 using namespace gsuite::bench;
@@ -19,18 +18,22 @@ using namespace gsuite::bench;
 namespace {
 
 /** The four measurement columns of Fig. 3. */
-struct Column {
-    const char *label;
-    Framework framework;
-    CompModel comp; // only meaningful for gSuite
-};
-
-const Column kColumns[] = {
-    {"PyG", Framework::Pyg, CompModel::Mp},
-    {"DGL", Framework::Dgl, CompModel::Spmm},
-    {"gSuite-MP", Framework::Gsuite, CompModel::Mp},
-    {"gSuite-SpMM", Framework::Gsuite, CompModel::Spmm},
-};
+std::vector<SweepVariant>
+columns()
+{
+    return {
+        {"PyG", [](UserParams &p) { p.framework = Framework::Pyg;
+                                    p.comp = CompModel::Mp; }},
+        {"DGL", [](UserParams &p) { p.framework = Framework::Dgl;
+                                    p.comp = CompModel::Spmm; }},
+        {"gSuite-MP",
+         [](UserParams &p) { p.framework = Framework::Gsuite;
+                             p.comp = CompModel::Mp; }},
+        {"gSuite-SpMM",
+         [](UserParams &p) { p.framework = Framework::Gsuite;
+                             p.comp = CompModel::Spmm; }},
+    };
+}
 
 } // namespace
 
@@ -46,9 +49,33 @@ main(int argc, char **argv)
                "(paper Section II-C); kernel times are host "
                "wall-clock, framework overheads per DESIGN.md #4.");
 
-    CsvWriter csv(args.csvPath);
-    csv.header({"model", "dataset", "framework", "end_to_end_sec",
-                "kernel_sec", "scale"});
+    const SweepSpec spec =
+        SweepSpec{}
+            .base(args.functionalBase())
+            .variants(columns())
+            .models(paperModels())
+            .datasets(paperDatasets())
+            .skip(sageSpmmUnsupported);
+
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
+
+    store.toCsv(args.csvPath,
+                {"model", "dataset", "framework", "end_to_end_sec",
+                 "kernel_sec", "scale"},
+                [](const SweepResult &r)
+                    -> std::vector<std::vector<std::string>> {
+                    if (!r.ok)
+                        return {};
+                    return {{gnnModelName(r.point.params.model),
+                             dsShortByName(r.point.params.dataset),
+                             r.point.variant,
+                             fmtDouble(
+                                 r.outcome.meanEndToEndUs / 1e6, 6),
+                             fmtDouble(r.outcome.meanKernelUs / 1e6,
+                                       6),
+                             r.outcome.scaleDescription}};
+                });
 
     for (const GnnModelKind model : paperModels()) {
         TablePrinter table(std::string("model: ") +
@@ -56,37 +83,25 @@ main(int argc, char **argv)
         table.header({"dataset", "PyG", "DGL", "gSuite-MP",
                       "gSuite-SpMM", "scale"});
         for (const DatasetId id : paperDatasets()) {
-            const DatasetScale scale = defaultFunctionalScale(id);
-            const Graph g = loadDataset(id, scale, 7);
+            const std::string ds = datasetInfo(id).name;
             std::vector<std::string> cells = {dsShort(id)};
-            for (const Column &col : kColumns) {
-                if (model == GnnModelKind::Sage &&
-                    col.framework == Framework::Gsuite &&
-                    col.comp == CompModel::Spmm) {
+            std::string scale;
+            for (const SweepVariant &col : columns()) {
+                const SweepResult *r = store.find(
+                    [&](const SweepPoint &pt) {
+                        return pt.variant == col.label &&
+                               pt.params.model == model &&
+                               pt.params.dataset == ds;
+                    });
+                if (!r || !r->ok) {
                     cells.push_back("n/a");
                     continue;
                 }
-                FunctionalEngine engine;
-                const FrameworkAdapter adapter(col.framework);
-                ModelConfig cfg;
-                cfg.model = model;
-                cfg.comp = col.comp;
-                cfg.layers = args.layers;
-                double sum_us = 0.0;
-                double kernel_us = 0.0;
-                for (int r = 0; r < runs; ++r) {
-                    const auto res = adapter.run(g, cfg, engine);
-                    sum_us += res.endToEndUs;
-                    kernel_us += res.kernelUs;
-                }
-                const double mean_sec = sum_us / runs / 1e6;
-                cells.push_back(fmtDouble(mean_sec, 3));
-                csv.row({gnnModelName(model), dsShort(id), col.label,
-                         fmtDouble(mean_sec, 6),
-                         fmtDouble(kernel_us / runs / 1e6, 6),
-                         scale.describe()});
+                cells.push_back(fmtDouble(
+                    r->outcome.meanEndToEndUs / 1e6, 3));
+                scale = r->outcome.scaleDescription;
             }
-            cells.push_back(scale.describe());
+            cells.push_back(scale);
             table.row(cells);
         }
         table.print();

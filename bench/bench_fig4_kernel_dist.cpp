@@ -10,26 +10,29 @@
 #include <cstdio>
 
 #include "bench/BenchCommon.hpp"
-#include "frameworks/FrameworkAdapter.hpp"
 
 using namespace gsuite;
 using namespace gsuite::bench;
 
 namespace {
 
-struct Column {
-    const char *label;
-    Framework framework;
-    CompModel comp;
-    bool supportsSage;
-};
-
-const Column kFrameworks[] = {
-    {"PyG", Framework::Pyg, CompModel::Mp, true},
-    {"DGL", Framework::Dgl, CompModel::Spmm, true},
-    {"gSuite-MP", Framework::Gsuite, CompModel::Mp, true},
-    {"gSuite-SpMM", Framework::Gsuite, CompModel::Spmm, false},
-};
+/** The four framework columns; gSuite-SpMM cannot run SAGE. */
+std::vector<SweepVariant>
+frameworkColumns()
+{
+    return {
+        {"PyG", [](UserParams &p) { p.framework = Framework::Pyg;
+                                    p.comp = CompModel::Mp; }},
+        {"DGL", [](UserParams &p) { p.framework = Framework::Dgl;
+                                    p.comp = CompModel::Spmm; }},
+        {"gSuite-MP",
+         [](UserParams &p) { p.framework = Framework::Gsuite;
+                             p.comp = CompModel::Mp; }},
+        {"gSuite-SpMM",
+         [](UserParams &p) { p.framework = Framework::Gsuite;
+                             p.comp = CompModel::Spmm; }},
+    };
+}
 
 /** Fig. 4 legend order: sgemm scatter indexSelect SpMM other. */
 double
@@ -39,6 +42,30 @@ classShare(const std::map<KernelClass, double> &by_class,
     auto it = by_class.find(cls);
     return total > 0 && it != by_class.end() ? it->second / total
                                              : 0.0;
+}
+
+/** The five Fig. 4 legend shares for one result. */
+std::vector<std::string>
+shareCells(const SweepResult &r)
+{
+    double total = 0;
+    for (const auto &[cls, us] : r.wallByClass)
+        total += us;
+    // Fold SpGEMM into the SpMM column and elementwise into other
+    // (Fig. 4 legend).
+    const double sg =
+        classShare(r.wallByClass, KernelClass::Sgemm, total);
+    const double sc =
+        classShare(r.wallByClass, KernelClass::Scatter, total);
+    const double is =
+        classShare(r.wallByClass, KernelClass::IndexSelect, total);
+    const double sp =
+        classShare(r.wallByClass, KernelClass::SpMM, total) +
+        classShare(r.wallByClass, KernelClass::SpGemm, total);
+    const double other =
+        classShare(r.wallByClass, KernelClass::Elementwise, total) +
+        classShare(r.wallByClass, KernelClass::Aux, total);
+    return {pct(sg), pct(sc), pct(is), pct(sp), pct(other)};
 }
 
 } // namespace
@@ -51,54 +78,47 @@ main(int argc, char **argv)
            "Shares of per-kernel wall-clock time; SpGEMM counts "
            "toward the SpMM column, elementwise/aux toward other.");
 
-    CsvWriter csv(args.csvPath);
-    csv.header({"framework", "model", "dataset", "sgemm", "scatter",
-                "indexSelect", "SpMM", "other"});
+    const SweepSpec spec =
+        SweepSpec{}
+            .base(args.functionalBase())
+            .runs(1)
+            .variants(frameworkColumns())
+            .models(paperModels())
+            .datasets(paperDatasets())
+            .skip(sageSpmmUnsupported);
 
-    for (const Column &fw : kFrameworks) {
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
+
+    store.toCsv(args.csvPath,
+                {"framework", "model", "dataset", "sgemm", "scatter",
+                 "indexSelect", "SpMM", "other"},
+                [](const SweepResult &r)
+                    -> std::vector<std::vector<std::string>> {
+                    if (!r.ok)
+                        return {};
+                    std::vector<std::string> row = {
+                        r.point.variant,
+                        gnnModelName(r.point.params.model),
+                        dsShortByName(r.point.params.dataset)};
+                    for (auto &cell : shareCells(r))
+                        row.push_back(std::move(cell));
+                    return {row};
+                });
+
+    for (const SweepVariant &fw : frameworkColumns()) {
         TablePrinter table(std::string("framework: ") + fw.label);
         table.header({"model", "dataset", "sgemm%", "scatter%",
                       "indexSelect%", "SpMM%", "other%"});
-        for (const GnnModelKind model : paperModels()) {
-            if (model == GnnModelKind::Sage && !fw.supportsSage)
+        for (const auto &r : store) {
+            if (!r.ok || r.point.variant != fw.label)
                 continue;
-            for (const DatasetId id : paperDatasets()) {
-                const Graph g =
-                    loadDataset(id, defaultFunctionalScale(id), 7);
-                FunctionalEngine engine;
-                ModelConfig cfg;
-                cfg.model = model;
-                cfg.comp = fw.comp;
-                cfg.layers = args.layers;
-                const auto res = FrameworkAdapter(fw.framework)
-                                     .run(g, cfg, engine);
-
-                auto by_class = wallUsByClass(res.timeline);
-                double total = 0;
-                for (const auto &[cls, us] : by_class)
-                    total += us;
-                // Fold SpGEMM into the SpMM column and
-                // elementwise into other (Fig. 4 legend).
-                const double sg = classShare(
-                    by_class, KernelClass::Sgemm, total);
-                const double sc = classShare(
-                    by_class, KernelClass::Scatter, total);
-                const double is = classShare(
-                    by_class, KernelClass::IndexSelect, total);
-                const double sp =
-                    classShare(by_class, KernelClass::SpMM, total) +
-                    classShare(by_class, KernelClass::SpGemm, total);
-                const double other =
-                    classShare(by_class, KernelClass::Elementwise,
-                               total) +
-                    classShare(by_class, KernelClass::Aux, total);
-
-                table.row({gnnModelName(model), dsShort(id), pct(sg),
-                           pct(sc), pct(is), pct(sp), pct(other)});
-                csv.row({fw.label, gnnModelName(model), dsShort(id),
-                         pct(sg), pct(sc), pct(is), pct(sp),
-                         pct(other)});
-            }
+            std::vector<std::string> row = {
+                gnnModelName(r.point.params.model),
+                dsShortByName(r.point.params.dataset)};
+            for (auto &cell : shareCells(r))
+                row.push_back(std::move(cell));
+            table.row(row);
         }
         table.print();
         std::printf("\n");

@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <initializer_list>
 
 #include "bench/BenchCommon.hpp"
 
@@ -20,25 +21,23 @@ namespace {
 
 void
 emitRows(TablePrinter &table, CsvWriter &csv, const char *config,
-         const SimRun &run, std::initializer_list<KernelClass> order)
+         const SweepResult &run,
+         std::initializer_list<KernelClass> order)
 {
     for (const KernelClass cls : order) {
-        auto it = run.byClass.find(cls);
-        if (it == run.byClass.end())
+        auto it = run.simByClass.find(cls);
+        if (it == run.simByClass.end())
             continue;
         const KernelStats &s = it->second;
-        table.row({config, kernelClassShortForm(cls),
-                   pct(s.instrShare(InstrClass::Fp32)),
-                   pct(s.instrShare(InstrClass::Int)),
-                   pct(s.instrShare(InstrClass::LoadStore)),
-                   pct(s.instrShare(InstrClass::Control)),
-                   pct(s.instrShare(InstrClass::Other))});
-        csv.row({config, kernelClassShortForm(cls),
-                 pct(s.instrShare(InstrClass::Fp32)),
-                 pct(s.instrShare(InstrClass::Int)),
-                 pct(s.instrShare(InstrClass::LoadStore)),
-                 pct(s.instrShare(InstrClass::Control)),
-                 pct(s.instrShare(InstrClass::Other))});
+        const std::vector<std::string> cells = {
+            config, kernelClassShortForm(cls),
+            pct(s.instrShare(InstrClass::Fp32)),
+            pct(s.instrShare(InstrClass::Int)),
+            pct(s.instrShare(InstrClass::LoadStore)),
+            pct(s.instrShare(InstrClass::Control)),
+            pct(s.instrShare(InstrClass::Other))};
+        table.row(cells);
+        csv.row(cells);
     }
 }
 
@@ -52,47 +51,65 @@ main(int argc, char **argv)
            "Timing simulator, sim dataset scales; FP32 / INT / "
            "Load-Store / Control / other per core kernel.");
 
+    // The paper's two endpoints only: GCN on Cora, GIN on LJ.
+    const SweepSpec spec =
+        SweepSpec{}
+            .base(args.simBase())
+            .comps({CompModel::Mp, CompModel::Spmm})
+            .models({GnnModelKind::Gcn, GnnModelKind::Gin})
+            .datasets({DatasetId::Cora, DatasetId::LiveJournal})
+            .skip([](const UserParams &p) {
+                const bool gcn_cr = p.model == GnnModelKind::Gcn &&
+                                    p.dataset == "cora";
+                const bool gin_lj = p.model == GnnModelKind::Gin &&
+                                    p.dataset == "livejournal";
+                return !gcn_cr && !gin_lj;
+            });
+
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
+
     CsvWriter csv(args.csvPath);
     csv.header({"config", "kernel", "FP32", "INT", "LoadStore",
                 "Control", "other"});
 
-    // gSuite-MP panel: GCN-CR and GIN-LJ.
+    auto point = [&](CompModel comp, GnnModelKind model) {
+        return store.find([&](const SweepPoint &pt) {
+            return pt.params.comp == comp &&
+                   pt.params.model == model;
+        });
+    };
+
     {
         TablePrinter table("gSuite-MP");
         table.header({"config", "kernel", "FP32%", "INT%", "Ld/St%",
                       "Ctrl%", "other%"});
-        const SimRun gcn_cr =
-            runSimPipeline(DatasetId::Cora, GnnModelKind::Gcn,
-                           CompModel::Mp, args.simOptions());
-        emitRows(table, csv, "GCN-CR", gcn_cr,
-                 {KernelClass::Sgemm, KernelClass::Scatter,
-                  KernelClass::IndexSelect});
-        const SimRun gin_lj =
-            runSimPipeline(DatasetId::LiveJournal, GnnModelKind::Gin,
-                           CompModel::Mp, args.simOptions());
-        emitRows(table, csv, "GIN-LJ", gin_lj,
-                 {KernelClass::Sgemm, KernelClass::Scatter,
-                  KernelClass::IndexSelect});
+        if (const SweepResult *r =
+                point(CompModel::Mp, GnnModelKind::Gcn))
+            emitRows(table, csv, "GCN-CR", *r,
+                     {KernelClass::Sgemm, KernelClass::Scatter,
+                      KernelClass::IndexSelect});
+        if (const SweepResult *r =
+                point(CompModel::Mp, GnnModelKind::Gin))
+            emitRows(table, csv, "GIN-LJ", *r,
+                     {KernelClass::Sgemm, KernelClass::Scatter,
+                      KernelClass::IndexSelect});
         table.print();
         std::printf("\n");
     }
-
-    // gSuite-SpMM panel: GCN-CR and GIN-LJ.
     {
         TablePrinter table("gSuite-SpMM");
         table.header({"config", "kernel", "FP32%", "INT%", "Ld/St%",
                       "Ctrl%", "other%"});
-        const SimRun gcn_cr =
-            runSimPipeline(DatasetId::Cora, GnnModelKind::Gcn,
-                           CompModel::Spmm, args.simOptions());
-        emitRows(table, csv, "GCN-CR", gcn_cr,
-                 {KernelClass::SpGemm, KernelClass::SpMM,
-                  KernelClass::Sgemm});
-        const SimRun gin_lj =
-            runSimPipeline(DatasetId::LiveJournal, GnnModelKind::Gin,
-                           CompModel::Spmm, args.simOptions());
-        emitRows(table, csv, "GIN-LJ", gin_lj,
-                 {KernelClass::SpMM, KernelClass::Sgemm});
+        if (const SweepResult *r =
+                point(CompModel::Spmm, GnnModelKind::Gcn))
+            emitRows(table, csv, "GCN-CR", *r,
+                     {KernelClass::SpGemm, KernelClass::SpMM,
+                      KernelClass::Sgemm});
+        if (const SweepResult *r =
+                point(CompModel::Spmm, GnnModelKind::Gin))
+            emitRows(table, csv, "GIN-LJ", *r,
+                     {KernelClass::SpMM, KernelClass::Sgemm});
         table.print();
     }
     return 0;

@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <initializer_list>
 
 #include "bench/BenchCommon.hpp"
 
@@ -18,37 +19,15 @@ using namespace gsuite::bench;
 
 namespace {
 
-double g_memdep_sum = 0.0;
-int g_memdep_count = 0;
-
-void
-emitRows(TablePrinter &table, CsvWriter &csv, const char *comp_label,
-         GnnModelKind model, DatasetId id, const SimRun &run,
-         std::initializer_list<KernelClass> order)
+std::initializer_list<KernelClass>
+classOrder(CompModel comp)
 {
-    for (const KernelClass cls : order) {
-        auto it = run.byClass.find(cls);
-        if (it == run.byClass.end())
-            continue;
-        const KernelStats &s = it->second;
-        std::vector<std::string> cells = {
-            gnnModelName(model), dsShort(id),
-            kernelClassShortForm(cls)};
-        for (int r = 0; r < kNumStallReasons; ++r)
-            cells.push_back(
-                pct(s.stallShare(static_cast<StallReason>(r))));
-        table.row(cells);
-        std::vector<std::string> csv_cells = {
-            comp_label, gnnModelName(model), dsShort(id),
-            kernelClassShortForm(cls)};
-        for (int r = 0; r < kNumStallReasons; ++r)
-            csv_cells.push_back(
-                pct(s.stallShare(static_cast<StallReason>(r))));
-        csv.row(csv_cells);
-        g_memdep_sum +=
-            s.stallShare(StallReason::MemoryDependency);
-        ++g_memdep_count;
-    }
+    static const std::initializer_list<KernelClass> mp = {
+        KernelClass::Sgemm, KernelClass::Scatter,
+        KernelClass::IndexSelect};
+    static const std::initializer_list<KernelClass> spmm = {
+        KernelClass::SpGemm, KernelClass::SpMM, KernelClass::Sgemm};
+    return comp == CompModel::Mp ? mp : spmm;
 }
 
 std::vector<std::string>
@@ -72,6 +51,19 @@ main(int argc, char **argv)
            "Timing simulator, sim dataset scales (printed by "
            "bench_table4_datasets).");
 
+    // MP panel covers all three models; the SpMM panel has no SAGE
+    // implementation (paper Section II-C).
+    const SweepSpec spec =
+        SweepSpec{}
+            .base(args.simBase())
+            .comps({CompModel::Mp, CompModel::Spmm})
+            .models(paperModels())
+            .datasets(paperDatasets())
+            .skip(sageSpmmUnsupported);
+
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
+
     CsvWriter csv(args.csvPath);
     {
         std::vector<std::string> h = {"comp"};
@@ -80,36 +72,61 @@ main(int argc, char **argv)
         csv.header(h);
     }
 
+    double memdep_sum = 0.0;
+    int memdep_count = 0;
+    // Emission is grouped (model, dataset) per comp panel, matching
+    // the figure's layout; the sweep itself ran comp-major.
+    auto emitPanel = [&](CompModel comp, TablePrinter &table) {
+        for (const GnnModelKind model : paperModels()) {
+            for (const DatasetId id : paperDatasets()) {
+                const std::string ds = datasetInfo(id).name;
+                const SweepResult *r =
+                    store.find([&](const SweepPoint &pt) {
+                        return pt.params.comp == comp &&
+                               pt.params.model == model &&
+                               pt.params.dataset == ds;
+                    });
+                if (!r || !r->ok)
+                    continue;
+                for (const KernelClass cls : classOrder(comp)) {
+                    auto it = r->simByClass.find(cls);
+                    if (it == r->simByClass.end())
+                        continue;
+                    const KernelStats &s = it->second;
+                    std::vector<std::string> cells = {
+                        gnnModelName(model), dsShort(id),
+                        kernelClassShortForm(cls)};
+                    for (int sr = 0; sr < kNumStallReasons; ++sr)
+                        cells.push_back(pct(s.stallShare(
+                            static_cast<StallReason>(sr))));
+                    table.row(cells);
+                    std::vector<std::string> csv_cells = {
+                        comp == CompModel::Mp ? "mp" : "spmm"};
+                    for (const auto &c : cells)
+                        csv_cells.push_back(c);
+                    csv.row(csv_cells);
+                    memdep_sum += s.stallShare(
+                        StallReason::MemoryDependency);
+                    ++memdep_count;
+                }
+            }
+        }
+    };
+
     TablePrinter mp_table("gSuite-MP");
     mp_table.header(headerCells());
-    for (const GnnModelKind model : paperModels()) {
-        for (const DatasetId id : paperDatasets()) {
-            const SimRun run = runSimPipeline(
-                id, model, CompModel::Mp, args.simOptions());
-            emitRows(mp_table, csv, "mp", model, id, run,
-                     {KernelClass::Sgemm, KernelClass::Scatter,
-                      KernelClass::IndexSelect});
-        }
-    }
+    emitPanel(CompModel::Mp, mp_table);
     mp_table.print();
     std::printf("\n");
 
     TablePrinter sp_table("gSuite-SpMM");
     sp_table.header(headerCells());
-    for (const GnnModelKind model :
-         {GnnModelKind::Gcn, GnnModelKind::Gin}) {
-        for (const DatasetId id : paperDatasets()) {
-            const SimRun run = runSimPipeline(
-                id, model, CompModel::Spmm, args.simOptions());
-            emitRows(sp_table, csv, "spmm", model, id, run,
-                     {KernelClass::SpGemm, KernelClass::SpMM,
-                      KernelClass::Sgemm});
-        }
-    }
+    emitPanel(CompModel::Spmm, sp_table);
     sp_table.print();
 
-    std::printf("\naverage MemoryDependency share: %s%% "
-                "(paper reports 46.3%%)\n",
-                pct(g_memdep_sum / g_memdep_count).c_str());
-    return 0;
+    if (memdep_count > 0)
+        std::printf("\naverage MemoryDependency share: %s%% "
+                    "(paper reports 46.3%%)\n",
+                    pct(memdep_sum / memdep_count).c_str());
+    return store.allOk() ? 0 : 1;
 }

@@ -6,6 +6,9 @@
  * Expected shape: GCN's MP kernels (operating on the post-sgemm
  * hidden width) idle heavily on small datasets; sgemm is insensitive
  * to the GNN model; W32 dominates whenever instructions do issue.
+ *
+ * This is the 15-point (3 models x 5 datasets) sweep; pass
+ * --sweep-threads N to simulate points concurrently.
  */
 
 #include <cstdio>
@@ -25,41 +28,50 @@ main(int argc, char **argv)
            "pipeline), Idle (no warp ready), or issued with <=8, "
            "<=20, <=32 active threads.");
 
-    CsvWriter csv(args.csvPath);
-    csv.header({"model", "dataset", "kernel", "Stall", "Idle", "W8",
-                "W20", "W32"});
+    const SweepSpec spec = SweepSpec{}
+                               .base(args.simBase())
+                               .models(paperModels())
+                               .datasets(paperDatasets());
 
-    TablePrinter table;
-    table.header({"model", "dataset", "kernel", "Stall%", "Idle%",
-                  "W8%", "W20%", "W32%"});
-    for (const GnnModelKind model : paperModels()) {
-        for (const DatasetId id : paperDatasets()) {
-            const SimRun run = runSimPipeline(
-                id, model, CompModel::Mp, args.simOptions());
-            for (const KernelClass cls :
-                 {KernelClass::Sgemm, KernelClass::Scatter,
-                  KernelClass::IndexSelect}) {
-                auto it = run.byClass.find(cls);
-                if (it == run.byClass.end())
-                    continue;
-                const KernelStats &s = it->second;
-                table.row({gnnModelName(model), dsShort(id),
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
+
+    auto rows = [](const SweepResult &r)
+        -> std::vector<std::vector<std::string>> {
+        std::vector<std::vector<std::string>> out;
+        if (!r.ok)
+            return out;
+        for (const KernelClass cls :
+             {KernelClass::Sgemm, KernelClass::Scatter,
+              KernelClass::IndexSelect}) {
+            auto it = r.simByClass.find(cls);
+            if (it == r.simByClass.end())
+                continue;
+            const KernelStats &s = it->second;
+            out.push_back({gnnModelName(r.point.params.model),
+                           dsShortByName(r.point.params.dataset),
                            kernelClassShortForm(cls),
                            pct(s.occShare(OccBucket::Stall)),
                            pct(s.occShare(OccBucket::Idle)),
                            pct(s.occShare(OccBucket::W8)),
                            pct(s.occShare(OccBucket::W20)),
                            pct(s.occShare(OccBucket::W32))});
-                csv.row({gnnModelName(model), dsShort(id),
-                         kernelClassShortForm(cls),
-                         pct(s.occShare(OccBucket::Stall)),
-                         pct(s.occShare(OccBucket::Idle)),
-                         pct(s.occShare(OccBucket::W8)),
-                         pct(s.occShare(OccBucket::W20)),
-                         pct(s.occShare(OccBucket::W32))});
-            }
+        }
+        return out;
+    };
+
+    CsvWriter csv(args.csvPath);
+    csv.header({"model", "dataset", "kernel", "Stall", "Idle", "W8",
+                "W20", "W32"});
+    TablePrinter table;
+    table.header({"model", "dataset", "kernel", "Stall%", "Idle%",
+                  "W8%", "W20%", "W32%"});
+    for (const auto &r : store) {
+        for (const auto &row : rows(r)) {
+            table.row(row);
+            csv.row(row);
         }
     }
     table.print();
-    return 0;
+    return store.allOk() ? 0 : 1;
 }

@@ -28,64 +28,61 @@ main(int argc, char **argv)
            "cache model (full-line L2 fills), sim = GPGPU-Sim-like "
            "sectored 3MB L2.");
 
-    CsvWriter csv(args.csvPath);
-    csv.header({"model", "dataset", "kernel", "l1_hw", "l1_sim",
-                "l2_hw", "l2_sim"});
+    const SweepSpec spec = SweepSpec{}
+                               .base(args.simBase())
+                               .profileCaches(true)
+                               .models(paperModels())
+                               .datasets(paperDatasets());
 
-    SimBenchOptions sim_opts = args.simOptions();
-    sim_opts.profileCaches = true;
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
 
     double l1_gap = 0, l2_gap = 0;
     int count = 0;
-    TablePrinter table;
-    table.header({"model", "dataset", "kernel", "L1 hw%", "L1 sim%",
-                  "L2 hw%", "L2 sim%"});
-    for (const GnnModelKind model : paperModels()) {
-        for (const DatasetId id : paperDatasets()) {
-            const SimRun run =
-                runSimPipeline(id, model, CompModel::Mp, sim_opts);
-            // Aggregate the hw profile per kernel class from the
-            // timeline (byClass only merges sim stats).
-            std::map<KernelClass, HwProfileResult> hw;
-            for (const auto &rec : run.timeline) {
-                if (!rec.hasHw)
-                    continue;
-                auto &agg = hw[rec.kind];
-                agg.l1Hits += rec.hw.l1Hits;
-                agg.l1Misses += rec.hw.l1Misses;
-                agg.l2Hits += rec.hw.l2Hits;
-                agg.l2Misses += rec.hw.l2Misses;
-            }
-            for (const KernelClass cls :
-                 {KernelClass::Sgemm, KernelClass::IndexSelect,
-                  KernelClass::Scatter}) {
-                auto sim_it = run.byClass.find(cls);
-                auto hw_it = hw.find(cls);
-                if (sim_it == run.byClass.end() ||
-                    hw_it == hw.end())
-                    continue;
-                const KernelStats &s = sim_it->second;
-                const HwProfileResult &h = hw_it->second;
-                table.row({gnnModelName(model), dsShort(id),
+    auto rows = [&](const SweepResult &r)
+        -> std::vector<std::vector<std::string>> {
+        std::vector<std::vector<std::string>> out;
+        if (!r.ok)
+            return out;
+        for (const KernelClass cls :
+             {KernelClass::Sgemm, KernelClass::IndexSelect,
+              KernelClass::Scatter}) {
+            auto sim_it = r.simByClass.find(cls);
+            auto hw_it = r.hwByClass.find(cls);
+            if (sim_it == r.simByClass.end() ||
+                hw_it == r.hwByClass.end())
+                continue;
+            const KernelStats &s = sim_it->second;
+            const HwProfileResult &h = hw_it->second;
+            out.push_back({gnnModelName(r.point.params.model),
+                           dsShortByName(r.point.params.dataset),
                            kernelClassShortForm(cls),
                            pct(h.l1HitRate()), pct(s.l1HitRate()),
                            pct(h.l2HitRate()), pct(s.l2HitRate())});
-                csv.row({gnnModelName(model), dsShort(id),
-                         kernelClassShortForm(cls),
-                         pct(h.l1HitRate()), pct(s.l1HitRate()),
-                         pct(h.l2HitRate()), pct(s.l2HitRate())});
-                l1_gap +=
-                    std::fabs(h.l1HitRate() - s.l1HitRate());
-                l2_gap +=
-                    std::fabs(h.l2HitRate() - s.l2HitRate());
-                ++count;
-            }
+            l1_gap += std::fabs(h.l1HitRate() - s.l1HitRate());
+            l2_gap += std::fabs(h.l2HitRate() - s.l2HitRate());
+            ++count;
+        }
+        return out;
+    };
+
+    TablePrinter table;
+    table.header({"model", "dataset", "kernel", "L1 hw%", "L1 sim%",
+                  "L2 hw%", "L2 sim%"});
+    CsvWriter csv(args.csvPath);
+    csv.header({"model", "dataset", "kernel", "l1_hw", "l1_sim",
+                "l2_hw", "l2_sim"});
+    for (const auto &r : store) {
+        for (const auto &row : rows(r)) {
+            table.row(row);
+            csv.row(row);
         }
     }
     table.print();
-    std::printf("\nmean |hw - sim| gap: L1 %s%%, L2 %s%% "
-                "(paper: L1 more aligned than L2)\n",
-                pct(l1_gap / count).c_str(),
-                pct(l2_gap / count).c_str());
-    return 0;
+    if (count > 0)
+        std::printf("\nmean |hw - sim| gap: L1 %s%%, L2 %s%% "
+                    "(paper: L1 more aligned than L2)\n",
+                    pct(l1_gap / count).c_str(),
+                    pct(l2_gap / count).c_str());
+    return store.allOk() ? 0 : 1;
 }

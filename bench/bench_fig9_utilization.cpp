@@ -25,35 +25,46 @@ main(int argc, char **argv)
            "compute = ALU issue-slot occupancy; memory = DRAM "
            "bandwidth fraction.");
 
-    CsvWriter csv(args.csvPath);
-    csv.header(
-        {"model", "dataset", "kernel", "compute", "memory"});
+    const SweepSpec spec = SweepSpec{}
+                               .base(args.simBase())
+                               .models(paperModels())
+                               .datasets(paperDatasets());
 
-    TablePrinter table;
-    table.header({"model", "dataset", "kernel", "compute%",
-                  "memory%"});
-    for (const GnnModelKind model : paperModels()) {
-        for (const DatasetId id : paperDatasets()) {
-            const SimRun run = runSimPipeline(
-                id, model, CompModel::Mp, args.simOptions());
-            for (const KernelClass cls :
-                 {KernelClass::Sgemm, KernelClass::IndexSelect,
-                  KernelClass::Scatter}) {
-                auto it = run.byClass.find(cls);
-                if (it == run.byClass.end())
-                    continue;
-                const KernelStats &s = it->second;
-                table.row({gnnModelName(model), dsShort(id),
+    const ResultStore store =
+        BenchSession(args.sessionOptions()).run(spec);
+
+    auto rows = [](const SweepResult &r)
+        -> std::vector<std::vector<std::string>> {
+        std::vector<std::vector<std::string>> out;
+        if (!r.ok)
+            return out;
+        for (const KernelClass cls :
+             {KernelClass::Sgemm, KernelClass::IndexSelect,
+              KernelClass::Scatter}) {
+            auto it = r.simByClass.find(cls);
+            if (it == r.simByClass.end())
+                continue;
+            const KernelStats &s = it->second;
+            out.push_back({gnnModelName(r.point.params.model),
+                           dsShortByName(r.point.params.dataset),
                            kernelClassShortForm(cls),
                            pct(s.computeUtilization()),
                            pct(s.memoryUtilization())});
-                csv.row({gnnModelName(model), dsShort(id),
-                         kernelClassShortForm(cls),
-                         pct(s.computeUtilization()),
-                         pct(s.memoryUtilization())});
-            }
+        }
+        return out;
+    };
+
+    CsvWriter csv(args.csvPath);
+    csv.header({"model", "dataset", "kernel", "compute", "memory"});
+    TablePrinter table;
+    table.header({"model", "dataset", "kernel", "compute%",
+                  "memory%"});
+    for (const auto &r : store) {
+        for (const auto &row : rows(r)) {
+            table.row(row);
+            csv.row(row);
         }
     }
     table.print();
-    return 0;
+    return store.allOk() ? 0 : 1;
 }

@@ -6,8 +6,9 @@
  * chunks — the eager-materialization footprint) against the
  * optimized configuration (streamed chunks + parallel SM stepping).
  *
- * Emits machine-readable JSON (default BENCH_sim_throughput.json) so
- * later PRs can track the performance trajectory:
+ * Emits machine-readable JSON (default BENCH_sim_throughput.json)
+ * via ResultStore::toJson so later PRs can track the performance
+ * trajectory:
  *
  *   --json FILE    output path
  *   --threads N    worker threads for the optimized config (0 = auto)
@@ -33,7 +34,6 @@
 #include "sparse/Csr.hpp"
 #include "tensor/DenseMatrix.hpp"
 #include "util/Logging.hpp"
-#include "util/Options.hpp"
 #include "util/Random.hpp"
 #include "util/Timer.hpp"
 
@@ -48,22 +48,6 @@ peakRssKb()
     getrusage(RUSAGE_SELF, &ru);
     return ru.ru_maxrss;
 }
-
-struct CaseResult {
-    std::string name;
-    double baselineMs = 0.0;
-    double optimizedMs = 0.0;
-    uint64_t baselineTracePeak = 0;
-    uint64_t optimizedTracePeak = 0;
-    uint64_t cycles = 0;
-    uint64_t warpInstrs = 0;
-
-    double
-    speedup() const
-    {
-        return optimizedMs > 0.0 ? baselineMs / optimizedMs : 0.0;
-    }
-};
 
 DenseMatrix
 randomMatrix(int64_t r, int64_t c, uint64_t seed)
@@ -96,16 +80,14 @@ skewedCsr(int64_t n, uint64_t seed)
 /**
  * Simulate @p launch under both engine configurations, repeating
  * @p reps times and keeping the best wall-clock of each (standard
- * min-of-N timing).
+ * min-of-N timing). Everything lands in the outcome's metrics so
+ * ResultStore::toJson can emit it for trend tracking.
  */
-CaseResult
-measure(const std::string &name, const KernelLaunch &launch,
+void
+measure(RunOutcome &out, const KernelLaunch &launch,
         const GpuConfig &cfg, int64_t max_ctas, int threads,
         int chunk, int reps)
 {
-    CaseResult res;
-    res.name = name;
-
     SimOptions base;
     base.maxCtas = max_ctas;
     base.numThreads = 1;
@@ -117,28 +99,38 @@ measure(const std::string &name, const KernelLaunch &launch,
     opt.numThreads = threads;
     opt.traceChunkInstrs = chunk;
 
+    double baseline_ms = 0.0, optimized_ms = 0.0;
+    uint64_t cycles = 0;
+
     GpuSimulator sim(cfg);
     for (int i = 0; i < reps; ++i) {
         Timer t;
         const KernelStats st = sim.run(launch, base);
         const double ms = t.elapsedMs();
-        if (i == 0 || ms < res.baselineMs)
-            res.baselineMs = ms;
-        res.baselineTracePeak = st.traceBytesPeak;
-        res.cycles = st.cycles;
-        res.warpInstrs = st.warpInstrs;
+        if (i == 0 || ms < baseline_ms)
+            baseline_ms = ms;
+        cycles = st.cycles;
+        out.metrics["baseline_trace_bytes_peak"] =
+            static_cast<double>(st.traceBytesPeak);
+        out.metrics["cycles"] = static_cast<double>(st.cycles);
+        out.metrics["warp_instrs"] =
+            static_cast<double>(st.warpInstrs);
     }
     for (int i = 0; i < reps; ++i) {
         Timer t;
         const KernelStats st = sim.run(launch, opt);
         const double ms = t.elapsedMs();
-        if (i == 0 || ms < res.optimizedMs)
-            res.optimizedMs = ms;
-        res.optimizedTracePeak = st.traceBytesPeak;
-        panicIf(st.cycles != res.cycles,
+        if (i == 0 || ms < optimized_ms)
+            optimized_ms = ms;
+        out.metrics["optimized_trace_bytes_peak"] =
+            static_cast<double>(st.traceBytesPeak);
+        panicIf(st.cycles != cycles,
                 "optimized config changed simulated cycles");
     }
-    return res;
+    out.metrics["baseline_ms"] = baseline_ms;
+    out.metrics["optimized_ms"] = optimized_ms;
+    out.metrics["speedup"] =
+        optimized_ms > 0.0 ? baseline_ms / optimized_ms : 0.0;
 }
 
 } // namespace
@@ -160,7 +152,7 @@ main(int argc, char **argv)
     const int64_t max_ctas = quick ? 256 : 1024;
     const int reps = quick ? 1 : 3;
 
-    GpuConfig cfg = GpuConfig::v100Sim();
+    const GpuConfig cfg = GpuConfig::v100Sim();
     const int resolved_threads =
         threads > 0 ? threads
                     : std::min(ThreadPool::defaultLanes(),
@@ -172,89 +164,81 @@ main(int argc, char **argv)
             std::to_string(resolved_threads) + " thread(s), " +
             std::to_string(chunk) + "-instr chunks");
 
-    std::vector<CaseResult> results;
+    // One point per kernel archetype; each point measures the
+    // baseline-vs-optimized pair. Serial session: this is a timing
+    // bench, concurrent points would skew each other's wall-clock.
+    const SweepSpec spec =
+        SweepSpec{}
+            .engine(EngineKind::Sim)
+            .variants({{"SpMM", nullptr},
+                       {"SGEMM", nullptr},
+                       {"Scatter", nullptr}});
 
-    { // SpMM over a skewed graph (irregular gather archetype).
-        const CsrMatrix a = skewedCsr(n, 11);
-        const DenseMatrix b = randomMatrix(n, feat, 12);
-        DenseMatrix c;
-        SpmmKernel k("spmm", a, b, c);
-        k.execute();
-        DeviceAllocator alloc;
-        results.push_back(measure("SpMM", k.makeLaunch(alloc), cfg,
-                                  max_ctas, threads, chunk, reps));
-    }
-    { // SGEMM (dense compute archetype).
-        const DenseMatrix a = randomMatrix(n / 2, 256, 13);
-        const DenseMatrix b = randomMatrix(256, 128, 14);
-        DenseMatrix c;
-        SgemmKernel k("sgemm", a, b, c);
-        k.execute();
-        DeviceAllocator alloc;
-        results.push_back(measure("SGEMM", k.makeLaunch(alloc), cfg,
-                                  max_ctas, threads, chunk, reps));
-    }
-    { // Scatter (atomic contention archetype).
-        const int64_t e = n * 4;
-        const DenseMatrix msg = randomMatrix(e, 16, 15);
-        Rng rng(16);
-        std::vector<int64_t> idx(static_cast<size_t>(e));
-        for (auto &v : idx)
-            v = static_cast<int64_t>(
-                rng.nextBelow(static_cast<uint64_t>(n)));
-        DenseMatrix out(n, 16);
-        ScatterKernel k("scatter", msg, idx, out,
-                        ScatterKernel::Reduce::Sum);
-        k.execute();
-        DeviceAllocator alloc;
-        results.push_back(measure("Scatter", k.makeLaunch(alloc),
-                                  cfg, max_ctas, threads, chunk,
-                                  reps));
-    }
+    const ResultStore store = BenchSession().run(
+        spec, [&](const SweepPoint &pt) {
+            RunOutcome out;
+            out.params = pt.params;
+            DeviceAllocator alloc;
+            if (pt.variant == "SpMM") {
+                // Irregular gather archetype.
+                const CsrMatrix a = skewedCsr(n, 11);
+                const DenseMatrix b = randomMatrix(n, feat, 12);
+                DenseMatrix c;
+                SpmmKernel k("spmm", a, b, c);
+                k.execute();
+                measure(out, k.makeLaunch(alloc), cfg, max_ctas,
+                        threads, chunk, reps);
+            } else if (pt.variant == "SGEMM") {
+                // Dense compute archetype.
+                const DenseMatrix a = randomMatrix(n / 2, 256, 13);
+                const DenseMatrix b = randomMatrix(256, 128, 14);
+                DenseMatrix c;
+                SgemmKernel k("sgemm", a, b, c);
+                k.execute();
+                measure(out, k.makeLaunch(alloc), cfg, max_ctas,
+                        threads, chunk, reps);
+            } else {
+                // Atomic contention archetype.
+                const int64_t e = n * 4;
+                const DenseMatrix msg = randomMatrix(e, 16, 15);
+                Rng rng(16);
+                std::vector<int64_t> idx(static_cast<size_t>(e));
+                for (auto &v : idx)
+                    v = static_cast<int64_t>(rng.nextBelow(
+                        static_cast<uint64_t>(n)));
+                DenseMatrix dst(n, 16);
+                ScatterKernel k("scatter", msg, idx, dst,
+                                ScatterKernel::Reduce::Sum);
+                k.execute();
+                measure(out, k.makeLaunch(alloc), cfg, max_ctas,
+                        threads, chunk, reps);
+            }
+            return out;
+        });
 
     TablePrinter table("simulator throughput");
     table.header({"kernel", "base ms", "opt ms", "speedup",
                   "base trace KiB", "opt trace KiB"});
-    for (const auto &r : results) {
-        table.row({r.name, fmtDouble(r.baselineMs, 2),
-                   fmtDouble(r.optimizedMs, 2),
-                   fmtDouble(r.speedup(), 2),
-                   fmtDouble(static_cast<double>(
-                                 r.baselineTracePeak) /
-                                 1024.0,
-                             1),
-                   fmtDouble(static_cast<double>(
-                                 r.optimizedTracePeak) /
-                                 1024.0,
-                             1)});
+    for (const auto &r : store) {
+        if (!r.ok)
+            continue;
+        const auto &m = r.outcome.metrics;
+        table.row(
+            {r.point.variant, fmtDouble(m.at("baseline_ms"), 2),
+             fmtDouble(m.at("optimized_ms"), 2),
+             fmtDouble(m.at("speedup"), 2),
+             fmtDouble(m.at("baseline_trace_bytes_peak") / 1024.0,
+                       1),
+             fmtDouble(m.at("optimized_trace_bytes_peak") / 1024.0,
+                       1)});
     }
     table.print();
 
-    FILE *f = std::fopen(json_path.c_str(), "w");
-    if (!f)
-        fatal("cannot write '%s'", json_path.c_str());
-    std::fprintf(f, "{\n  \"threads\": %d,\n  \"chunk\": %d,\n"
-                    "  \"peak_rss_kb\": %ld,\n  \"cases\": [\n",
-                 resolved_threads, chunk, peakRssKb());
-    for (size_t i = 0; i < results.size(); ++i) {
-        const auto &r = results[i];
-        std::fprintf(
-            f,
-            "    {\"kernel\": \"%s\", \"baseline_ms\": %.3f, "
-            "\"optimized_ms\": %.3f, \"speedup\": %.3f, "
-            "\"cycles\": %llu, \"warp_instrs\": %llu, "
-            "\"baseline_trace_bytes_peak\": %llu, "
-            "\"optimized_trace_bytes_peak\": %llu}%s\n",
-            r.name.c_str(), r.baselineMs, r.optimizedMs,
-            r.speedup(),
-            static_cast<unsigned long long>(r.cycles),
-            static_cast<unsigned long long>(r.warpInstrs),
-            static_cast<unsigned long long>(r.baselineTracePeak),
-            static_cast<unsigned long long>(r.optimizedTracePeak),
-            i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    store.toJson(json_path,
+                 {{"threads", static_cast<double>(resolved_threads)},
+                  {"chunk", static_cast<double>(chunk)},
+                  {"peak_rss_kb", static_cast<double>(peakRssKb())},
+                  {"quick", quick ? 1.0 : 0.0}});
     std::printf("wrote %s\n", json_path.c_str());
     return 0;
 }

@@ -21,6 +21,30 @@ main(int argc, char **argv)
            "Synthetic generators matched to the paper's statistics "
            "(DESIGN.md #4).");
 
+    const SweepSpec spec = SweepSpec{}
+                               .base(args.functionalBase())
+                               .datasets(paperDatasets());
+
+    // Custom point runner: just generate the graph and record its
+    // realized statistics — no model runs.
+    const ResultStore store =
+        BenchSession(args.sessionOptions())
+            .run(spec, [](const SweepPoint &pt) {
+                RunOutcome out;
+                out.params = pt.params;
+                out.scaleDescription =
+                    pt.params.resolveScale().describe();
+                const Graph g = loadDatasetFor(pt.params);
+                out.graphSummary = g.summary();
+                out.metrics["gen_nodes"] =
+                    static_cast<double>(g.numNodes());
+                out.metrics["gen_edges"] =
+                    static_cast<double>(g.numEdges());
+                out.metrics["gen_flen"] =
+                    static_cast<double>(g.featureLen());
+                return out;
+            });
+
     TablePrinter table;
     table.header({"Dataset", "Nodes", "Feature Length", "Edges",
                   "Short Form", "Generated (functional scale)"});
@@ -29,17 +53,20 @@ main(int argc, char **argv)
                 "short_form", "gen_nodes", "gen_edges", "gen_flen",
                 "scale"});
 
-    for (const DatasetId id : paperDatasets()) {
-        const DatasetInfo &info = datasetInfo(id);
-        const DatasetScale scale = defaultFunctionalScale(id);
-        const Graph g = loadDataset(id, scale, 7);
+    for (const auto &r : store) {
+        if (!r.ok)
+            continue;
+        const DatasetInfo &info =
+            datasetInfoByName(r.point.params.dataset);
+        const auto metric = [&](const char *name) {
+            return static_cast<uint64_t>(
+                r.outcome.metrics.at(name));
+        };
         char gen[128];
         std::snprintf(gen, sizeof(gen), "%s nodes, %s edges (%s)",
-                      formatCount(static_cast<uint64_t>(
-                          g.numNodes())).c_str(),
-                      formatCount(static_cast<uint64_t>(
-                          g.numEdges())).c_str(),
-                      scale.describe().c_str());
+                      formatCount(metric("gen_nodes")).c_str(),
+                      formatCount(metric("gen_edges")).c_str(),
+                      r.outcome.scaleDescription.c_str());
         table.row({info.name,
                    formatCount(static_cast<uint64_t>(info.nodes)),
                    std::to_string(info.featureLen),
@@ -48,9 +75,10 @@ main(int argc, char **argv)
         csv.row({info.name, std::to_string(info.nodes),
                  std::to_string(info.featureLen),
                  std::to_string(info.edges), info.shortForm,
-                 std::to_string(g.numNodes()),
-                 std::to_string(g.numEdges()),
-                 std::to_string(g.featureLen()), scale.describe()});
+                 std::to_string(metric("gen_nodes")),
+                 std::to_string(metric("gen_edges")),
+                 std::to_string(metric("gen_flen")),
+                 r.outcome.scaleDescription});
     }
     table.print();
     return 0;

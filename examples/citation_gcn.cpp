@@ -5,15 +5,22 @@
  * suite's Fig. 1 user interface: parameters (or a config file) in,
  * benchmark report out.
  *
+ * A comma-separated --dataset list becomes a declarative sweep run
+ * concurrently by BenchSession (bounded by --sweep-threads), the
+ * multi-point face of the same interface.
+ *
  * Usage:
  *   citation_gcn --dataset citeseer --model gcn --comp spmm
  *   citation_gcn --config gsuite.conf --engine sim
+ *   citation_gcn --dataset cora,citeseer,pubmed --sweep-threads 3
  */
 
 #include <cstdio>
 
+#include "suite/BenchSession.hpp"
 #include "suite/Report.hpp"
 #include "suite/Runner.hpp"
+#include "util/StringUtils.hpp"
 
 using namespace gsuite;
 
@@ -21,15 +28,41 @@ int
 main(int argc, char **argv)
 {
     UserParams params = UserParams::fromArgs(argc, argv);
-    std::printf("running %s\n", params.describe().c_str());
 
-    BenchmarkRunner runner(params);
-    const RunOutcome outcome = runner.run();
-    printReport(outcome);
+    const std::vector<std::string> names =
+        split(params.dataset, ',');
+    if (names.size() == 1) {
+        // Classic single-point path.
+        std::printf("running %s\n", params.describe().c_str());
+        BenchmarkRunner runner(params);
+        const RunOutcome outcome = runner.run();
+        printReport(outcome);
+        if (!params.csvOut.empty()) {
+            writeReportCsv(outcome, params.csvOut);
+            std::printf("wrote %s\n", params.csvOut.c_str());
+        }
+        return 0;
+    }
 
+    // Sweep path: one point per dataset, same model/engine config.
+    BenchSession::Options sopts;
+    sopts.sweepThreads = params.sweepThreads;
+    sopts.progress = [](const SweepResult &r, size_t done,
+                        size_t total) {
+        std::printf("[%zu/%zu] %s %s\n", done, total,
+                    r.point.label.c_str(),
+                    r.ok ? "done" : ("FAILED: " + r.error).c_str());
+    };
+
+    const ResultStore store = BenchSession(sopts).run(
+        SweepSpec{}.base(params).datasetNames(names));
+
+    std::printf("\n");
+    store.printTable("citation sweep (" +
+                     std::string(gnnModelName(params.model)) + ")");
     if (!params.csvOut.empty()) {
-        writeReportCsv(outcome, params.csvOut);
+        store.toCsv(params.csvOut);
         std::printf("wrote %s\n", params.csvOut.c_str());
     }
-    return 0;
+    return store.allOk() ? 0 : 1;
 }

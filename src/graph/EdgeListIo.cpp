@@ -55,7 +55,7 @@ loadEdgeList(const std::string &path, int64_t default_flen,
                     parseInt(tok.substr(6), v))
                     nodes = v;
                 else if (startsWith(tok, "flen=") &&
-                         parseInt(tok.substr(5), v))
+                         parseInt(tok.substr(5), v) && v > 0)
                     flen = v;
             }
             continue;

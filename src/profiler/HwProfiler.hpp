@@ -44,6 +44,15 @@ struct HwProfilerConfig {
     CacheGeometry l2{6 * 1024 * 1024, 128, 128, 16, true};
     /** CTA sampling cap, matching the simulator's default. */
     int64_t maxCtas = 2048;
+
+    /**
+     * Worker threads replaying per-SM L1 slices (0 = auto,
+     * 1 = serial). Results are bit-identical for every value: each
+     * modeled SM's L1 only ever sees its own CTAs' accesses in CTA
+     * order, and the shared L2 is replayed afterwards in the global
+     * CTA order the serial replay uses.
+     */
+    int numThreads = 1;
 };
 
 /** nvprof-style cache hit-rate measurements for one launch. */

@@ -2,7 +2,30 @@
 
 #include "util/Logging.hpp"
 
+#include "util/StringUtils.hpp"
+
 namespace gsuite {
+
+SchedulerPolicy
+schedulerPolicyFromName(const std::string &name)
+{
+    const std::string n = toLower(trim(name));
+    if (n == "gto" || n == "greedy")
+        return SchedulerPolicy::Gto;
+    if (n == "lrr" || n == "rr" || n == "round-robin")
+        return SchedulerPolicy::Lrr;
+    fatal("unknown scheduler '%s' (known: gto, lrr)", name.c_str());
+}
+
+const char *
+schedulerPolicyName(SchedulerPolicy p)
+{
+    switch (p) {
+      case SchedulerPolicy::Gto: return "gto";
+      case SchedulerPolicy::Lrr: return "lrr";
+    }
+    panic("unknown SchedulerPolicy");
+}
 
 GpuConfig
 GpuConfig::v100Sim()

@@ -23,6 +23,12 @@ enum class SchedulerPolicy {
     Lrr, ///< loose round-robin
 };
 
+/** Parse "gto"/"lrr"; fatal() on unknown names. */
+SchedulerPolicy schedulerPolicyFromName(const std::string &name);
+
+/** Canonical lowercase name. */
+const char *schedulerPolicyName(SchedulerPolicy p);
+
 /** Geometry of one cache level. */
 struct CacheGeometry {
     uint64_t sizeBytes = 0;

@@ -1,0 +1,124 @@
+#include "suite/BenchSession.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "frameworks/FrameworkAdapter.hpp"
+#include "util/Logging.hpp"
+#include "util/ThreadPool.hpp"
+
+namespace gsuite {
+
+RunOutcome
+BenchSession::runPoint(const UserParams &params)
+{
+    RunOutcome outcome;
+    outcome.params = params;
+    outcome.scaleDescription = params.resolveScale().describe();
+
+    const Graph graph = loadDatasetFor(params);
+    outcome.graphSummary = graph.summary();
+
+    const FrameworkAdapter adapter(params.framework);
+    auto engine = AbstractionModule::makeEngine(params);
+
+    double sum = 0.0;
+    double kernel_sum = 0.0;
+    outcome.endToEndSamplesUs.reserve(
+        static_cast<size_t>(params.runs));
+    outcome.kernelSamplesUs.reserve(static_cast<size_t>(params.runs));
+    for (int r = 0; r < params.runs; ++r) {
+        const FrameworkRunResult res =
+            adapter.run(graph, params.modelConfig(), *engine);
+        sum += res.endToEndUs;
+        kernel_sum += res.kernelUs;
+        outcome.endToEndSamplesUs.push_back(res.endToEndUs);
+        outcome.kernelSamplesUs.push_back(res.kernelUs);
+        if (r == 0) {
+            outcome.minEndToEndUs = res.endToEndUs;
+            outcome.maxEndToEndUs = res.endToEndUs;
+        } else {
+            outcome.minEndToEndUs =
+                std::min(outcome.minEndToEndUs, res.endToEndUs);
+            outcome.maxEndToEndUs =
+                std::max(outcome.maxEndToEndUs, res.endToEndUs);
+        }
+        if (r == params.runs - 1)
+            outcome.timeline = res.timeline;
+    }
+    outcome.meanEndToEndUs = sum / params.runs;
+    outcome.meanKernelUs = kernel_sum / params.runs;
+    return outcome;
+}
+
+ResultStore
+BenchSession::run(const SweepSpec &spec) const
+{
+    return run(spec, [](const SweepPoint &pt) {
+        return runPoint(pt.params);
+    });
+}
+
+ResultStore
+BenchSession::run(const SweepSpec &spec,
+                  const PointRunner &runner) const
+{
+    const std::vector<SweepPoint> points = spec.expand();
+    ResultStore store;
+    store.resize(points.size());
+    if (points.empty())
+        return store;
+
+    const int lanes = std::clamp(
+        opts.sweepThreads > 0 ? opts.sweepThreads
+                              : ThreadPool::defaultLanes(),
+        1, static_cast<int>(points.size()));
+    const int budget =
+        opts.threadBudget > 0
+            ? opts.threadBudget
+            : std::max(lanes, ThreadPool::defaultLanes());
+
+    std::mutex mtx;
+    size_t done = 0;
+    auto runOne = [&](size_t i, int /*lane*/) {
+        SweepPoint pt = points[i];
+        if (lanes > 1) {
+            // Compose budgets: sweep lanes share the worker budget,
+            // so "auto" per-launch parallelism shrinks accordingly.
+            if (pt.params.simThreads == 0)
+                pt.params.simThreads = std::max(1, budget / lanes);
+            if (pt.params.simParallelLaunches == 0)
+                pt.params.simParallelLaunches = 1;
+        }
+        SweepResult result;
+        result.point = pt;
+        try {
+            result.outcome = runner(pt);
+            result.ok = true;
+        } catch (const std::exception &e) {
+            result.error = e.what();
+        } catch (...) {
+            result.error = "unknown exception";
+        }
+        if (!result.ok)
+            warn("sweep point '%s' failed: %s", pt.label.c_str(),
+                 result.error.c_str());
+        store.put(std::move(result));
+        if (opts.progress) {
+            std::lock_guard<std::mutex> lock(mtx);
+            ++done;
+            opts.progress(store.at(i), done, points.size());
+        }
+    };
+
+    if (lanes <= 1) {
+        for (size_t i = 0; i < points.size(); ++i)
+            runOne(i, 0);
+    } else {
+        ThreadPool pool(lanes);
+        pool.parallelFor(points.size(), runOne);
+    }
+    return store;
+}
+
+} // namespace gsuite

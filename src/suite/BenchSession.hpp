@@ -1,0 +1,80 @@
+/**
+ * @file
+ * BenchSession executes a SweepSpec: every expanded point runs
+ * through a point runner (the default one reproduces the classic
+ * BenchmarkRunner load-build-run-aggregate path), optionally
+ * concurrently on a util/ThreadPool, with deterministic
+ * index-ordered collection into a ResultStore and per-point failure
+ * isolation — one throwing point reports its error; the sweep
+ * continues.
+ *
+ * Threading-budget composition: with L concurrent sweep lanes and a
+ * total worker budget B (default: max(L, host lanes)), every point
+ * whose simThreads is "auto" (0) is resolved to max(1, B / L), and
+ * auto simParallelLaunches collapse to 1, so sweep-level and
+ * launch-level parallelism never multiply past the budget.
+ */
+
+#ifndef GSUITE_SUITE_BENCHSESSION_HPP
+#define GSUITE_SUITE_BENCHSESSION_HPP
+
+#include <functional>
+
+#include "suite/ResultStore.hpp"
+#include "suite/SweepSpec.hpp"
+
+namespace gsuite {
+
+/** Executes SweepSpecs. */
+class BenchSession
+{
+  public:
+    /** Maps one point to its outcome; may throw to fail the point. */
+    using PointRunner = std::function<RunOutcome(const SweepPoint &)>;
+
+    /** Called after each point completes (under a session lock). */
+    using Progress = std::function<void(const SweepResult &result,
+                                        size_t done, size_t total)>;
+
+    struct Options {
+        /**
+         * Concurrent sweep lanes: 1 = serial, 0 = auto (host lanes),
+         * N = exactly N. ResultStore contents are identical for
+         * every value when the point runner is deterministic (the
+         * simulator path is; wall-clock fields always jitter).
+         */
+        int sweepThreads = 1;
+
+        /**
+         * Total worker budget shared by sweep lanes and per-launch
+         * sim threads. 0 = auto: max(lanes, host lanes).
+         */
+        int threadBudget = 0;
+
+        Progress progress; ///< optional per-point callback
+    };
+
+    BenchSession() = default;
+    explicit BenchSession(Options opts) : opts(std::move(opts)) {}
+
+    /** Run every point with the default benchmark runner. */
+    ResultStore run(const SweepSpec &spec) const;
+
+    /** Run every point with a custom runner. */
+    ResultStore run(const SweepSpec &spec,
+                    const PointRunner &runner) const;
+
+    /**
+     * The default single-point runner: load the dataset, build the
+     * engine and framework adapter, run params.runs times, and
+     * aggregate (with per-run samples).
+     */
+    static RunOutcome runPoint(const UserParams &params);
+
+  private:
+    Options opts;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_SUITE_BENCHSESSION_HPP

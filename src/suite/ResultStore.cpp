@@ -1,0 +1,267 @@
+#include "suite/ResultStore.hpp"
+
+#include <cstdio>
+
+#include "frameworks/FrameworkAdapter.hpp"
+#include "util/Csv.hpp"
+#include "util/Logging.hpp"
+#include "util/Table.hpp"
+
+namespace gsuite {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+const char *
+engineName(EngineKind e)
+{
+    return e == EngineKind::Sim ? "sim" : "functional";
+}
+
+} // namespace
+
+void
+ResultStore::resize(size_t n)
+{
+    results.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        results[i].point.index = i;
+}
+
+void
+ResultStore::put(SweepResult result)
+{
+    panicIf(result.point.index >= results.size(),
+            "SweepResult index out of range");
+    if (result.ok) {
+        result.wallByClass = wallUsByClass(result.outcome.timeline);
+        result.simByClass = simStatsByClass(result.outcome.timeline);
+        for (const auto &rec : result.outcome.timeline) {
+            if (!rec.hasHw)
+                continue;
+            HwProfileResult &agg = result.hwByClass[rec.kind];
+            agg.l1Hits += rec.hw.l1Hits;
+            agg.l1Misses += rec.hw.l1Misses;
+            agg.l2Hits += rec.hw.l2Hits;
+            agg.l2Misses += rec.hw.l2Misses;
+        }
+    }
+    results[result.point.index] = std::move(result);
+}
+
+const SweepResult &
+ResultStore::at(size_t i) const
+{
+    panicIf(i >= results.size(), "ResultStore index out of range");
+    return results[i];
+}
+
+size_t
+ResultStore::failures() const
+{
+    size_t n = 0;
+    for (const auto &r : results)
+        n += r.ok ? 0 : 1;
+    return n;
+}
+
+const SweepResult *
+ResultStore::find(const std::string &label) const
+{
+    for (const auto &r : results)
+        if (r.point.label == label)
+            return &r;
+    return nullptr;
+}
+
+const SweepResult *
+ResultStore::find(
+    const std::function<bool(const SweepPoint &)> &pred) const
+{
+    for (const auto &r : results)
+        if (pred(r.point))
+            return &r;
+    return nullptr;
+}
+
+std::string
+ResultStore::toTable(const std::string &title) const
+{
+    TablePrinter table(title);
+    table.header({"point", "status", "end-to-end ms", "kernel ms",
+                  "sim cycles"});
+    for (const auto &r : results) {
+        if (!r.ok) {
+            table.row({r.point.label, "FAIL: " + r.error});
+            continue;
+        }
+        uint64_t cycles = 0;
+        for (const auto &[cls, st] : r.simByClass)
+            cycles += st.cycles;
+        table.row({r.point.label, "ok",
+                   fmtDouble(r.outcome.meanEndToEndUs / 1e3, 3),
+                   fmtDouble(r.outcome.meanKernelUs / 1e3, 3),
+                   cycles ? std::to_string(cycles) : "-"});
+    }
+    return table.render();
+}
+
+void
+ResultStore::printTable(const std::string &title) const
+{
+    std::fputs(toTable(title).c_str(), stdout);
+    std::fflush(stdout);
+}
+
+void
+ResultStore::toCsv(const std::string &path) const
+{
+    CsvWriter csv(path);
+    csv.header({"label", "variant", "framework", "model", "comp",
+                "dataset", "engine", "scale", "ok", "error", "runs",
+                "end_to_end_us_mean", "end_to_end_us_min",
+                "end_to_end_us_max", "kernel_us_mean"});
+    for (const auto &r : results) {
+        const UserParams &p = r.point.params;
+        csv.row({r.point.label, r.point.variant,
+                 frameworkName(p.framework), gnnModelName(p.model),
+                 compModelName(p.comp), p.dataset,
+                 engineName(p.engine), r.outcome.scaleDescription,
+                 r.ok ? "1" : "0", r.error,
+                 std::to_string(p.runs),
+                 fmtDouble(r.outcome.meanEndToEndUs, 3),
+                 fmtDouble(r.outcome.minEndToEndUs, 3),
+                 fmtDouble(r.outcome.maxEndToEndUs, 3),
+                 fmtDouble(r.outcome.meanKernelUs, 3)});
+    }
+}
+
+void
+ResultStore::toCsv(const std::string &path,
+                   const std::vector<std::string> &header,
+                   const RowsFn &rowsFn) const
+{
+    CsvWriter csv(path);
+    csv.header(header);
+    for (const auto &r : results)
+        for (const auto &row : rowsFn(r))
+            csv.row(row);
+}
+
+void
+ResultStore::toJson(const std::string &path,
+                    const std::map<std::string, double> &meta) const
+{
+    if (path.empty())
+        return;
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+
+    auto samples = [&](const std::vector<double> &v) {
+        std::fprintf(f, "[");
+        for (size_t i = 0; i < v.size(); ++i)
+            std::fprintf(f, "%s%.3f", i ? ", " : "", v[i]);
+        std::fprintf(f, "]");
+    };
+
+    std::fprintf(f, "{\n  \"meta\": {");
+    {
+        bool first = true;
+        for (const auto &[key, value] : meta) {
+            std::fprintf(f, "%s\"%s\": %.6g", first ? "" : ", ",
+                         jsonEscape(key).c_str(), value);
+            first = false;
+        }
+    }
+    std::fprintf(f, "},\n  \"points\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SweepResult &r = results[i];
+        const UserParams &p = r.point.params;
+        const RunOutcome &o = r.outcome;
+        std::fprintf(
+            f,
+            "    {\"label\": \"%s\", \"variant\": \"%s\", "
+            "\"framework\": \"%s\", \"model\": \"%s\", "
+            "\"comp\": \"%s\", \"dataset\": \"%s\", "
+            "\"engine\": \"%s\", \"ok\": %s",
+            jsonEscape(r.point.label).c_str(),
+            jsonEscape(r.point.variant).c_str(),
+            frameworkName(p.framework), gnnModelName(p.model),
+            compModelName(p.comp), jsonEscape(p.dataset).c_str(),
+            engineName(p.engine), r.ok ? "true" : "false");
+        if (!r.ok)
+            std::fprintf(f, ", \"error\": \"%s\"",
+                         jsonEscape(r.error).c_str());
+        if (r.ok) {
+            std::fprintf(f,
+                         ",\n     \"end_to_end_us\": {\"mean\": %.3f, "
+                         "\"min\": %.3f, \"max\": %.3f, \"samples\": ",
+                         o.meanEndToEndUs, o.minEndToEndUs,
+                         o.maxEndToEndUs);
+            samples(o.endToEndSamplesUs);
+            std::fprintf(f,
+                         "},\n     \"kernel_us\": {\"mean\": %.3f, "
+                         "\"samples\": ",
+                         o.meanKernelUs);
+            samples(o.kernelSamplesUs);
+            std::fprintf(f, "}");
+            if (!o.metrics.empty()) {
+                std::fprintf(f, ",\n     \"metrics\": {");
+                bool first = true;
+                for (const auto &[key, value] : o.metrics) {
+                    std::fprintf(f, "%s\"%s\": %.6g",
+                                 first ? "" : ", ",
+                                 jsonEscape(key).c_str(), value);
+                    first = false;
+                }
+                std::fprintf(f, "}");
+            }
+            if (!r.simByClass.empty()) {
+                std::fprintf(f, ",\n     \"classes\": [");
+                bool first = true;
+                for (const auto &[cls, st] : r.simByClass) {
+                    std::fprintf(
+                        f,
+                        "%s{\"class\": \"%s\", \"cycles\": %llu, "
+                        "\"warp_instrs\": %llu, "
+                        "\"l1_hit_rate\": %.4f, "
+                        "\"l2_hit_rate\": %.4f, "
+                        "\"trace_bytes_peak\": %llu}",
+                        first ? "" : ", ", kernelClassShortForm(cls),
+                        static_cast<unsigned long long>(st.cycles),
+                        static_cast<unsigned long long>(
+                            st.warpInstrs),
+                        st.l1HitRate(), st.l2HitRate(),
+                        static_cast<unsigned long long>(
+                            st.traceBytesPeak));
+                    first = false;
+                }
+                std::fprintf(f, "]");
+            }
+        }
+        std::fprintf(f, "}%s\n",
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    if (std::fclose(f) != 0)
+        fatal("write error on '%s'", path.c_str());
+}
+
+} // namespace gsuite

@@ -1,7 +1,7 @@
 #include "suite/Runner.hpp"
 
-#include <algorithm>
-
+#include "graph/EdgeListIo.hpp"
+#include "suite/BenchSession.hpp"
 #include "util/Logging.hpp"
 
 namespace gsuite {
@@ -11,19 +11,31 @@ AbstractionModule::makeEngine(const UserParams &params)
 {
     if (params.engine == EngineKind::Sim) {
         SimEngine::Options opts;
+        opts.gpu.scheduler = params.scheduler;
+        opts.gpu.l1BypassLoads = params.l1BypassLoads;
         opts.profileCaches = params.profileCaches;
+        opts.hwConfig.numThreads = params.simThreads;
+        opts.sim.maxCtas = params.maxCtas;
         opts.sim.numThreads = params.simThreads;
         opts.parallelLaunches = params.simParallelLaunches;
         return std::make_unique<SimEngine>(opts);
     }
     FunctionalEngine::Options opts;
     opts.profileCaches = params.profileCaches;
+    opts.hwConfig.numThreads = params.simThreads;
     return std::make_unique<FunctionalEngine>(opts);
 }
 
 Graph
 loadDatasetFor(const UserParams &params)
 {
+    if (isFileDataset(params.dataset)) {
+        const DatasetScale scale = params.resolveScale();
+        const int64_t flen =
+            scale.featureCap > 0 ? scale.featureCap : 16;
+        return loadEdgeList(fileDatasetPath(params.dataset), flen,
+                            params.seed);
+    }
     return loadDataset(params.dataset, params.resolveScale(),
                        params.seed);
 }
@@ -36,40 +48,14 @@ BenchmarkRunner::BenchmarkRunner(UserParams params)
 RunOutcome
 BenchmarkRunner::run()
 {
-    RunOutcome outcome;
-    outcome.params = params;
-    outcome.scaleDescription = params.resolveScale().describe();
-
-    const Graph graph = loadDatasetFor(params);
-    outcome.graphSummary = graph.summary();
-
-    const FrameworkAdapter adapter(params.framework);
-    auto engine = AbstractionModule::makeEngine(params);
-
-    double sum = 0.0;
-    outcome.minEndToEndUs = 0.0;
-    outcome.maxEndToEndUs = 0.0;
-    double kernel_sum = 0.0;
-    for (int r = 0; r < params.runs; ++r) {
-        const FrameworkRunResult res =
-            adapter.run(graph, params.modelConfig(), *engine);
-        sum += res.endToEndUs;
-        kernel_sum += res.kernelUs;
-        if (r == 0) {
-            outcome.minEndToEndUs = res.endToEndUs;
-            outcome.maxEndToEndUs = res.endToEndUs;
-        } else {
-            outcome.minEndToEndUs =
-                std::min(outcome.minEndToEndUs, res.endToEndUs);
-            outcome.maxEndToEndUs =
-                std::max(outcome.maxEndToEndUs, res.endToEndUs);
-        }
-        if (r == params.runs - 1)
-            outcome.timeline = res.timeline;
-    }
-    outcome.meanEndToEndUs = sum / params.runs;
-    outcome.meanKernelUs = kernel_sum / params.runs;
-    return outcome;
+    // Thin compatibility wrapper: one-point sweep, serial session.
+    BenchSession session;
+    const ResultStore store =
+        session.run(SweepSpec{}.base(params));
+    const SweepResult &result = store.at(0);
+    if (!result.ok)
+        fatal("benchmark run failed: %s", result.error.c_str());
+    return result.outcome;
 }
 
 std::map<KernelClass, double>

@@ -31,6 +31,20 @@ struct RunOutcome {
     double maxEndToEndUs = 0.0;
     double meanKernelUs = 0.0;
 
+    /**
+     * Per-run end-to-end / kernel-time samples, one entry per run,
+     * in run order (the mean/min/max above summarize these).
+     */
+    std::vector<double> endToEndSamplesUs;
+    std::vector<double> kernelSamplesUs;
+
+    /**
+     * Named scalar results attached by custom point runners (e.g.
+     * training accuracy, paired-config speedups). Emitted verbatim
+     * by ResultStore::toJson.
+     */
+    std::map<std::string, double> metrics;
+
     /** Per-kernel timeline of the final run. */
     std::vector<KernelRecord> timeline;
 };

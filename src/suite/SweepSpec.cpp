@@ -1,0 +1,202 @@
+#include "suite/SweepSpec.hpp"
+
+#include <set>
+
+#include "frameworks/FrameworkAdapter.hpp"
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+SweepSpec &
+SweepSpec::base(const UserParams &p)
+{
+    baseParams = p;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::datasets(const std::vector<DatasetId> &ids)
+{
+    dsAxis.clear();
+    for (const DatasetId id : ids)
+        dsAxis.push_back(datasetInfo(id).name);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::datasetNames(const std::vector<std::string> &names)
+{
+    dsAxis = names;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::models(const std::vector<GnnModelKind> &ms)
+{
+    modelAxis = ms;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::comps(const std::vector<CompModel> &cs)
+{
+    compAxis = cs;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::frameworks(const std::vector<Framework> &fs)
+{
+    fwAxis = fs;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::engines(const std::vector<EngineKind> &es)
+{
+    engineAxis = es;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::engine(EngineKind e)
+{
+    engineAxis = {e};
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::variants(std::vector<SweepVariant> vs)
+{
+    variantAxis = std::move(vs);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::layers(int l)
+{
+    baseParams.layers = l;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::runs(int r)
+{
+    baseParams.runs = r;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::maxCtas(int64_t ctas)
+{
+    baseParams.maxCtas = ctas;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::profileCaches(bool on)
+{
+    baseParams.profileCaches = on;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::configure(const std::function<void(UserParams &)> &fn)
+{
+    fn(baseParams);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::skip(const std::function<bool(const UserParams &)> &pred)
+{
+    skips.push_back(pred);
+    return *this;
+}
+
+std::vector<SweepPoint>
+SweepSpec::expand() const
+{
+    const std::vector<std::string> ds =
+        dsAxis.empty() ? std::vector<std::string>{baseParams.dataset}
+                       : dsAxis;
+    const std::vector<GnnModelKind> models =
+        modelAxis.empty()
+            ? std::vector<GnnModelKind>{baseParams.model}
+            : modelAxis;
+    const std::vector<CompModel> comps =
+        compAxis.empty() ? std::vector<CompModel>{baseParams.comp}
+                         : compAxis;
+    const std::vector<Framework> fws =
+        fwAxis.empty() ? std::vector<Framework>{baseParams.framework}
+                       : fwAxis;
+    const std::vector<EngineKind> engines =
+        engineAxis.empty()
+            ? std::vector<EngineKind>{baseParams.engine}
+            : engineAxis;
+    std::vector<SweepVariant> vars = variantAxis;
+    if (vars.empty())
+        vars.push_back(SweepVariant{"", nullptr});
+
+    {
+        std::set<std::string> labels;
+        for (const SweepVariant &v : vars)
+            if (!labels.insert(v.label).second)
+                fatal("duplicate sweep variant label '%s'",
+                      v.label.c_str());
+    }
+
+    std::vector<SweepPoint> points;
+    points.reserve(vars.size() * fws.size() * models.size() *
+                   comps.size() * engines.size() * ds.size());
+    for (const SweepVariant &v : vars) {
+        for (const Framework fw : fws) {
+            for (const GnnModelKind m : models) {
+                for (const CompModel c : comps) {
+                    for (const EngineKind e : engines) {
+                        for (const std::string &d : ds) {
+                            UserParams p = baseParams;
+                            p.framework = fw;
+                            p.model = m;
+                            p.comp = c;
+                            p.engine = e;
+                            p.dataset = d;
+                            if (v.apply)
+                                v.apply(p);
+
+                            bool skipped = false;
+                            for (const auto &pred : skips)
+                                skipped = skipped || pred(p);
+                            if (skipped)
+                                continue;
+
+                            SweepPoint pt;
+                            pt.index = points.size();
+                            pt.variant = v.label;
+                            std::string label;
+                            if (!v.label.empty())
+                                label += v.label + ":";
+                            label += frameworkName(fw);
+                            label += "/";
+                            label += gnnModelName(m);
+                            label += "/";
+                            label += compModelName(c);
+                            label += "/";
+                            label += d;
+                            if (engines.size() > 1)
+                                label += e == EngineKind::Sim
+                                             ? "@sim"
+                                             : "@functional";
+                            pt.label = std::move(label);
+                            pt.params = std::move(p);
+                            points.push_back(std::move(pt));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace gsuite

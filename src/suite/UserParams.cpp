@@ -20,6 +20,18 @@ engineKindFromName(const std::string &name)
     fatal("unknown engine '%s' (known: functional, sim)", name.c_str());
 }
 
+bool
+isFileDataset(const std::string &dataset)
+{
+    return startsWith(dataset, "file:");
+}
+
+std::string
+fileDatasetPath(const std::string &dataset)
+{
+    return dataset.substr(5);
+}
+
 UserParams
 UserParams::fromOptions(const OptionSet &opts)
 {
@@ -29,7 +41,8 @@ UserParams::fromOptions(const OptionSet &opts)
         "outdim",     "gineps",    "runs",        "seed",
         "profile-caches", "node-div", "edge-div", "feature-cap",
         "csv",        "verbose",   "quiet",
-        "sim-threads", "sim-parallel",
+        "sim-threads", "sim-parallel", "sweep-threads",
+        "max-ctas",   "scheduler", "l1-bypass",
     };
     for (const auto &key : opts.keys()) {
         if (known.find(key) == known.end())
@@ -37,8 +50,28 @@ UserParams::fromOptions(const OptionSet &opts)
     }
 
     UserParams p;
-    p.dataset = toLower(opts.getString("dataset", p.dataset));
-    datasetInfoByName(p.dataset); // validate early
+    p.dataset = opts.getString("dataset", p.dataset);
+    // "file:PATH" datasets keep their (case-sensitive) path; names
+    // are normalized and validated against the Table IV registry.
+    // Comma-separated lists (sweep shorthand for datasetNames())
+    // are validated per component.
+    {
+        std::string normalized;
+        for (const std::string &part : split(p.dataset, ',')) {
+            if (!normalized.empty())
+                normalized += ',';
+            if (isFileDataset(part)) {
+                if (fileDatasetPath(part).empty())
+                    fatal("--dataset file: needs a path");
+                normalized += part;
+            } else {
+                const std::string name = toLower(trim(part));
+                datasetInfoByName(name); // validate early
+                normalized += name;
+            }
+        }
+        p.dataset = normalized;
+    }
     p.model = gnnModelFromName(opts.getString("model", "gcn"));
     p.comp = compModelFromName(opts.getString("comp", "mp"));
     p.framework =
@@ -57,6 +90,12 @@ UserParams::fromOptions(const OptionSet &opts)
         static_cast<int>(opts.getInt("sim-threads", p.simThreads));
     p.simParallelLaunches = static_cast<int>(
         opts.getInt("sim-parallel", p.simParallelLaunches));
+    p.sweepThreads = static_cast<int>(
+        opts.getInt("sweep-threads", p.sweepThreads));
+    p.maxCtas = opts.getInt("max-ctas", p.maxCtas);
+    p.scheduler = schedulerPolicyFromName(
+        opts.getString("scheduler", "gto"));
+    p.l1BypassLoads = opts.getBool("l1-bypass", false);
     p.nodeDivisor = opts.getInt("node-div", -1);
     p.edgeDivisor = opts.getInt("edge-div", -1);
     p.featureCap = opts.getInt("feature-cap", -1);
@@ -73,6 +112,10 @@ UserParams::fromOptions(const OptionSet &opts)
         fatal("--runs must be >= 1");
     if (p.simThreads < 0 || p.simParallelLaunches < 0)
         fatal("--sim-threads/--sim-parallel must be >= 0");
+    if (p.sweepThreads < 0)
+        fatal("--sweep-threads must be >= 0");
+    if (p.maxCtas < 1)
+        fatal("--max-ctas must be >= 1");
     return p;
 }
 
@@ -96,10 +139,13 @@ UserParams::fromArgs(int argc, const char *const *argv)
 DatasetScale
 UserParams::resolveScale() const
 {
-    const DatasetInfo &info = datasetInfoByName(dataset);
-    DatasetScale s = engine == EngineKind::Sim
-                         ? defaultSimScale(info.id)
-                         : defaultFunctionalScale(info.id);
+    DatasetScale s;
+    if (!isFileDataset(dataset)) {
+        const DatasetInfo &info = datasetInfoByName(dataset);
+        s = engine == EngineKind::Sim
+                ? defaultSimScale(info.id)
+                : defaultFunctionalScale(info.id);
+    }
     if (nodeDivisor > 0)
         s.nodeDivisor = nodeDivisor;
     if (edgeDivisor > 0)

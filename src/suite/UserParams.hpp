@@ -14,6 +14,7 @@
 #include "frameworks/Overheads.hpp"
 #include "graph/Datasets.hpp"
 #include "models/GnnModel.hpp"
+#include "simgpu/GpuConfig.hpp"
 #include "util/Options.hpp"
 
 namespace gsuite {
@@ -27,8 +28,21 @@ enum class EngineKind {
 /** Parse "functional"/"sim"; fatal() on unknown names. */
 EngineKind engineKindFromName(const std::string &name);
 
+/**
+ * True if @p dataset names an on-disk edge list ("file:PATH") rather
+ * than a Table IV generator.
+ */
+bool isFileDataset(const std::string &dataset);
+
+/** The PATH part of a "file:PATH" dataset name. */
+std::string fileDatasetPath(const std::string &dataset);
+
 /** Everything a gSuite run is parameterized by. */
 struct UserParams {
+    /**
+     * Table IV dataset name ("cora", "LJ", ...) or "file:PATH" for a
+     * SNAP-style edge list loaded via graph/EdgeListIo.
+     */
     std::string dataset = "cora";
     GnnModelKind model = GnnModelKind::Gcn;
     CompModel comp = CompModel::Mp;
@@ -54,6 +68,21 @@ struct UserParams {
      * (1 = serial, 0 = auto).
      */
     int simParallelLaunches = 1;
+
+    /**
+     * Sweep points executed concurrently by a BenchSession
+     * (1 = serial, 0 = auto). BenchSession composes this with the
+     * per-launch simThreads budget so the total worker count stays
+     * bounded (see src/suite/README.md).
+     */
+    int sweepThreads = 1;
+
+    /** CTA sampling cap forwarded to the timing simulator. */
+    int64_t maxCtas = 2048;
+    /** Warp scheduler policy for the timing simulator. */
+    SchedulerPolicy scheduler = SchedulerPolicy::Gto;
+    /** Ablation: route global loads straight to L2 (skip L1). */
+    bool l1BypassLoads = false;
 
     /** Dataset scaling: <0 means "use the engine-appropriate
      *  default" (defaultSimScale / defaultFunctionalScale). */

@@ -9,6 +9,8 @@
 
 #include "engine/ExecutionEngine.hpp"
 #include "graph/Generators.hpp"
+#include "kernels/IndexSelect.hpp"
+#include "kernels/Scatter.hpp"
 #include "kernels/Sgemm.hpp"
 #include "models/GnnModel.hpp"
 #include "profiler/HwProfiler.hpp"
@@ -163,4 +165,34 @@ TEST(HwProfilerTest, SamplingLimitsCtas)
     const auto rs = small.profile(l);
     const auto rb = big.profile(l);
     EXPECT_LT(rs.l1Hits + rs.l1Misses, rb.l1Hits + rb.l1Misses);
+}
+
+TEST(HwProfilerTest, ParallelReplayIsBitIdentical)
+{
+    // The slice-parallel replay (per-SM L1 lanes + ordered shared-L2
+    // pass) must reproduce the serial replay's counters exactly, for
+    // a kernel mix with loads, stores and atomics.
+    const Graph g = smallGraph(9);
+    DenseMatrix msg;
+    IndexSelectKernel gather("is", g.features, g.src, msg);
+    gather.execute();
+    DenseMatrix out(g.numNodes(), g.featureLen());
+    ScatterKernel k("sc", msg, g.dst, out);
+    k.execute();
+    DeviceAllocator alloc;
+    const KernelLaunch l = k.makeLaunch(alloc);
+
+    HwProfilerConfig serial_cfg;
+    serial_cfg.numThreads = 1;
+    HwProfilerConfig parallel_cfg;
+    parallel_cfg.numThreads = 4;
+    const HwProfileResult serial =
+        HwProfiler(serial_cfg).profile(l);
+    const HwProfileResult parallel =
+        HwProfiler(parallel_cfg).profile(l);
+    EXPECT_GT(serial.l1Hits + serial.l1Misses, 0u);
+    EXPECT_EQ(serial.l1Hits, parallel.l1Hits);
+    EXPECT_EQ(serial.l1Misses, parallel.l1Misses);
+    EXPECT_EQ(serial.l2Hits, parallel.l2Hits);
+    EXPECT_EQ(serial.l2Misses, parallel.l2Misses);
 }

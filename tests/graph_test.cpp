@@ -311,6 +311,44 @@ TEST(EdgeListIo, BareFileInfersNodeCount)
     std::remove(path.c_str());
 }
 
+TEST(EdgeListIo, SnapFormatLoads)
+{
+    // Real SNAP dumps: '#' prose comments and tab-separated ids.
+    const std::string path = "/tmp/gsuite_test_snap.txt";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("# Directed graph (each unordered pair once)\n"
+                   "# FromNodeId\tToNodeId\n"
+                   "0\t1\n"
+                   "0\t2\n"
+                   "2\t1\n",
+                   f);
+        std::fclose(f);
+    }
+    const Graph g = loadEdgeList(path, 8);
+    EXPECT_EQ(g.numNodes(), 3);
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_EQ(g.featureLen(), 8);
+    g.checkInvariants();
+    std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, RoundTripPreservesFeatureLenViaHeader)
+{
+    // saveEdgeList records flen; loadEdgeList honours it over the
+    // caller's default (unless it is 0: featureless graphs reload
+    // at the default width so pipelines stay runnable).
+    Graph g = triangleGraph();
+    const std::string path = "/tmp/gsuite_test_flen.txt";
+    saveEdgeList(g, path);
+    EXPECT_EQ(loadEdgeList(path, 64).featureLen(), 2);
+    Graph bare(3, 0);
+    bare.addEdge(0, 1);
+    saveEdgeList(bare, path);
+    EXPECT_EQ(loadEdgeList(path, 64).featureLen(), 64);
+    std::remove(path.c_str());
+}
+
 /** Parameterized: every dataset generates at its sim scale and keeps
  *  the heavy-tail property. */
 class DatasetSweep : public ::testing::TestWithParam<DatasetId>
