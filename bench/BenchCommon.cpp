@@ -1,8 +1,11 @@
 #include "bench/BenchCommon.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "hwdb/HwPresets.hpp"
 #include "util/Logging.hpp"
+#include "util/StringUtils.hpp"
 
 namespace gsuite::bench {
 
@@ -82,12 +85,15 @@ BenchArgs::parse(int argc, char **argv)
 {
     OptionSet opts;
     opts.parseArgs(argc, argv);
+    if (opts.getBool("list-gpus", false))
+        listHwPresetsAndExit();
     BenchArgs args;
     args.csvPath = opts.getString("csv", "");
     args.quick = opts.getBool("quick", false);
     args.layers = static_cast<int>(opts.getInt("layers", 2));
     args.sweepThreads =
         static_cast<int>(opts.getInt("sweep-threads", 1));
+    args.gpus = expandGpuSpecs(opts.getString("gpu", "v100-sim"));
     if (opts.getBool("quiet", false))
         setLogLevel(LogLevel::Quiet);
     return args;
@@ -104,6 +110,9 @@ BenchArgs::simBase() const
     p.maxCtas = maxCtas();
     p.simThreads = 0;          // auto (budget-composed in sweeps)
     p.simParallelLaunches = 0; // auto
+    // Comma-join so SweepSpec::expand grows a GPU axis from the
+    // base params — every sim bench inherits --gpu sweeps for free.
+    p.gpu = join(gpus, ',');
     return p;
 }
 

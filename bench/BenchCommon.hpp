@@ -70,13 +70,21 @@ std::string pct(double fraction);
 
 /**
  * Parse common bench flags (--csv FILE, --quick, --layers N,
- * --sweep-threads N) and build the standard sweep ingredients.
+ * --sweep-threads N, --gpu SPECS, --list-gpus) and build the
+ * standard sweep ingredients.
  */
 struct BenchArgs {
     std::string csvPath;
     bool quick = false; ///< smaller CTA budget for smoke runs
     int layers = 2;
     int sweepThreads = 1; ///< concurrent sweep points (0 = auto)
+
+    /**
+     * Normalized --gpu spec list: hwdb preset names / "file:PATH"
+     * entries ("all" already expanded). Defaults to the single
+     * paper machine, v100-sim.
+     */
+    std::vector<std::string> gpus{"v100-sim"};
 
     static BenchArgs parse(int argc, char **argv);
 

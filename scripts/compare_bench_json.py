@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Warn-only perf-trend diff for ResultStore JSON artifacts.
+
+Usage: compare_bench_json.py PREVIOUS.json CURRENT.json
+
+Compares the per-point metrics of two BENCH_*.json files (e.g. the
+previous CI run's BENCH_sim_throughput.json against this run's):
+
+  - deterministic simulator counters (cycles, warp_instrs) must
+    match exactly — a drift means the simulator's timing model
+    changed and the change should say so;
+  - wall-clock metrics (*_ms) may jitter; a slowdown beyond
+    --tolerance (default 25%) is reported as a regression;
+  - points present on only one side are reported (grid changed).
+
+Exit status: 0 clean, 1 regressions/drift found, 2 usage errors.
+The CI step runs this with continue-on-error (warn-only) until a few
+runs of artifact history exist.
+"""
+
+import json
+import sys
+
+DETERMINISTIC = ("cycles", "warp_instrs")
+WALLCLOCK_SUFFIXES = ("_ms",)
+
+
+def load_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {p["label"]: p for p in doc.get("points", [])}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tolerance = 0.25
+    for a in argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    prev_path, cur_path = args
+    prev = load_points(prev_path)
+    cur = load_points(cur_path)
+
+    problems = []
+    for label in sorted(set(prev) | set(cur)):
+        if label not in cur:
+            problems.append(f"point disappeared: {label}")
+            continue
+        if label not in prev:
+            print(f"note: new point (no history): {label}")
+            continue
+        # Per-class counters are emitted as exact integers (metrics
+        # go through %.6g and can hide small drift), so they are the
+        # authoritative determinism check.
+        pc = {c["class"]: c for c in prev[label].get("classes", [])}
+        cc = {c["class"]: c for c in cur[label].get("classes", [])}
+        for cls in sorted(set(pc) & set(cc)):
+            for key in ("cycles", "warp_instrs"):
+                a, b = pc[cls].get(key), cc[cls].get(key)
+                if a != b:
+                    problems.append(
+                        f"{label}/{cls}: deterministic counter "
+                        f"'{key}' drifted {a} -> {b}")
+        pm = prev[label].get("metrics", {})
+        cm = cur[label].get("metrics", {})
+        for key in sorted(set(pm) & set(cm)):
+            a, b = pm[key], cm[key]
+            if key in DETERMINISTIC:
+                if a != b:
+                    problems.append(
+                        f"{label}: deterministic metric '{key}' "
+                        f"drifted {a} -> {b}")
+            elif key.endswith(WALLCLOCK_SUFFIXES):
+                if a > 0 and (b - a) / a > tolerance:
+                    problems.append(
+                        f"{label}: '{key}' slowed "
+                        f"{a:.2f} -> {b:.2f} "
+                        f"(+{100.0 * (b - a) / a:.0f}%, "
+                        f"tolerance {100.0 * tolerance:.0f}%)")
+
+    if problems:
+        print(f"perf-trend check: {len(problems)} finding(s) "
+              f"comparing {prev_path} -> {cur_path}:")
+        for p in problems:
+            print(f"  REGRESSION? {p}")
+        return 1
+    print(f"perf-trend check: {cur_path} clean against {prev_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,6 +21,12 @@
  * Constants are calibrated ONLY to reproduce the paper's *shape*
  * (PyG slowest, gSuite fastest, distribution of kernel time similar
  * across frameworks) — never absolute numbers. See DESIGN.md §4.
+ *
+ * The built-in constants can be overridden at runtime through the
+ * hwdb config-file layer (`overhead.<framework>.<key>` keys, see
+ * src/hwdb/README.md) so recalibration does not require a rebuild.
+ * Overrides are process-global and must be installed before runs
+ * start (the CLI applies them while parsing `--gpu file:PATH`).
  */
 
 #ifndef GSUITE_FRAMEWORKS_OVERHEADS_HPP
@@ -41,21 +47,27 @@ struct FrameworkOverheads {
     double perKernelUs = 0.0;
     double kernelFactor = 1.0;
 
-    /** The calibrated per-framework constants. */
-    static FrameworkOverheads
-    of(Framework fw)
-    {
-        switch (fw) {
-          case Framework::Pyg:
-            return {1.2e6, 250.0, 1.30};
-          case Framework::Dgl:
-            return {0.55e6, 90.0, 1.10};
-          case Framework::Gsuite:
-          default:
-            return {0.03e6, 8.0, 1.00};
-        }
-    }
+    bool operator==(const FrameworkOverheads &) const = default;
+
+    /**
+     * The effective per-framework constants: the calibrated
+     * defaults, unless overridden via setFrameworkOverheads().
+     */
+    static FrameworkOverheads of(Framework fw);
+
+    /** The compile-time calibrated constants, override-proof. */
+    static FrameworkOverheads defaults(Framework fw);
 };
+
+/**
+ * Install a process-global override for one framework's overheads
+ * (the hwdb `overhead.<framework>.<key>` path). Not synchronized:
+ * call before any engines run, never concurrently with them.
+ */
+void setFrameworkOverheads(Framework fw, const FrameworkOverheads &v);
+
+/** Drop all overrides, restoring the calibrated defaults. */
+void resetFrameworkOverheads();
 
 } // namespace gsuite
 

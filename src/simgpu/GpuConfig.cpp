@@ -58,8 +58,20 @@ GpuConfig::validate() const
         fatal("GpuConfig: bad SM geometry");
     if (maxWarpsPerSm % numSchedulers != 0)
         fatal("GpuConfig: maxWarpsPerSm must divide by numSchedulers");
+    if (smSampleFactor <= 0 || maxThreadsPerSm <= 0 ||
+        maxCtasPerSm <= 0)
+        fatal("GpuConfig: SM capacities must be positive");
+    if (aluLatency <= 0 || sfuLatency <= 0 ||
+        aluInitiationInterval <= 0 || ldsLatency <= 0 ||
+        icacheColdLatency <= 0 || ifetchLatency <= 0 ||
+        l1Latency <= 0 || l2Latency <= 0 || dramLatency <= 0)
+        fatal("GpuConfig: latencies must be positive cycles");
+    if (lsuPortsPerSm <= 0)
+        fatal("GpuConfig: lsuPortsPerSm must be positive");
+    if (coreClockGhz <= 0.0)
+        fatal("GpuConfig: core clock must be positive");
     auto check_cache = [](const CacheGeometry &g, const char *label) {
-        if (g.lineBytes <= 0 || g.sectorBytes <= 0 ||
+        if (g.lineBytes <= 0 || g.sectorBytes <= 0 || g.assoc <= 0 ||
             g.lineBytes % g.sectorBytes != 0)
             fatal("GpuConfig: %s line/sector geometry invalid", label);
         if (g.numSets() <= 0)

@@ -45,6 +45,8 @@ struct CacheGeometry {
                                  static_cast<uint64_t>(assoc)));
     }
     int sectorsPerLine() const { return lineBytes / sectorBytes; }
+
+    bool operator==(const CacheGeometry &) const = default;
 };
 
 /** Full GPU model configuration. */
@@ -119,6 +121,9 @@ struct GpuConfig {
 
     /** Sanity-check parameter consistency; fatal() on bad config. */
     void validate() const;
+
+    /** Field-wise equality (hwdb round-trip guarantee). */
+    bool operator==(const GpuConfig &) const = default;
 };
 
 } // namespace gsuite

@@ -1,26 +1,191 @@
 #include "suite/BenchSession.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
+#include <list>
+#include <map>
 #include <mutex>
 
 #include "frameworks/FrameworkAdapter.hpp"
+#include "hwdb/HwConfigFile.hpp"
 #include "util/Logging.hpp"
 #include "util/ThreadPool.hpp"
 
 namespace gsuite {
 
+/**
+ * Bounded, thread-safe (dataset, scale, seed) -> Graph cache.
+ * Concurrent lanes asking for the same graph share one load (the
+ * first requester loads outside the lock; the rest block on a
+ * shared_future); distinct graphs load concurrently. Eviction is
+ * LRU over the entry list — evicted graphs stay alive for points
+ * still holding their shared_ptr.
+ */
+class GraphCache
+{
+  public:
+    explicit GraphCache(size_t capacity) : capacity(capacity) {}
+
+    std::shared_ptr<const Graph>
+    get(const UserParams &params)
+    {
+        using GraphPtr = std::shared_ptr<const Graph>;
+        const std::string key = cacheKey(params);
+        std::promise<GraphPtr> promise;
+        std::shared_future<GraphPtr> future;
+        bool loader = false;
+        uint64_t my_id = 0;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            auto it = entries.find(key);
+            if (it != entries.end()) {
+                ++statHits;
+                touch(it->second);
+                future = it->second.future;
+            } else {
+                ++statMisses;
+                loader = true;
+                future = promise.get_future().share();
+                Entry entry;
+                entry.future = future;
+                entry.id = my_id = nextId++;
+                lru.push_front(key);
+                entry.lruPos = lru.begin();
+                entries.emplace(key, std::move(entry));
+                evictOverCapacity();
+            }
+        }
+        if (loader) {
+            try {
+                promise.set_value(std::make_shared<const Graph>(
+                    loadDatasetFor(params)));
+            } catch (...) {
+                // Propagate to every waiter, and forget *our* entry
+                // (identity-checked: it may have been evicted and
+                // the key re-inserted meanwhile) so a later point
+                // may retry.
+                promise.set_exception(std::current_exception());
+                std::lock_guard<std::mutex> lock(mtx);
+                auto it = entries.find(key);
+                if (it != entries.end() &&
+                    it->second.id == my_id) {
+                    lru.erase(it->second.lruPos);
+                    entries.erase(it);
+                }
+            }
+        }
+        return future.get();
+    }
+
+    BenchSession::CacheStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return {statHits, statMisses, statEvictions};
+    }
+
+  private:
+    struct Entry {
+        std::shared_future<std::shared_ptr<const Graph>> future;
+        std::list<std::string>::iterator lruPos;
+        uint64_t id = 0; ///< insertion identity (erase guard)
+    };
+
+    static std::string
+    cacheKey(const UserParams &params)
+    {
+        // Everything loadDatasetFor derives the graph from; scale
+        // captures the resolved divisors and feature cap.
+        return params.dataset + "|" +
+               params.resolveScale().describe() + "|" +
+               std::to_string(params.seed);
+    }
+
+    void
+    touch(Entry &entry)
+    {
+        lru.splice(lru.begin(), lru, entry.lruPos);
+    }
+
+    void
+    evictOverCapacity()
+    {
+        // Oldest-first, but only completed loads: evicting an
+        // in-flight entry would let a second loader race the first.
+        // If every older entry is still loading, run over capacity
+        // until one settles.
+        auto victim = lru.end();
+        while (entries.size() > capacity) {
+            victim = victim == lru.end() ? std::prev(lru.end())
+                                         : std::prev(victim);
+            auto it = entries.find(*victim);
+            if (it->second.future.wait_for(
+                    std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+                if (victim == lru.begin())
+                    break; // nothing evictable yet
+                continue;
+            }
+            entries.erase(it);
+            victim = lru.erase(victim);
+            ++statEvictions;
+        }
+    }
+
+    const size_t capacity;
+    mutable std::mutex mtx;
+    std::map<std::string, Entry> entries;
+    std::list<std::string> lru; ///< front = most recent
+    uint64_t nextId = 1;
+    size_t statHits = 0, statMisses = 0, statEvictions = 0;
+};
+
+BenchSession::BenchSession() : BenchSession(Options{}) {}
+
+BenchSession::BenchSession(Options opts_) : opts(std::move(opts_))
+{
+    if (opts.graphCacheEntries > 0)
+        cache = std::make_unique<GraphCache>(opts.graphCacheEntries);
+}
+
+BenchSession::~BenchSession() = default;
+BenchSession::BenchSession(BenchSession &&) noexcept = default;
+BenchSession &
+BenchSession::operator=(BenchSession &&) noexcept = default;
+
+BenchSession::CacheStats
+BenchSession::cacheStats() const
+{
+    return cache ? cache->stats() : CacheStats{};
+}
+
 RunOutcome
 BenchSession::runPoint(const UserParams &params)
+{
+    return runPoint(params, loadDatasetFor(params));
+}
+
+RunOutcome
+BenchSession::runPoint(const UserParams &params, const Graph &graph)
 {
     RunOutcome outcome;
     outcome.params = params;
     outcome.scaleDescription = params.resolveScale().describe();
-
-    const Graph graph = loadDatasetFor(params);
     outcome.graphSummary = graph.summary();
 
     const FrameworkAdapter adapter(params.framework);
-    auto engine = AbstractionModule::makeEngine(params);
+    std::unique_ptr<ExecutionEngine> engine;
+    if (params.engine == EngineKind::Sim) {
+        // Resolve the machine once: the engine and the provenance
+        // snapshot must describe the same config even if a file:
+        // spec changes on disk mid-sweep.
+        const GpuConfig gpu = params.resolveGpuConfig();
+        outcome.gpuConfigSnapshot = gpuConfigKeyValues(gpu);
+        engine = AbstractionModule::makeEngine(params, gpu);
+    } else {
+        engine = AbstractionModule::makeEngine(params);
+    }
 
     double sum = 0.0;
     double kernel_sum = 0.0;
@@ -54,8 +219,10 @@ BenchSession::runPoint(const UserParams &params)
 ResultStore
 BenchSession::run(const SweepSpec &spec) const
 {
-    return run(spec, [](const SweepPoint &pt) {
-        return runPoint(pt.params);
+    return run(spec, [this](const SweepPoint &pt) {
+        if (!cache)
+            return runPoint(pt.params);
+        return runPoint(pt.params, *cache->get(pt.params));
     });
 }
 

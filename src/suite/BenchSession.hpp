@@ -19,11 +19,14 @@
 #define GSUITE_SUITE_BENCHSESSION_HPP
 
 #include <functional>
+#include <memory>
 
 #include "suite/ResultStore.hpp"
 #include "suite/SweepSpec.hpp"
 
 namespace gsuite {
+
+class GraphCache;
 
 /** Executes SweepSpecs. */
 class BenchSession
@@ -51,13 +54,29 @@ class BenchSession
          */
         int threadBudget = 0;
 
+        /**
+         * Capacity (graphs) of the per-session dataset cache used
+         * by the default runner: sweep points sharing a
+         * (dataset, scale, seed) load their graph once per session
+         * instead of once per point (multi-GPU and multi-framework
+         * grids hit this hard). 0 disables caching. Results are
+         * bit-identical either way (the graph is immutable input).
+         */
+        size_t graphCacheEntries = 8;
+
         Progress progress; ///< optional per-point callback
     };
 
-    BenchSession() = default;
-    explicit BenchSession(Options opts) : opts(std::move(opts)) {}
+    BenchSession();
+    explicit BenchSession(Options opts);
+    ~BenchSession();
+    BenchSession(BenchSession &&) noexcept;
+    BenchSession &operator=(BenchSession &&) noexcept;
 
-    /** Run every point with the default benchmark runner. */
+    /**
+     * Run every point with the default benchmark runner (through
+     * the session's graph cache).
+     */
     ResultStore run(const SweepSpec &spec) const;
 
     /** Run every point with a custom runner. */
@@ -71,8 +90,22 @@ class BenchSession
      */
     static RunOutcome runPoint(const UserParams &params);
 
+    /** runPoint on an already-loaded graph (the cached path). */
+    static RunOutcome runPoint(const UserParams &params,
+                               const Graph &graph);
+
+    /** Graph-cache effectiveness counters (cumulative). */
+    struct CacheStats {
+        size_t hits = 0;
+        size_t misses = 0;
+        size_t evictions = 0;
+    };
+    CacheStats cacheStats() const;
+
   private:
     Options opts;
+    /** Lives across run() calls; shared by concurrent lanes. */
+    std::unique_ptr<GraphCache> cache;
 };
 
 } // namespace gsuite

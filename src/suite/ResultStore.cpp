@@ -1,8 +1,11 @@
 #include "suite/ResultStore.hpp"
 
 #include <cstdio>
+#include <set>
 
 #include "frameworks/FrameworkAdapter.hpp"
+#include "hwdb/HwConfigFile.hpp"
+#include "hwdb/HwPresets.hpp"
 #include "util/Csv.hpp"
 #include "util/Logging.hpp"
 #include "util/Table.hpp"
@@ -32,6 +35,24 @@ const char *
 engineName(EngineKind e)
 {
     return e == EngineKind::Sim ? "sim" : "functional";
+}
+
+/**
+ * Identity of the machine a point effectively simulated: the gpu
+ * spec plus any engaged scheduler/l1-bypass overrides, so ablation
+ * variants sharing one spec get distinct provenance entries.
+ */
+std::string
+effectiveGpuKey(const UserParams &p)
+{
+    std::string key = p.gpu;
+    if (p.scheduler)
+        key += std::string("+scheduler=") +
+               schedulerPolicyName(*p.scheduler);
+    if (p.l1BypassLoads)
+        key += std::string("+l1-bypass=") +
+               (*p.l1BypassLoads ? "on" : "off");
+    return key;
 }
 
 } // namespace
@@ -133,13 +154,13 @@ void
 ResultStore::toCsv(const std::string &path) const
 {
     CsvWriter csv(path);
-    csv.header({"label", "variant", "framework", "model", "comp",
-                "dataset", "engine", "scale", "ok", "error", "runs",
-                "end_to_end_us_mean", "end_to_end_us_min",
+    csv.header({"label", "variant", "gpu", "framework", "model",
+                "comp", "dataset", "engine", "scale", "ok", "error",
+                "runs", "end_to_end_us_mean", "end_to_end_us_min",
                 "end_to_end_us_max", "kernel_us_mean"});
     for (const auto &r : results) {
         const UserParams &p = r.point.params;
-        csv.row({r.point.label, r.point.variant,
+        csv.row({r.point.label, r.point.variant, p.gpu,
                  frameworkName(p.framework), gnnModelName(p.model),
                  compModelName(p.comp), p.dataset,
                  engineName(p.engine), r.outcome.scaleDescription,
@@ -190,7 +211,67 @@ ResultStore::toJson(const std::string &path,
             first = false;
         }
     }
-    std::fprintf(f, "},\n  \"points\": [\n");
+    std::fprintf(f, "},\n");
+
+    // Full hardware provenance: every distinct machine the sweep
+    // *simulated* (functional points never touch a GPU model), as
+    // the complete hwdb key table, keyed by the effective config —
+    // gpu spec plus engaged overrides, so an ablation's gto and lrr
+    // points get separate entries (each point's "gpu_config" field
+    // names its entry). Run-time snapshots take precedence so edits
+    // to a file: spec after the run cannot misreport what executed;
+    // preset-based keys resolve through UserParams otherwise; a
+    // file: spec with no snapshot is marked unavailable rather than
+    // re-read.
+    {
+        struct Provenance {
+            const std::vector<std::pair<std::string, std::string>>
+                *snapshot = nullptr;
+            const UserParams *params = nullptr;
+        };
+        std::map<std::string, Provenance> configs;
+        for (const auto &r : results) {
+            const UserParams &p = r.point.params;
+            if (p.engine != EngineKind::Sim || p.gpu.empty() ||
+                p.gpu.find(',') != std::string::npos)
+                continue;
+            Provenance &prov = configs[effectiveGpuKey(p)];
+            if (!prov.params)
+                prov.params = &p;
+            if (!prov.snapshot &&
+                !r.outcome.gpuConfigSnapshot.empty())
+                prov.snapshot = &r.outcome.gpuConfigSnapshot;
+        }
+        std::fprintf(f, "  \"gpu_configs\": {");
+        bool first_cfg = true;
+        for (const auto &[key, prov] : configs) {
+            std::fprintf(f, "%s\n    \"%s\": {",
+                         first_cfg ? "" : ",",
+                         jsonEscape(key).c_str());
+            first_cfg = false;
+            std::vector<std::pair<std::string, std::string>> kv;
+            if (prov.snapshot)
+                kv = *prov.snapshot;
+            else if (!isFileGpuSpec(prov.params->gpu))
+                kv = gpuConfigKeyValues(
+                    prov.params->resolveGpuConfig());
+            else
+                kv = {{"unavailable",
+                       "file spec with no run-time snapshot"}};
+            bool first_kv = true;
+            for (const auto &[k, v] : kv) {
+                std::fprintf(f, "%s\"%s\": \"%s\"",
+                             first_kv ? "" : ", ",
+                             jsonEscape(k).c_str(),
+                             jsonEscape(v).c_str());
+                first_kv = false;
+            }
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "%s},\n", configs.empty() ? "" : "\n  ");
+    }
+
+    std::fprintf(f, "  \"points\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
         const SweepResult &r = results[i];
         const UserParams &p = r.point.params;
@@ -198,11 +279,16 @@ ResultStore::toJson(const std::string &path,
         std::fprintf(
             f,
             "    {\"label\": \"%s\", \"variant\": \"%s\", "
+            "\"gpu\": \"%s\", \"gpu_config\": \"%s\", "
             "\"framework\": \"%s\", \"model\": \"%s\", "
             "\"comp\": \"%s\", \"dataset\": \"%s\", "
             "\"engine\": \"%s\", \"ok\": %s",
             jsonEscape(r.point.label).c_str(),
             jsonEscape(r.point.variant).c_str(),
+            jsonEscape(p.gpu).c_str(),
+            p.engine == EngineKind::Sim
+                ? jsonEscape(effectiveGpuKey(p)).c_str()
+                : "",
             frameworkName(p.framework), gnnModelName(p.model),
             compModelName(p.comp), jsonEscape(p.dataset).c_str(),
             engineName(p.engine), r.ok ? "true" : "false");

@@ -9,21 +9,26 @@ namespace gsuite {
 std::unique_ptr<ExecutionEngine>
 AbstractionModule::makeEngine(const UserParams &params)
 {
-    if (params.engine == EngineKind::Sim) {
-        SimEngine::Options opts;
-        opts.gpu.scheduler = params.scheduler;
-        opts.gpu.l1BypassLoads = params.l1BypassLoads;
-        opts.profileCaches = params.profileCaches;
-        opts.hwConfig.numThreads = params.simThreads;
-        opts.sim.maxCtas = params.maxCtas;
-        opts.sim.numThreads = params.simThreads;
-        opts.parallelLaunches = params.simParallelLaunches;
-        return std::make_unique<SimEngine>(opts);
-    }
+    if (params.engine == EngineKind::Sim)
+        return makeEngine(params, params.resolveGpuConfig());
     FunctionalEngine::Options opts;
     opts.profileCaches = params.profileCaches;
     opts.hwConfig.numThreads = params.simThreads;
     return std::make_unique<FunctionalEngine>(opts);
+}
+
+std::unique_ptr<ExecutionEngine>
+AbstractionModule::makeEngine(const UserParams &params,
+                              const GpuConfig &gpu)
+{
+    SimEngine::Options opts;
+    opts.gpu = gpu;
+    opts.profileCaches = params.profileCaches;
+    opts.hwConfig.numThreads = params.simThreads;
+    opts.sim.maxCtas = params.maxCtas;
+    opts.sim.numThreads = params.simThreads;
+    opts.parallelLaunches = params.simParallelLaunches;
+    return std::make_unique<SimEngine>(opts);
 }
 
 Graph

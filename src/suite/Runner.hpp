@@ -45,6 +45,15 @@ struct RunOutcome {
      */
     std::map<std::string, double> metrics;
 
+    /**
+     * hwdb key/value snapshot of the machine this point actually
+     * simulated, captured at run time (sim engine points only) so
+     * emitted provenance cannot drift from a config file edited or
+     * deleted after the run.
+     */
+    std::vector<std::pair<std::string, std::string>>
+        gpuConfigSnapshot;
+
     /** Per-kernel timeline of the final run. */
     std::vector<KernelRecord> timeline;
 };
@@ -56,6 +65,16 @@ class AbstractionModule
     /** Build the engine the params ask for. */
     static std::unique_ptr<ExecutionEngine>
     makeEngine(const UserParams &params);
+
+    /**
+     * Same, with the machine already resolved — callers that also
+     * record provenance (BenchSession::runPoint) resolve once and
+     * pass it here, so a file: spec is parsed a single time and the
+     * snapshot cannot diverge from the simulated config. Only
+     * meaningful for sim-engine params.
+     */
+    static std::unique_ptr<ExecutionEngine>
+    makeEngine(const UserParams &params, const GpuConfig &gpu);
 };
 
 /** Loads a dataset per the params (Fig. 1's Data Loader). */

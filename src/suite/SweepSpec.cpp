@@ -4,6 +4,7 @@
 
 #include "frameworks/FrameworkAdapter.hpp"
 #include "util/Logging.hpp"
+#include "util/StringUtils.hpp"
 
 namespace gsuite {
 
@@ -73,6 +74,13 @@ SweepSpec::variants(std::vector<SweepVariant> vs)
 }
 
 SweepSpec &
+SweepSpec::gpus(const std::vector<std::string> &specs)
+{
+    gpuAxis = specs;
+    return *this;
+}
+
+SweepSpec &
 SweepSpec::layers(int l)
 {
     baseParams.layers = l;
@@ -117,9 +125,13 @@ SweepSpec::skip(const std::function<bool(const UserParams &)> &pred)
 std::vector<SweepPoint>
 SweepSpec::expand() const
 {
+    // The dataset and gpu axes honour comma-separated base values —
+    // the CLI sweep shorthand ("--dataset cora,pubmed",
+    // "--gpu v100-sim,a100").
     const std::vector<std::string> ds =
-        dsAxis.empty() ? std::vector<std::string>{baseParams.dataset}
-                       : dsAxis;
+        dsAxis.empty() ? split(baseParams.dataset, ',') : dsAxis;
+    const std::vector<std::string> gpus =
+        gpuAxis.empty() ? split(baseParams.gpu, ',') : gpuAxis;
     const std::vector<GnnModelKind> models =
         modelAxis.empty()
             ? std::vector<GnnModelKind>{baseParams.model}
@@ -145,17 +157,26 @@ SweepSpec::expand() const
                 fatal("duplicate sweep variant label '%s'",
                       v.label.c_str());
     }
+    {
+        std::set<std::string> seen;
+        for (const std::string &g : gpus)
+            if (!seen.insert(g).second)
+                fatal("duplicate gpu axis entry '%s'", g.c_str());
+    }
 
     std::vector<SweepPoint> points;
-    points.reserve(vars.size() * fws.size() * models.size() *
-                   comps.size() * engines.size() * ds.size());
-    for (const SweepVariant &v : vars) {
+    points.reserve(gpus.size() * vars.size() * fws.size() *
+                   models.size() * comps.size() * engines.size() *
+                   ds.size());
+    for (const std::string &g : gpus) {
+      for (const SweepVariant &v : vars) {
         for (const Framework fw : fws) {
             for (const GnnModelKind m : models) {
                 for (const CompModel c : comps) {
                     for (const EngineKind e : engines) {
                         for (const std::string &d : ds) {
                             UserParams p = baseParams;
+                            p.gpu = g;
                             p.framework = fw;
                             p.model = m;
                             p.comp = c;
@@ -174,6 +195,8 @@ SweepSpec::expand() const
                             pt.index = points.size();
                             pt.variant = v.label;
                             std::string label;
+                            if (gpus.size() > 1)
+                                label += "[" + g + "]";
                             if (!v.label.empty())
                                 label += v.label + ":";
                             label += frameworkName(fw);
@@ -195,6 +218,7 @@ SweepSpec::expand() const
                 }
             }
         }
+      }
     }
     return points;
 }

@@ -39,9 +39,11 @@ struct SweepPoint {
 
 /**
  * A declarative grid over the suite's sweep axes. Unset axes
- * default to the base params' single value, so an empty spec expands
- * to exactly one point. Expansion order is fixed and documented:
- * variants > frameworks > models > comps > engines > datasets
+ * default to the base params' value (the dataset and gpu axes
+ * additionally split comma-separated base values, the CLI sweep
+ * shorthand), so an empty spec expands to exactly one point.
+ * Expansion order is fixed and documented:
+ * gpus > variants > frameworks > models > comps > engines > datasets
  * (outermost to innermost), each axis in the order given.
  */
 class SweepSpec
@@ -59,6 +61,13 @@ class SweepSpec
     SweepSpec &engines(const std::vector<EngineKind> &es);
     SweepSpec &engine(EngineKind e);
     SweepSpec &variants(std::vector<SweepVariant> vs);
+
+    /**
+     * GPU axis: hwdb preset names or "file:PATH" specs, one machine
+     * per value (the cross-GPU characterization axis). Labels are
+     * prefixed "[gpu]" whenever the axis has more than one value.
+     */
+    SweepSpec &gpus(const std::vector<std::string> &specs);
 
     // Sugar for the base params benches tweak most often.
     SweepSpec &layers(int l);
@@ -87,6 +96,7 @@ class SweepSpec
 
   private:
     UserParams baseParams;
+    std::vector<std::string> gpuAxis;
     std::vector<std::string> dsAxis;
     std::vector<GnnModelKind> modelAxis;
     std::vector<CompModel> compAxis;

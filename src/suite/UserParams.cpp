@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <set>
 
+#include <cstdlib>
+
 #include "frameworks/FrameworkAdapter.hpp"
+#include "hwdb/HwPresets.hpp"
 #include "util/Logging.hpp"
 #include "util/StringUtils.hpp"
 
@@ -43,11 +46,15 @@ UserParams::fromOptions(const OptionSet &opts)
         "csv",        "verbose",   "quiet",
         "sim-threads", "sim-parallel", "sweep-threads",
         "max-ctas",   "scheduler", "l1-bypass",
+        "gpu",        "list-gpus",
     };
     for (const auto &key : opts.keys()) {
         if (known.find(key) == known.end())
             fatal("unknown option '--%s'", key.c_str());
     }
+
+    if (opts.getBool("list-gpus", false))
+        listHwPresetsAndExit();
 
     UserParams p;
     p.dataset = opts.getString("dataset", p.dataset);
@@ -93,9 +100,17 @@ UserParams::fromOptions(const OptionSet &opts)
     p.sweepThreads = static_cast<int>(
         opts.getInt("sweep-threads", p.sweepThreads));
     p.maxCtas = opts.getInt("max-ctas", p.maxCtas);
-    p.scheduler = schedulerPolicyFromName(
-        opts.getString("scheduler", "gto"));
-    p.l1BypassLoads = opts.getBool("l1-bypass", false);
+    // The scheduler/l1-bypass overrides only engage when given, so
+    // a preset's own policy survives an override-free run.
+    if (opts.has("scheduler"))
+        p.scheduler = schedulerPolicyFromName(
+            opts.getString("scheduler"));
+    if (opts.has("l1-bypass"))
+        p.l1BypassLoads = opts.getBool("l1-bypass", false);
+    // Normalize --gpu: validate + canonicalize each component,
+    // expand "all", install file-spec overhead overrides. A multi-
+    // spec result stays comma-joined for SweepSpec to expand.
+    p.gpu = join(expandGpuSpecs(opts.getString("gpu", p.gpu)), ',');
     p.nodeDivisor = opts.getInt("node-div", -1);
     p.edgeDivisor = opts.getInt("edge-div", -1);
     p.featureCap = opts.getInt("feature-cap", -1);
@@ -155,6 +170,18 @@ UserParams::resolveScale() const
     return s;
 }
 
+GpuConfig
+UserParams::resolveGpuConfig() const
+{
+    GpuConfig cfg = resolveGpuSpec(gpu);
+    if (scheduler)
+        cfg.scheduler = *scheduler;
+    if (l1BypassLoads)
+        cfg.l1BypassLoads = *l1BypassLoads;
+    cfg.validate();
+    return cfg;
+}
+
 ModelConfig
 UserParams::modelConfig() const
 {
@@ -174,11 +201,12 @@ UserParams::describe() const
 {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "%s/%s/%s on %s (%s engine, L=%d, hidden=%d)",
+                  "%s/%s/%s on %s (%s engine, gpu=%s, L=%d, "
+                  "hidden=%d)",
                   frameworkName(framework), gnnModelName(model),
                   compModelName(comp), dataset.c_str(),
                   engine == EngineKind::Sim ? "sim" : "functional",
-                  layers, hidden);
+                  gpu.c_str(), layers, hidden);
     return buf;
 }
 

@@ -9,6 +9,7 @@
 #define GSUITE_SUITE_USERPARAMS_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "frameworks/Overheads.hpp"
@@ -44,6 +45,16 @@ struct UserParams {
      * SNAP-style edge list loaded via graph/EdgeListIo.
      */
     std::string dataset = "cora";
+
+    /**
+     * Hardware model for the timing simulator: an hwdb preset name
+     * ("v100-sim", "rtx2060s", "p100", "a100", ...) or "file:PATH"
+     * for a gpgpusim-style hwdb config file. May hold a
+     * comma-separated list as sweep shorthand — SweepSpec expands it
+     * into a GPU axis; single-point resolution rejects lists.
+     */
+    std::string gpu = "v100-sim";
+
     GnnModelKind model = GnnModelKind::Gcn;
     CompModel comp = CompModel::Mp;
     Framework framework = Framework::Gsuite;
@@ -79,10 +90,14 @@ struct UserParams {
 
     /** CTA sampling cap forwarded to the timing simulator. */
     int64_t maxCtas = 2048;
-    /** Warp scheduler policy for the timing simulator. */
-    SchedulerPolicy scheduler = SchedulerPolicy::Gto;
-    /** Ablation: route global loads straight to L2 (skip L1). */
-    bool l1BypassLoads = false;
+    /**
+     * Warp scheduler override. Unset (the default) defers to the
+     * gpu preset/file; --scheduler or an ablation variant engages
+     * it on top of whatever machine the point runs on.
+     */
+    std::optional<SchedulerPolicy> scheduler;
+    /** Ablation override: route global loads straight to L2. */
+    std::optional<bool> l1BypassLoads;
 
     /** Dataset scaling: <0 means "use the engine-appropriate
      *  default" (defaultSimScale / defaultFunctionalScale). */
@@ -107,6 +122,14 @@ struct UserParams {
 
     /** The dataset scale this run should use. */
     DatasetScale resolveScale() const;
+
+    /**
+     * The machine this point simulates: the gpu preset/file resolved
+     * through hwdb, with the scheduler/l1-bypass overrides (when
+     * engaged) applied on top. Validated; fatal() on a comma list
+     * (sweeps must expand first) or an unresolvable spec.
+     */
+    GpuConfig resolveGpuConfig() const;
 
     /** Model hyperparameters as a ModelConfig. */
     ModelConfig modelConfig() const;

@@ -47,6 +47,18 @@ split(const std::string &s, char delim)
     return out;
 }
 
+std::string
+join(const std::vector<std::string> &parts, char delim)
+{
+    std::string out;
+    for (const std::string &p : parts) {
+        if (!out.empty())
+            out += delim;
+        out += p;
+    }
+    return out;
+}
+
 bool
 startsWith(const std::string &s, const std::string &prefix)
 {

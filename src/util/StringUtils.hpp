@@ -20,6 +20,9 @@ std::string toLower(const std::string &s);
 /** Split on a delimiter character; empty fields are preserved. */
 std::vector<std::string> split(const std::string &s, char delim);
 
+/** Inverse of split: join parts with a delimiter character. */
+std::string join(const std::vector<std::string> &parts, char delim);
+
 /** True if @p s starts with @p prefix. */
 bool startsWith(const std::string &s, const std::string &prefix);
 

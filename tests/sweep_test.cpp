@@ -375,7 +375,20 @@ TEST(UserParams, SweepOptionsParse)
     EXPECT_EQ(p.sweepThreads, 4);
     EXPECT_EQ(p.maxCtas, 512);
     EXPECT_EQ(p.scheduler, SchedulerPolicy::Lrr);
-    EXPECT_TRUE(p.l1BypassLoads);
+    EXPECT_EQ(p.l1BypassLoads, true);
+}
+
+TEST(UserParams, SchedulerOverridesStayUnsetByDefault)
+{
+    // Without --scheduler/--l1-bypass the overrides stay unset so a
+    // --gpu preset's own policy survives (hwdb composition).
+    const char *argv[] = {"prog", "--gpu", "rtx2060s", nullptr};
+    const UserParams p = UserParams::fromArgs(3, argv);
+    EXPECT_FALSE(p.scheduler.has_value());
+    EXPECT_FALSE(p.l1BypassLoads.has_value());
+    EXPECT_EQ(p.gpu, "rtx2060s");
+    EXPECT_EQ(p.resolveGpuConfig().scheduler,
+              SchedulerPolicy::Gto);
 }
 
 TEST(UserParams, FileDatasetRoundTripsThroughLoader)
