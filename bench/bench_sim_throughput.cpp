@@ -1,10 +1,13 @@
 /**
  * @file
  * Simulator-throughput benchmark: wall-clock and resident trace
- * memory per kernel class, comparing the legacy-equivalent engine
- * configuration (one worker thread, effectively-unbounded trace
- * chunks — the eager-materialization footprint) against the
- * optimized configuration (streamed chunks + parallel SM stepping).
+ * memory per kernel class, comparing the pre-PR engine shape (the
+ * per-warp reference issue path, one worker thread,
+ * effectively-unbounded trace chunks — the eager-materialization
+ * footprint) against the optimized configuration (SoA issue fast
+ * path, streamed chunks + parallel SM stepping). The SGEMM-dense
+ * point is the issue-bound archetype the SoA rewrite targets: a
+ * deep-K GEMM whose schedulers are saturated with FMA chains.
  *
  * Emits machine-readable JSON (default BENCH_sim_throughput.json)
  * via ResultStore::toJson so later PRs can track the performance
@@ -80,8 +83,13 @@ skewedCsr(int64_t n, uint64_t seed)
 /**
  * Simulate @p launch under both engine configurations, repeating
  * @p reps times and keeping the best wall-clock of each (standard
- * min-of-N timing). Everything lands in the outcome's metrics so
- * ResultStore::toJson can emit it for trend tracking.
+ * min-of-N timing). The baseline is the pre-PR engine shape: the
+ * per-warp reference issue path (GpuConfig::referenceIssue), legacy
+ * every-SM-every-cycle stepping, and eager-size trace chunks; the
+ * optimized configuration is the default SoA issue fast path with
+ * streamed chunks and parallel SM stepping. Everything lands in the
+ * outcome's metrics so ResultStore::toJson can emit it for trend
+ * tracking.
  */
 void
 measure(RunOutcome &out, const KernelLaunch &launch,
@@ -102,10 +110,13 @@ measure(RunOutcome &out, const KernelLaunch &launch,
     double baseline_ms = 0.0, optimized_ms = 0.0;
     uint64_t cycles = 0;
 
+    GpuConfig ref_cfg = cfg;
+    ref_cfg.referenceIssue = true; // pre-SoA per-warp issue path
+    GpuSimulator ref_sim(ref_cfg);
     GpuSimulator sim(cfg);
     for (int i = 0; i < reps; ++i) {
         Timer t;
-        const KernelStats st = sim.run(launch, base);
+        const KernelStats st = ref_sim.run(launch, base);
         const double ms = t.elapsedMs();
         if (i == 0 || ms < baseline_ms)
             baseline_ms = ms;
@@ -150,7 +161,9 @@ main(int argc, char **argv)
     const int64_t n = quick ? 1200 : 4000;
     const int64_t feat = quick ? 32 : 64;
     const int64_t max_ctas = quick ? 256 : 1024;
-    const int reps = quick ? 1 : 3;
+    // Min-of-N wall-clock; a single rep is too noisy even for smoke
+    // runs (first-touch page faults land on the baseline).
+    const int reps = quick ? 2 : 3;
 
     const GpuConfig cfg = GpuConfig::v100Sim();
     const int resolved_threads =
@@ -172,6 +185,7 @@ main(int argc, char **argv)
             .engine(EngineKind::Sim)
             .variants({{"SpMM", nullptr},
                        {"SGEMM", nullptr},
+                       {"SGEMM-dense", nullptr},
                        {"Scatter", nullptr}});
 
     const ResultStore store = BenchSession().run(
@@ -194,6 +208,18 @@ main(int argc, char **argv)
                 const DenseMatrix b = randomMatrix(256, 128, 14);
                 DenseMatrix c;
                 SgemmKernel k("sgemm", a, b, c);
+                k.execute();
+                measure(out, k.makeLaunch(alloc), cfg, max_ctas,
+                        threads, chunk, reps);
+            } else if (pt.variant == "SGEMM-dense") {
+                // Deep-K dense GEMM: long FMA chains over shared-
+                // memory tiles keep every scheduler issue-bound —
+                // the workload the SoA issue fast path targets.
+                const DenseMatrix a =
+                    randomMatrix(n / 4, 1024, 17);
+                const DenseMatrix b = randomMatrix(1024, 256, 18);
+                DenseMatrix c;
+                SgemmKernel k("sgemm_dense", a, b, c);
                 k.execute();
                 measure(out, k.makeLaunch(alloc), cfg, max_ctas,
                         threads, chunk, reps);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate tests/golden/*.json from the current simulator.
+#
+# Usage: scripts/update_goldens.sh [BUILD_DIR]
+#
+# Only run this when a timing-model change is *intentional*: the
+# golden files pin every deterministic simulator counter, and
+# golden_stats_test fails on any drift. Commit the regenerated files
+# together with the change that moved them, and say why.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+if [ ! -d "$build_dir" ]; then
+    cmake -B "$build_dir" -S .
+fi
+cmake --build "$build_dir" --target golden_stats_test -j
+"$build_dir/golden_stats_test" --update-golden
+echo "goldens regenerated under tests/golden/ — review the diff:"
+git -c color.ui=always diff --stat -- tests/golden || true

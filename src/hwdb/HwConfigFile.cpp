@@ -303,6 +303,10 @@ keySchema()
                                     &GpuConfig::l2,
                                     &CacheGeometry::allocateOnWrite));
         keys.push_back(cacheSetsKey("l2.sets", l2, &GpuConfig::l2));
+
+        const char *debug = "debug";
+        keys.push_back(boolKey("debug.reference_issue", debug,
+                               &GpuConfig::referenceIssue));
         return keys;
     }();
     return schema;

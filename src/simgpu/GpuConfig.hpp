@@ -64,6 +64,16 @@ struct GpuConfig {
 
     SchedulerPolicy scheduler = SchedulerPolicy::Gto;
 
+    /**
+     * Debug/ablation: use the pre-SoA per-warp issue path (classify
+     * every resident warp every cycle) instead of the cached SoA
+     * fast path. Both paths produce bit-identical statistics except
+     * the classifyEvals diagnostic; the reference path is kept for
+     * A/B regression tests and as the honest baseline in
+     * bench_sim_throughput.
+     */
+    bool referenceIssue = false;
+
     // --- execution latencies -------------------------------------------
     int aluLatency = 4;  ///< FP32/INT result latency (cycles)
     int sfuLatency = 16; ///< transcendental latency

@@ -4,30 +4,6 @@
 
 namespace gsuite {
 
-InstrClass
-instrClassOf(Op op)
-{
-    switch (op) {
-      case Op::FP32:
-        return InstrClass::Fp32;
-      case Op::INT:
-        return InstrClass::Int;
-      case Op::LDG:
-      case Op::STG:
-      case Op::ATOM:
-      case Op::LDS:
-      case Op::STS:
-        return InstrClass::LoadStore;
-      case Op::CTRL:
-      case Op::BAR:
-      case Op::EXIT:
-        return InstrClass::Control;
-      case Op::SFU:
-        return InstrClass::Other;
-    }
-    panic("unknown Op");
-}
-
 const char *
 opName(Op op)
 {
@@ -58,18 +34,6 @@ instrClassName(InstrClass c)
       case InstrClass::Other: return "other";
     }
     panic("unknown InstrClass");
-}
-
-bool
-isGlobalMemOp(Op op)
-{
-    return op == Op::LDG || op == Op::STG || op == Op::ATOM;
-}
-
-bool
-isMemOp(Op op)
-{
-    return isGlobalMemOp(op) || op == Op::LDS || op == Op::STS;
 }
 
 } // namespace gsuite

@@ -39,8 +39,33 @@ enum class InstrClass : uint8_t {
     Other,
 };
 
-/** Map an op to its Fig. 5 class. */
-InstrClass instrClassOf(Op op);
+/**
+ * Map an op to its Fig. 5 class. Inline: the simulator's issue loop
+ * consults this per dynamic instruction.
+ */
+constexpr InstrClass
+instrClassOf(Op op)
+{
+    switch (op) {
+      case Op::FP32:
+        return InstrClass::Fp32;
+      case Op::INT:
+        return InstrClass::Int;
+      case Op::LDG:
+      case Op::STG:
+      case Op::ATOM:
+      case Op::LDS:
+      case Op::STS:
+        return InstrClass::LoadStore;
+      case Op::CTRL:
+      case Op::BAR:
+      case Op::EXIT:
+        return InstrClass::Control;
+      case Op::SFU:
+        return InstrClass::Other;
+    }
+    return InstrClass::Other; // unreachable for valid ops
+}
 
 /** Human-readable op name. */
 const char *opName(Op op);
@@ -52,10 +77,18 @@ const char *instrClassName(InstrClass c);
 constexpr int kNumInstrClasses = 5;
 
 /** True for operations that access the global memory system. */
-bool isGlobalMemOp(Op op);
+constexpr bool
+isGlobalMemOp(Op op)
+{
+    return op == Op::LDG || op == Op::STG || op == Op::ATOM;
+}
 
 /** True for operations executed by the SM-local LSU (incl. shared). */
-bool isMemOp(Op op);
+constexpr bool
+isMemOp(Op op)
+{
+    return isGlobalMemOp(op) || op == Op::LDS || op == Op::STS;
+}
 
 } // namespace gsuite
 

@@ -148,6 +148,8 @@ KernelStats::merge(const KernelStats &other)
     dramBusyCycles += other.dramBusyCycles;
     aluBusyCycles += other.aluBusyCycles;
     schedulerSlots += other.schedulerSlots;
+    classifyEvals += other.classifyEvals;
+    fastForwardCycles += other.fastForwardCycles;
     // Launches run one after another, so the aggregate footprint is a
     // high-water mark, not a sum (the per-SM sum within one launch is
     // computed by the simulator's reduction instead).
@@ -194,6 +196,9 @@ KernelStats::toStatSet() const
     s.set("memory_util", memoryUtilization());
     s.set("divergence", divergence());
     s.set("trace_bytes_peak", static_cast<double>(traceBytesPeak));
+    s.set("classify_evals", static_cast<double>(classifyEvals));
+    s.set("fast_forward_cycles",
+          static_cast<double>(fastForwardCycles));
     return s;
 }
 

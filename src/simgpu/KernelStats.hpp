@@ -93,6 +93,26 @@ struct KernelStats {
     uint64_t aluBusyCycles = 0;   ///< scheduler ALU port busy cycles
     uint64_t schedulerSlots = 0;  ///< cycles * schedulers * SMs
 
+    // --- issue-loop diagnostics --------------------------------------------
+    /**
+     * Warp classifications actually computed. The SoA fast path only
+     * re-classifies a warp when its cached classification can change,
+     * so this is far below warps x cycles; the reference issue path
+     * (GpuConfig::referenceIssue) recomputes every resident warp
+     * every stepped cycle. Deterministic for a fixed issue path, but
+     * intentionally different between the two paths — exclude it when
+     * comparing fast-vs-reference runs.
+     */
+    uint64_t classifyEvals = 0;
+
+    /**
+     * Cycles this SM fast-forwarded through accountExtra (per-SM
+     * idle replay plus the simulator's global stall skip), each
+     * attributed to the stall classes of the last computed
+     * classification. Identical between issue paths.
+     */
+    uint64_t fastForwardCycles = 0;
+
     // --- simulator footprint -----------------------------------------------
     /**
      * High-water mark of resident decoded-trace bytes (sum over SMs

@@ -6,14 +6,42 @@
 
 namespace gsuite {
 
+namespace {
+
+constexpr uint64_t kNoEvent = ~uint64_t{0};
+
+/** std::push_heap/pop_heap comparator for a min-heap on key. */
+struct HeapLater {
+    bool
+    operator()(const auto &a, const auto &b) const
+    {
+        return a.key > b.key;
+    }
+};
+
+} // namespace
+
 Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem)
     : cfg(cfg), smId(sm_id), mem(mem),
       warps(static_cast<size_t>(cfg.maxWarpsPerSm)),
       cls(static_cast<size_t>(cfg.maxWarpsPerSm)),
       aluFree(static_cast<size_t>(cfg.numSchedulers), 0),
       greedyWarp(static_cast<size_t>(cfg.numSchedulers), -1),
-      rrCursor(static_cast<size_t>(cfg.numSchedulers), 0)
+      rrCursor(static_cast<size_t>(cfg.numSchedulers), 0),
+      slotActive(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      slotReason(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      slotUnblock(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      slotExpiry(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      slotAge(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      slotIsMem(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      slotNeedsAlu(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      slotLanes(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      readyPos(static_cast<size_t>(cfg.maxWarpsPerSm), -1),
+      slotReadyKind(static_cast<size_t>(cfg.maxWarpsPerSm), 0),
+      residentBySched(static_cast<size_t>(cfg.numSchedulers), 0)
 {
+    for (auto &kind : readyKind)
+        kind.resize(static_cast<size_t>(cfg.numSchedulers));
 }
 
 void
@@ -43,6 +71,24 @@ Sm::beginLaunch(const KernelLaunch *new_launch, KernelStats *new_stats,
     std::fill(aluFree.begin(), aluFree.end(), uint64_t{0});
     std::fill(greedyWarp.begin(), greedyWarp.end(), -1);
     std::fill(rrCursor.begin(), rrCursor.end(), 0);
+    std::fill(slotActive.begin(), slotActive.end(), uint8_t{0});
+    std::fill(slotReason.begin(), slotReason.end(),
+              static_cast<uint8_t>(StallReason::NotSelected));
+    std::fill(slotUnblock.begin(), slotUnblock.end(), uint64_t{0});
+    std::fill(slotExpiry.begin(), slotExpiry.end(), uint64_t{0});
+    std::fill(slotAge.begin(), slotAge.end(), uint64_t{0});
+    std::fill(slotIsMem.begin(), slotIsMem.end(), uint8_t{0});
+    std::fill(slotNeedsAlu.begin(), slotNeedsAlu.end(), uint8_t{0});
+    std::fill(slotLanes.begin(), slotLanes.end(), uint8_t{0});
+    for (auto &kind : readyKind)
+        for (auto &list : kind)
+            list.clear();
+    std::fill(readyPos.begin(), readyPos.end(), -1);
+    std::fill(residentBySched.begin(), residentBySched.end(), 0);
+    dueHeap.clear();
+    dueSlots.clear();
+    issuedRecheck.clear();
+    stallCount.fill(0);
     lsuFree = 0;
     residentWarps = 0;
     ageCounter = 0;
@@ -122,6 +168,18 @@ Sm::assignCta(int64_t cta_id, uint64_t cycle)
         w.cta = static_cast<int>(cta - ctas.data());
         w.ageStamp = ageCounter++;
         w.chunkBytes = 0;
+        slotActive[static_cast<size_t>(slot)] = 1;
+        slotAge[static_cast<size_t>(slot)] = w.ageStamp;
+        slotExpiry[static_cast<size_t>(slot)] = 0; // classify at next step
+        slotUnblock[static_cast<size_t>(slot)] = 0;
+        // Slot (re)activation: enter the class count directly — the
+        // stale reason of a previous occupant must not be debited.
+        slotReason[static_cast<size_t>(slot)] =
+            static_cast<uint8_t>(StallReason::NotSelected);
+        ++stallCount[static_cast<size_t>(StallReason::NotSelected)];
+        pushDue(0, slot);
+        ++residentBySched[static_cast<size_t>(
+            slot % cfg.numSchedulers)];
         cta->warpSlots.push_back(slot);
         ++cta->liveWarps;
         ++residentWarps;
@@ -153,6 +211,87 @@ Sm::refillChunk(WarpCtx &w)
 }
 
 void
+Sm::pushDue(uint64_t key, int slot)
+{
+    // Lazy heap: entries are claims, validated against slotExpiry at
+    // pop time. Compaction bounds the stale backlog; rebuilding from
+    // the authoritative arrays cannot change any observable result.
+    if (dueHeap.size() >
+        static_cast<size_t>(8 * cfg.maxWarpsPerSm + 64)) {
+        dueHeap.clear();
+        for (int i = 0; i < cfg.maxWarpsPerSm; ++i) {
+            if (slotActive[static_cast<size_t>(i)] &&
+                slotExpiry[static_cast<size_t>(i)] != kNoEvent)
+                dueHeap.push_back(
+                    {slotExpiry[static_cast<size_t>(i)], i});
+        }
+        std::make_heap(dueHeap.begin(), dueHeap.end(), HeapLater{});
+        if (slotExpiry[static_cast<size_t>(slot)] != kNoEvent)
+            return; // the rebuild already holds this slot's claim
+    }
+    dueHeap.push_back({key, slot});
+    std::push_heap(dueHeap.begin(), dueHeap.end(), HeapLater{});
+}
+
+void
+Sm::setReason(int slot, StallReason reason)
+{
+    const size_t i = static_cast<size_t>(slot);
+    const uint8_t next = static_cast<uint8_t>(reason);
+    if (slotReason[i] == next)
+        return;
+    --stallCount[slotReason[i]];
+    slotReason[i] = next;
+    ++stallCount[next];
+}
+
+void
+Sm::markDirty(int slot, uint64_t at_cycle)
+{
+    if (slotExpiry[static_cast<size_t>(slot)] > at_cycle) {
+        slotExpiry[static_cast<size_t>(slot)] = at_cycle;
+        pushDue(at_cycle, slot);
+    }
+}
+
+void
+Sm::readyInsert(int slot)
+{
+    const size_t i = static_cast<size_t>(slot);
+    const uint8_t kind = slotNeedsAlu[i] ? kReadyAlu
+                         : slotIsMem[i]  ? kReadyMem
+                                         : kReadyOther;
+    slotReadyKind[i] = kind;
+    auto &list = readyKind[kind][static_cast<size_t>(
+        slot % cfg.numSchedulers)];
+    const uint64_t age = slotAge[i];
+    size_t pos = list.size();
+    while (pos > 0 &&
+           slotAge[static_cast<size_t>(list[pos - 1])] > age)
+        --pos;
+    list.insert(list.begin() + static_cast<ptrdiff_t>(pos), slot);
+    for (size_t j = pos; j < list.size(); ++j)
+        readyPos[static_cast<size_t>(list[j])] =
+            static_cast<int>(j);
+}
+
+void
+Sm::readyRemove(int slot)
+{
+    const int pos = readyPos[static_cast<size_t>(slot)];
+    if (pos < 0)
+        return;
+    auto &list = readyKind[slotReadyKind[static_cast<size_t>(slot)]]
+                          [static_cast<size_t>(
+                              slot % cfg.numSchedulers)];
+    list.erase(list.begin() + pos);
+    for (size_t j = static_cast<size_t>(pos); j < list.size(); ++j)
+        readyPos[static_cast<size_t>(list[j])] =
+            static_cast<int>(j);
+    readyPos[static_cast<size_t>(slot)] = -1;
+}
+
+void
 Sm::finalizeParkedMem()
 {
     if (parkedWarp < 0)
@@ -170,6 +309,7 @@ Sm::finalizeParkedMem()
       case MemAccessKind::Store:
         break; // stores have no consumer-visible completion
     }
+    markDirty(parkedWarp, 0); // completion can change the class now
     parkedWarp = -1;
 }
 
@@ -182,7 +322,6 @@ Sm::drainParkedMem()
 Sm::Classification
 Sm::classify(const WarpCtx &w, uint64_t cycle) const
 {
-    constexpr uint64_t kNoEvent = ~uint64_t{0};
     if (w.waitingBarrier)
         return {StallReason::Synchronization, kNoEvent};
     if (w.fetchReady > cycle)
@@ -212,6 +351,90 @@ Sm::classify(const WarpCtx &w, uint64_t cycle) const
     return {StallReason::NotSelected, 0}; // ready to issue
 }
 
+/**
+ * Re-derive the cached SoA classification of @p slot at @p cycle.
+ *
+ * Equivalent to classify(), plus the bookkeeping the fast path needs:
+ * expired trace chunks refill here (slot-sweep order, matching the
+ * reference pass), the decoded head is cached for hazard checks, the
+ * expiry is set to the earliest cycle the cached class could read
+ * differently (for dependency stalls that is the *earliest* blocking
+ * register, because the memory/execution attribution can flip before
+ * the stall clears), and ready-list membership is synced.
+ */
+void
+Sm::reclassify(int slot, uint64_t cycle)
+{
+    WarpCtx &w = warps[static_cast<size_t>(slot)];
+    if (w.pc >= w.chunk.instrs.size())
+        refillChunk(w);
+    ++stats->classifyEvals;
+
+    const SimInstr &in = w.chunk.instrs[w.pc];
+    StallReason reason;
+    uint64_t unblock;
+    uint64_t expiry;
+    if (w.waitingBarrier) {
+        reason = StallReason::Synchronization;
+        unblock = kNoEvent;
+        expiry = kNoEvent; // only a state change clears a barrier
+    } else if (w.fetchReady > cycle) {
+        reason = StallReason::InstructionFetch;
+        unblock = w.fetchReady;
+        expiry = w.fetchReady;
+    } else if (in.op == Op::EXIT && w.atomicDrain > cycle) {
+        reason = StallReason::Synchronization;
+        unblock = w.atomicDrain;
+        expiry = w.atomicDrain;
+    } else {
+        uint64_t dep_ready = 0;
+        uint64_t dep_change = kNoEvent;
+        bool from_mem = false;
+        const Reg regs[3] = {in.srcA, in.srcB, in.dst};
+        for (Reg r : regs) {
+            if (r == kNoReg)
+                continue;
+            const uint64_t ready = w.regReady[r];
+            if (ready > cycle) {
+                dep_ready = std::max(dep_ready, ready);
+                dep_change = std::min(dep_change, ready);
+                from_mem |= w.regFromMem[r];
+            }
+        }
+        if (dep_ready > cycle) {
+            reason = from_mem ? StallReason::MemoryDependency
+                              : StallReason::ExecutionDependency;
+            unblock = dep_ready;
+            expiry = dep_change;
+        } else {
+            reason = StallReason::NotSelected;
+            unblock = 0;
+            expiry = kNoEvent; // ready until issued or mutated
+        }
+    }
+
+    const size_t i = static_cast<size_t>(slot);
+    setReason(slot, reason);
+    slotUnblock[i] = unblock;
+    slotExpiry[i] = expiry;
+    slotIsMem[i] = isMemOp(in.op) ? 1 : 0;
+    slotNeedsAlu[i] = (in.op == Op::FP32 || in.op == Op::INT ||
+                       in.op == Op::SFU)
+                          ? 1
+                          : 0;
+    slotLanes[i] = static_cast<uint8_t>(in.activeLanes());
+
+    if (expiry != kNoEvent)
+        pushDue(expiry, slot);
+
+    if (reason == StallReason::NotSelected) {
+        if (readyPos[i] < 0)
+            readyInsert(slot);
+    } else if (readyPos[i] >= 0) {
+        readyRemove(slot);
+    }
+}
+
 void
 Sm::releaseBarrierIfComplete(CtaCtx &cta, uint64_t cycle)
 {
@@ -222,6 +445,7 @@ Sm::releaseBarrierIfComplete(CtaCtx &cta, uint64_t cycle)
         if (w.active && !w.done && w.waitingBarrier) {
             w.waitingBarrier = false;
             w.fetchReady = cycle + 1;
+            markDirty(slot, cycle + 1);
         }
     }
     cta.arrived = 0;
@@ -236,6 +460,10 @@ Sm::finishWarp(int slot, uint64_t cycle)
     w.stream = nullptr;
     residentTraceBytes -= w.chunkBytes;
     w.chunkBytes = 0;
+    slotActive[static_cast<size_t>(slot)] = 0;
+    --stallCount[slotReason[static_cast<size_t>(slot)]];
+    readyRemove(slot);
+    --residentBySched[static_cast<size_t>(slot % cfg.numSchedulers)];
     --residentWarps;
     CtaCtx &cta = ctas[static_cast<size_t>(w.cta)];
     --cta.liveWarps;
@@ -367,8 +595,6 @@ Sm::issueInstr(int slot, uint64_t cycle, int sched)
 bool
 Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
 {
-    constexpr uint64_t kNoEvent = ~uint64_t{0};
-
     // Fold last cycle's resolved memory access into warp state before
     // anything classifies against it.
     finalizeParkedMem();
@@ -387,13 +613,262 @@ Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
     }
 
     // Nothing can change before idleUntil: replay the last
-    // classification instead of recomputing it.
+    // classification instead of recomputing it (cycle skipping).
     if (idleUntil > cycle) {
         accountExtra(1);
         next_event = std::min(next_event, idleUntil);
         return false;
     }
 
+    return cfg.referenceIssue ? stepCycleReference(cycle, next_event)
+                              : stepCycleFast(cycle, next_event);
+}
+
+/**
+ * SoA fast path. Three stages, mirroring the reference passes:
+ *
+ *  A. batched sweep in slot order re-deriving only the expired
+ *     cached classifications (and refilling their trace chunks —
+ *     slot order fixes the refill order the footprint peak sees);
+ *  B. per-scheduler issue from the incrementally maintained
+ *     per-port ready lists (GTO: sticky first, else the oldest
+ *     free-port head; LRR: rotation over the scheduler's fixed
+ *     slot positions);
+ *  C. stall/occupancy accounting from the incremental class census,
+ *     with the stall-clear event sweep deferred to no-issue cycles.
+ *
+ * Produces bit-identical statistics to stepCycleReference() (except
+ * the classifyEvals diagnostic): same per-cycle classifications,
+ * same issue order, same refill order, same merged events.
+ */
+bool
+Sm::stepCycleFast(uint64_t cycle, uint64_t &next_event)
+{
+    lastOcc.fill(0);
+
+    // Stage A: drain every due expiry claim and re-derive those
+    // classifications in slot-index order (slot order fixes the
+    // chunk-refill order, which the trace-footprint peak sees).
+    // Last cycle's issued slots are due by construction and skip
+    // the heap entirely.
+    dueSlots.clear();
+    for (const int slot : issuedRecheck) {
+        if (slotActive[static_cast<size_t>(slot)] &&
+            slotExpiry[static_cast<size_t>(slot)] <= cycle)
+            dueSlots.push_back(slot);
+    }
+    issuedRecheck.clear();
+    while (!dueHeap.empty() && dueHeap.front().key <= cycle) {
+        const int slot = dueHeap.front().slot;
+        std::pop_heap(dueHeap.begin(), dueHeap.end(), HeapLater{});
+        dueHeap.pop_back();
+        if (slotActive[static_cast<size_t>(slot)] &&
+            slotExpiry[static_cast<size_t>(slot)] <= cycle)
+            dueSlots.push_back(slot);
+    }
+    if (dueSlots.size() > 1)
+        std::sort(dueSlots.begin(), dueSlots.end());
+    for (const int slot : dueSlots) {
+        // Duplicate claims resolve here: the first visit raises the
+        // expiry past `cycle`, later ones no-op.
+        if (slotExpiry[static_cast<size_t>(slot)] <= cycle)
+            reclassify(slot, cycle);
+    }
+
+    bool issued_any = false;
+    bool any_port_block = false;
+    uint64_t min_event = kNoEvent;
+
+    const int ns = cfg.numSchedulers;
+    for (int s = 0; s < ns; ++s) {
+        const size_t ss = static_cast<size_t>(s);
+        bool issued = false;
+        bool structural = false;
+        // Port states are re-read per scheduler: an earlier
+        // scheduler's issue this cycle can occupy the shared LSU.
+        const bool lsu_busy = lsuFree > cycle;
+        const bool alu_busy = aluFree[ss] > cycle;
+
+        auto do_issue = [&](int slot) {
+            const size_t i = static_cast<size_t>(slot);
+            const OccBucket b =
+                bucketForLanes(static_cast<int>(slotLanes[i]));
+            issueInstr(slot, cycle, s);
+            // Count as Issued this cycle unless the warp just
+            // finished (an issued EXIT leaves the stall attribution,
+            // like the reference pass-3 skip of done warps);
+            // re-derive next cycle (the post-issue head may also
+            // need a chunk refill then).
+            if (slotActive[i]) {
+                setReason(slot, StallReason::Issued);
+                slotExpiry[i] = cycle + 1;
+                issuedRecheck.push_back(slot);
+            }
+            readyRemove(slot);
+            issued = true;
+            issued_any = true;
+            lastOcc[static_cast<size_t>(b)] += 1;
+        };
+
+        /** A candidate the reference would attempt and reject. */
+        auto blocked_attempt = [&](bool needs_alu) {
+            structural = true;
+            any_port_block = true;
+            min_event = std::min(min_event,
+                                 needs_alu ? aluFree[ss] : lsuFree);
+        };
+
+        if (cfg.scheduler == SchedulerPolicy::Gto) {
+            // The reference attempts sticky first, then candidates
+            // oldest-to-youngest, stopping at the first whose port
+            // is free. With the ready lists segregated by port, that
+            // first-issuable candidate is an O(1) head comparison,
+            // and the candidates the reference would have attempted
+            // and rejected before it are exactly the busy-port list
+            // heads that are older (hazard merges are idempotent per
+            // port, so heads stand in for all attempted members).
+            int pick = -1;
+            const int sticky = greedyWarp[ss];
+            if (sticky >= 0 &&
+                readyPos[static_cast<size_t>(sticky)] >= 0) {
+                const size_t i = static_cast<size_t>(sticky);
+                const bool na = slotNeedsAlu[i] != 0;
+                if ((na && alu_busy) ||
+                    (slotIsMem[i] != 0 && lsu_busy))
+                    blocked_attempt(na);
+                else
+                    pick = sticky; // sticky wins outright
+            }
+            if (pick < 0) {
+                const auto &ra = readyKind[kReadyAlu][ss];
+                const auto &rm = readyKind[kReadyMem][ss];
+                const auto &ro = readyKind[kReadyOther][ss];
+                uint64_t pick_age = kNoEvent;
+                if (!alu_busy && !ra.empty()) {
+                    pick = ra.front();
+                    pick_age =
+                        slotAge[static_cast<size_t>(pick)];
+                }
+                if (!lsu_busy && !rm.empty() &&
+                    slotAge[static_cast<size_t>(rm.front())] <
+                        pick_age) {
+                    pick = rm.front();
+                    pick_age =
+                        slotAge[static_cast<size_t>(pick)];
+                }
+                if (!ro.empty() &&
+                    slotAge[static_cast<size_t>(ro.front())] <
+                        pick_age) {
+                    pick = ro.front();
+                    pick_age =
+                        slotAge[static_cast<size_t>(pick)];
+                }
+                // Blocked candidates older than the pick (all of
+                // them when nothing is issuable) were attempted.
+                if (alu_busy && !ra.empty() &&
+                    slotAge[static_cast<size_t>(ra.front())] <
+                        pick_age)
+                    blocked_attempt(true);
+                if (lsu_busy && !rm.empty() &&
+                    slotAge[static_cast<size_t>(rm.front())] <
+                        pick_age)
+                    blocked_attempt(false);
+            }
+            if (pick >= 0) {
+                do_issue(pick);
+                greedyWarp[ss] = pick;
+            }
+        } else {
+            // LRR: rotate over the scheduler's fixed slot positions,
+            // attempting each ready candidate in rotation order.
+            const int count = cfg.maxWarpsPerSm / ns;
+            const int start =
+                count > 0 ? rrCursor[ss] % count : 0;
+            for (int k = 0; k < count; ++k) {
+                const int slot = s + ((start + k) % count) * ns;
+                const size_t i = static_cast<size_t>(slot);
+                if (!slotActive[i])
+                    continue;
+                if (slotReason[i] !=
+                    static_cast<uint8_t>(StallReason::NotSelected))
+                    continue;
+                const bool na = slotNeedsAlu[i] != 0;
+                if ((na && alu_busy) ||
+                    (slotIsMem[i] != 0 && lsu_busy)) {
+                    blocked_attempt(na);
+                    continue;
+                }
+                do_issue(slot);
+                rrCursor[ss] = (k + 1) % count;
+                break;
+            }
+        }
+
+        if (!issued) {
+            const bool has_warp = residentBySched[ss] > 0;
+            const OccBucket b = (structural && has_warp)
+                                    ? OccBucket::Stall
+                                    : OccBucket::Idle;
+            lastOcc[static_cast<size_t>(b)] += 1;
+        }
+    }
+
+    // Stage C: the Fig. 6 attribution is the incrementally
+    // maintained per-class census (identical to a sweep over the
+    // resident warps). The merged stall-clear event is only ever
+    // consumed on no-issue cycles — the simulator ignores next_event
+    // whenever any SM issued, and idleUntil requires no local issue —
+    // and every such cycle opens a fast-forward window, so the
+    // unblock sweep runs only then instead of maintaining a second
+    // heap on every classification change.
+    lastStall = stallCount;
+    if (!issued_any) {
+        const int nw = cfg.maxWarpsPerSm;
+        for (int i = 0; i < nw; ++i) {
+            const size_t si = static_cast<size_t>(i);
+            if (!slotActive[si])
+                continue;
+            if (slotReason[si] ==
+                static_cast<uint8_t>(StallReason::NotSelected))
+                continue;
+            const uint64_t ev = slotUnblock[si];
+            if (ev > cycle && ev != kNoEvent)
+                min_event = std::min(min_event, ev);
+        }
+        // The reference path overwrites a port-blocked candidate's
+        // event with 1 ("retry next cycle"), which reaches the merge
+        // only at cycle 0; mirror that exactly.
+        if (any_port_block && cycle < 1)
+            min_event = std::min<uint64_t>(min_event, 1);
+
+        // With no issue and all events known, this SM is frozen
+        // until the earliest of them: later steps replay this
+        // cycle's accounting.
+        if (idleSkip && min_event != kNoEvent &&
+            min_event > cycle + 1)
+            idleUntil = min_event;
+    }
+
+    for (int r = 0; r < kNumStallReasons; ++r)
+        stats->stallCycles[static_cast<size_t>(r)] +=
+            lastStall[static_cast<size_t>(r)];
+    for (int b = 0; b < kNumOccBuckets; ++b)
+        stats->occCycles[static_cast<size_t>(b)] +=
+            lastOcc[static_cast<size_t>(b)];
+    stats->schedulerSlots += static_cast<uint64_t>(ns);
+
+    next_event = std::min(next_event, min_event);
+    return issued_any;
+}
+
+/**
+ * Pre-SoA reference path (GpuConfig::referenceIssue): classify every
+ * resident warp every cycle and rescan scheduler slots. Kept verbatim
+ * as the behavioural baseline the fast path is verified against.
+ */
+bool
+Sm::stepCycleReference(uint64_t cycle, uint64_t &next_event)
+{
     lastStall.fill(0);
     lastOcc.fill(0);
 
@@ -406,6 +881,7 @@ Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
         if (w.pc >= w.chunk.instrs.size())
             refillChunk(w);
         cls[i] = classify(w, cycle);
+        ++stats->classifyEvals;
     }
 
     bool issued_any = false;
@@ -458,7 +934,7 @@ Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
             // the same order the sorted version visits.
             for (;;) {
                 int best = -1;
-                uint64_t best_age = ~uint64_t{0};
+                uint64_t best_age = kNoEvent;
                 for (int slot = s; slot < cfg.maxWarpsPerSm;
                      slot += ns) {
                     const WarpCtx &w =
@@ -560,6 +1036,7 @@ Sm::accountExtra(uint64_t delta)
             lastOcc[static_cast<size_t>(b)] * delta;
     stats->schedulerSlots +=
         static_cast<uint64_t>(cfg.numSchedulers) * delta;
+    stats->fastForwardCycles += delta;
 }
 
 } // namespace gsuite

@@ -9,6 +9,32 @@
  * Dependencies are tracked with a per-warp scoreboard of virtual
  * register ready-times; global memory goes through MemorySystem.
  *
+ * Issue fast path (default): per-warp classifications are cached in
+ * structure-of-arrays form (stall class, unblock cycle, expiry
+ * cycle, decoded head) and only recomputed when they can change —
+ * at `slotExpiry` (the earliest cycle the cached class could read
+ * differently) or after an explicit state change (issue, memory
+ * completion, barrier release, CTA assignment). The per-cycle work
+ * is event-driven: expired classifications drain from a lazy
+ * min-heap and re-derive in a batched slot-order sweep, schedulers
+ * issue in O(1) from incrementally maintained per-port ready
+ * lists, and the Fig. 6 stall attribution comes from incrementally
+ * maintained per-class counts — no per-warp virtual-register
+ * scoreboard walk per cycle (the earliest stall-clear event is
+ * swept only on no-issue cycles, each of which opens a
+ * fast-forward window). The pre-SoA path is kept verbatim behind
+ * GpuConfig::referenceIssue; both paths produce bit-identical
+ * statistics (KernelStats::classifyEvals, a diagnostic, is the
+ * single intended exception), enforced by
+ * tests/sim_determinism_test and tests/fuzz_test.
+ *
+ * Cycle skipping: when nothing issued and every warp's unblock
+ * cycle is known, the SM freezes until the earliest of them
+ * (idleUntil) and replays its last classification via
+ * accountExtra(), attributing the skipped cycles to the same
+ * Fig. 6 stall classes / Fig. 7 buckets. The simulator performs
+ * the same bulk accounting across SMs when the whole GPU stalls.
+ *
  * Concurrency contract: one SM is only ever touched by its owning
  * worker thread during the step phase. Global-memory instructions are
  * split across the cycle barrier — the SM begins the access during
@@ -93,6 +119,7 @@ class Sm
     void drainParkedMem();
 
   private:
+    /** Cold per-warp state (touched on issue / refill, not per cycle). */
     struct WarpCtx {
         bool active = false;
         bool done = false;
@@ -119,7 +146,7 @@ class Sm
         std::vector<int> warpSlots;
     };
 
-    /** Pre-issue classification of one warp. */
+    /** Pre-issue classification of one warp (reference path scratch). */
     struct Classification {
         StallReason reason = StallReason::NotSelected;
         uint64_t event = 0; ///< cycle the blocking condition clears
@@ -135,7 +162,7 @@ class Sm
 
     std::vector<WarpCtx> warps;
     std::vector<CtaCtx> ctas;
-    std::vector<Classification> cls; ///< per-slot scratch
+    std::vector<Classification> cls; ///< reference-path scratch
     std::vector<uint64_t> aluFree;   ///< per-scheduler ALU port
     std::vector<int> greedyWarp;     ///< GTO sticky pointer
     std::vector<int> rrCursor;       ///< LRR rotation pointer
@@ -143,6 +170,63 @@ class Sm
     int residentWarps = 0;
     int maxResidentCtas = 0;
     uint64_t ageCounter = 0;
+
+    // --- SoA warp-issue state (fast path) ---------------------------
+    //
+    // Invariant: for every slot with slotActive[i] != 0, the cached
+    // (slotReason, slotUnblock) equal what the reference classify()
+    // would return this cycle, provided slotExpiry[i] > cycle. Any
+    // mutation of warp state that could change the classification
+    // must lower slotExpiry (markDirty) so the next sweep
+    // re-derives it; reclassify() keeps the per-scheduler ready
+    // lists in sync with slotReason.
+    std::vector<uint8_t> slotActive;   ///< resident and not done
+    std::vector<uint8_t> slotReason;   ///< cached StallReason
+    std::vector<uint64_t> slotUnblock; ///< cycle the stall clears
+    std::vector<uint64_t> slotExpiry;  ///< first cycle cache can drift
+    std::vector<uint64_t> slotAge;     ///< ageStamp copy (GTO order)
+    std::vector<uint8_t> slotIsMem;    ///< head instr needs the LSU
+    std::vector<uint8_t> slotNeedsAlu; ///< head instr needs the ALU
+    std::vector<uint8_t> slotLanes;    ///< head instr active lanes
+    /**
+     * Ready (issuable) slots per scheduler, segregated by the
+     * execution port the head instruction needs (kReadyAlu /
+     * kReadyMem / kReadyOther) and kept sorted by ageStamp
+     * ascending. A whole busy port disqualifies its entire list, so
+     * GTO's pick is an O(1) head comparison across the eligible
+     * lists instead of attempting every blocked candidate; the
+     * blocked lists' head ages still tell exactly which reference
+     * attempts would have happened (for the structural-stall flag
+     * and hazard event merges, which are idempotent per port).
+     */
+    std::array<std::vector<std::vector<int>>, 3> readyKind;
+    static constexpr int kReadyAlu = 0;
+    static constexpr int kReadyMem = 1;
+    static constexpr int kReadyOther = 2;
+    std::vector<int> readyPos; ///< slot -> index in its list, -1 none
+    std::vector<uint8_t> slotReadyKind; ///< list a ready slot is in
+    std::vector<int> residentBySched; ///< resident warps / scheduler
+    /**
+     * Slots that issued this cycle: cheaper than a heap round-trip
+     * for the guaranteed next-cycle re-classification.
+     */
+    std::vector<int> issuedRecheck;
+
+    /**
+     * Lazy min-heap entry: a (cycle, slot) claim that something about
+     * the slot happens at `key`. Entries are never searched or
+     * removed in place — a popped/peeked entry is re-validated
+     * against the authoritative SoA arrays and discarded when stale.
+     */
+    struct EventEntry {
+        uint64_t key;
+        int slot;
+    };
+    /** Expiry claims: pop everything <= cycle, reclassify. */
+    std::vector<EventEntry> dueHeap;
+    std::vector<int> dueSlots; ///< per-cycle scratch (sorted sweep)
+    /** Active slots per cached stall class (incremental Fig. 6). */
+    std::array<uint64_t, kNumStallReasons> stallCount{};
 
     /**
      * Parked memory access awaiting slice resolution: the issuing
@@ -173,6 +257,16 @@ class Sm
     OccBucket bucketForLanes(int lanes) const;
     void refillChunk(WarpCtx &w);
     void finalizeParkedMem();
+
+    // Fast-path helpers.
+    void markDirty(int slot, uint64_t at_cycle);
+    void readyInsert(int slot);
+    void readyRemove(int slot);
+    void pushDue(uint64_t key, int slot);
+    void setReason(int slot, StallReason reason);
+    void reclassify(int slot, uint64_t cycle);
+    bool stepCycleFast(uint64_t cycle, uint64_t &next_event);
+    bool stepCycleReference(uint64_t cycle, uint64_t &next_event);
 };
 
 } // namespace gsuite

@@ -179,26 +179,33 @@ TEST(Integration, Fig9ShapeUtilizationBounded)
 TEST(Integration, Fig3ShapeFrameworkOrdering)
 {
     // End-to-end: PyG > DGL > gSuite on every model (Fig. 3's shape).
+    // endToEndUs blends deterministic overhead constants with *timed*
+    // host kernel runs, so each measurement is the min of three runs:
+    // a loaded host only ever inflates wall-clock, and the orderings
+    // come from the overhead constants, so the minimum is the
+    // faithful estimate (same rationale as min-of-N benchmarking).
     const Graph g = ciGraph();
     FunctionalEngine engine;
+    const auto min_e2e = [&](Framework fw, const ModelConfig &cfg) {
+        double best = 0.0;
+        for (int i = 0; i < 3; ++i) {
+            const double us =
+                FrameworkAdapter(fw).run(g, cfg, engine).endToEndUs;
+            if (i == 0 || us < best)
+                best = us;
+        }
+        return best;
+    };
     for (const GnnModelKind model :
          {GnnModelKind::Gcn, GnnModelKind::Gin}) {
         ModelConfig cfg;
         cfg.model = model;
-        const double pyg = FrameworkAdapter(Framework::Pyg)
-                               .run(g, cfg, engine)
-                               .endToEndUs;
-        const double dgl = FrameworkAdapter(Framework::Dgl)
-                               .run(g, cfg, engine)
-                               .endToEndUs;
+        const double pyg = min_e2e(Framework::Pyg, cfg);
+        const double dgl = min_e2e(Framework::Dgl, cfg);
         cfg.comp = CompModel::Mp;
-        const double gsm = FrameworkAdapter(Framework::Gsuite)
-                               .run(g, cfg, engine)
-                               .endToEndUs;
+        const double gsm = min_e2e(Framework::Gsuite, cfg);
         cfg.comp = CompModel::Spmm;
-        const double gss = FrameworkAdapter(Framework::Gsuite)
-                               .run(g, cfg, engine)
-                               .endToEndUs;
+        const double gss = min_e2e(Framework::Gsuite, cfg);
         EXPECT_GT(pyg, dgl) << gnnModelName(model);
         EXPECT_GT(dgl, gsm) << gnnModelName(model);
         EXPECT_GT(dgl, gss) << gnnModelName(model);
@@ -220,6 +227,16 @@ TEST(Integration, Fig4ShapeKernelDistributionTracksModel)
     const auto gsm = FrameworkAdapter(Framework::Gsuite)
                          .run(g, cfg, engine);
 
+    // Deterministic part first: with the model fixed, both
+    // frameworks must dispatch the same multiset of kernel classes —
+    // the distribution's *support* cannot depend on the framework.
+    std::map<KernelClass, int> c1, c2;
+    for (const auto &rec : pyg.timeline)
+        ++c1[rec.kind];
+    for (const auto &rec : gsm.timeline)
+        ++c2[rec.kind];
+    EXPECT_EQ(c1, c2);
+
     const auto shares = [](const FrameworkRunResult &r) {
         auto by_class = wallUsByClass(r.timeline);
         double total = 0;
@@ -233,10 +250,11 @@ TEST(Integration, Fig4ShapeKernelDistributionTracksModel)
     auto s1 = shares(pyg);
     auto s2 = shares(gsm);
     // Wall-clock shares jitter with host load (these are timed host
-    // runs, not simulator counters); the claim is only that the
-    // model, not the framework, decides the distribution's shape.
+    // runs, not simulator counters) — even RUN_SERIAL doesn't shield
+    // a loaded CI host — so the share comparison is deliberately
+    // loose; the exact per-class counts above carry the shape claim.
     for (const auto &[cls, share] : s1)
-        EXPECT_NEAR(share, s2[cls], 0.35);
+        EXPECT_NEAR(share, s2[cls], 0.45);
 }
 
 TEST(Integration, L1BypassAblationChangesBehaviour)

@@ -14,6 +14,10 @@
 
 #include "engine/ExecutionEngine.hpp"
 #include "kernels/Elementwise.hpp"
+#include "kernels/IndexSelect.hpp"
+#include "kernels/Scatter.hpp"
+#include "kernels/Sgemm.hpp"
+#include "kernels/Spgemm.hpp"
 #include "kernels/Spmm.hpp"
 #include "simgpu/GpuSimulator.hpp"
 #include "simgpu/Trace.hpp"
@@ -25,10 +29,19 @@ using namespace gsuite;
 
 namespace {
 
-/** Field-by-field equality of everything a launch's stats report. */
+/**
+ * Field-by-field equality of everything a launch's stats report.
+ *
+ * @param compare_trace_peak Off for comparisons across trace-chunk
+ *        sizes (the resident footprint legitimately differs).
+ * @param compare_classify_evals Off for fast-vs-reference issue-path
+ *        comparisons: classifyEvals is the one diagnostic that
+ *        intentionally differs (it measures the work saved).
+ */
 void
 expectStatsEqual(const KernelStats &a, const KernelStats &b,
-                 bool compare_trace_peak = true)
+                 bool compare_trace_peak = true,
+                 bool compare_classify_evals = true)
 {
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.ctasSimulated, b.ctasSimulated);
@@ -51,8 +64,12 @@ expectStatsEqual(const KernelStats &a, const KernelStats &b,
     EXPECT_EQ(a.dramBusyCycles, b.dramBusyCycles);
     EXPECT_EQ(a.aluBusyCycles, b.aluBusyCycles);
     EXPECT_EQ(a.schedulerSlots, b.schedulerSlots);
+    EXPECT_EQ(a.fastForwardCycles, b.fastForwardCycles);
     if (compare_trace_peak) {
         EXPECT_EQ(a.traceBytesPeak, b.traceBytesPeak);
+    }
+    if (compare_classify_evals) {
+        EXPECT_EQ(a.classifyEvals, b.classifyEvals);
     }
 }
 
@@ -258,6 +275,100 @@ TEST(SimDeterminism, ParallelLaunchEngineMatchesSerialEngine)
     ASSERT_EQ(serial.size(), parallel.size());
     for (size_t i = 0; i < serial.size(); ++i)
         expectStatsEqual(serial[i], parallel[i]);
+}
+
+TEST(SimDeterminism, FastIssuePathMatchesReferenceOnAllSixKernels)
+{
+    // The SoA issue fast path must be bit-identical to the pre-SoA
+    // per-warp reference path (GpuConfig::referenceIssue) on every
+    // Table II kernel class — the contract that let the hot-loop
+    // rewrite ship without regenerating a single golden counter.
+    Rng rng(99);
+    const int64_t n = 160, e = 640, f = 24;
+
+    // Shared operands.
+    DenseMatrix feat(n, f);
+    feat.fillUniform(rng, -1.0f, 1.0f);
+    std::vector<int64_t> idx(static_cast<size_t>(e));
+    for (auto &v : idx)
+        v = static_cast<int64_t>(
+            rng.nextBelow(static_cast<uint64_t>(n)));
+    SparseBuilder badj(n, n);
+    for (int64_t r = 0; r < n; ++r) {
+        const int64_t deg = r % 23 == 0 ? 40 : 1 + r % 5;
+        for (int64_t k = 0; k < deg; ++k)
+            badj.add(r,
+                     static_cast<int64_t>(
+                         rng.nextBelow(static_cast<uint64_t>(n))),
+                     rng.nextFloat(-1.0f, 1.0f));
+    }
+    const CsrMatrix adj = badj.finish();
+
+    // One launch per kernel class.
+    DeviceAllocator alloc;
+    std::vector<KernelLaunch> launches;
+
+    DenseMatrix is_out;
+    IndexSelectKernel is("is", feat, idx, is_out);
+    is.execute();
+    launches.push_back(is.makeLaunch(alloc));
+
+    DenseMatrix msgs(e, f);
+    msgs.fillUniform(rng, -1.0f, 1.0f);
+    DenseMatrix sc_out(n, f);
+    ScatterKernel sc("sc", msgs, idx, sc_out,
+                     ScatterKernel::Reduce::Sum);
+    sc.execute();
+    launches.push_back(sc.makeLaunch(alloc));
+
+    DenseMatrix b(f, 32);
+    b.fillUniform(rng, -1.0f, 1.0f);
+    DenseMatrix sg_out;
+    SgemmKernel sg("sg", feat, b, sg_out);
+    sg.execute();
+    launches.push_back(sg.makeLaunch(alloc));
+
+    CsrMatrix spg_out;
+    SpgemmKernel spg("spg", adj, adj, spg_out);
+    spg.execute();
+    launches.push_back(spg.makeLaunch(alloc));
+
+    DenseMatrix sp_out;
+    SpmmKernel sp("sp", adj, feat, sp_out);
+    sp.execute();
+    launches.push_back(sp.makeLaunch(alloc));
+
+    DenseMatrix ew_out;
+    ElementwiseKernel ew("ew", ElementwiseKernel::EwOp::Sigmoid,
+                         feat, ew_out);
+    ew.execute();
+    launches.push_back(ew.makeLaunch(alloc));
+    ASSERT_EQ(launches.size(), 6u);
+
+    SimOptions opts;
+    opts.maxCtas = 96;
+    for (const SchedulerPolicy pol :
+         {SchedulerPolicy::Gto, SchedulerPolicy::Lrr}) {
+        GpuConfig fast_cfg = detConfig();
+        fast_cfg.scheduler = pol;
+        GpuConfig ref_cfg = fast_cfg;
+        ref_cfg.referenceIssue = true;
+        GpuSimulator fast_sim(fast_cfg);
+        GpuSimulator ref_sim(ref_cfg);
+        for (const KernelLaunch &launch : launches) {
+            const KernelStats fast = fast_sim.run(launch, opts);
+            const KernelStats ref = ref_sim.run(launch, opts);
+            SCOPED_TRACE(std::string(launch.name) + " / " +
+                         schedulerPolicyName(pol));
+            expectStatsEqual(fast, ref,
+                             /*compare_trace_peak=*/true,
+                             /*compare_classify_evals=*/false);
+            // The fast path must actually be lazier than re-deriving
+            // every resident warp every cycle.
+            EXPECT_LT(fast.classifyEvals, ref.classifyEvals)
+                << launch.name;
+        }
+    }
 }
 
 TEST(SimDeterminism, EagerAndStreamedTracesMatch)
