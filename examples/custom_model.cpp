@@ -7,9 +7,13 @@
  *
  *   h_v = relu( W1 h_v + W2 max_{u in N(v)} relu(W3 h_u) )
  *
- * The kernel pipeline is validated against a naive per-node loop,
- * then characterized on the timing simulator — exactly the workflow
- * a researcher adding a new model would follow.
+ * The kernels are assembled into an op-graph (src/ir/OpGraph):
+ * dependencies are derived automatically from each kernel's
+ * declared reads/writes, so the self-transform branch stays
+ * parallel to the pooling chain. The pipeline is validated against
+ * a naive per-node loop, then characterized on the timing
+ * simulator — exactly the workflow a researcher adding a new model
+ * would follow.
  */
 
 #include <algorithm>
@@ -17,6 +21,7 @@
 
 #include "engine/ExecutionEngine.hpp"
 #include "graph/Datasets.hpp"
+#include "ir/OpGraph.hpp"
 #include "kernels/Elementwise.hpp"
 #include "kernels/IndexSelect.hpp"
 #include "kernels/Scatter.hpp"
@@ -75,9 +80,19 @@ main(int argc, char **argv)
     pipeline.push_back(std::make_unique<ElementwiseKernel>(
         "relu_out", ElementwiseKernel::EwOp::Relu, sum, out));
 
-    FunctionalEngine engine;
+    // Lift the kernel list into the op-graph IR: dependencies are
+    // derived from each kernel's io() declaration, so "sgemm_self"
+    // (which reads only inputs) is a root alongside "sgemm_msg".
+    OpGraph ops;
     for (auto &k : pipeline)
-        engine.run(*k);
+        ops.addNode(*k);
+    ops.validate();
+    std::printf("op-graph: %zu kernels, %zu dependency edges, "
+                "%zu levels deep\n",
+                ops.numNodes(), ops.numEdges(), ops.numLevels());
+
+    FunctionalEngine engine;
+    engine.run(ops);
 
     // --- validate against a naive per-node implementation ----------
     auto matmul = [](const DenseMatrix &x, const DenseMatrix &w) {
@@ -120,19 +135,31 @@ main(int argc, char **argv)
     // --- characterize it on the simulator, like any built-in model --
     SimEngine::Options sopts;
     sopts.sim.maxCtas = 512;
+    sopts.parallelLaunches = 2;
     SimEngine sim(sopts);
-    for (auto &k : pipeline)
-        sim.run(*k);
+    sim.run(ops);
     TablePrinter table("custom max-pool GNN on the simulator");
-    table.header({"kernel", "cycles", "MemDep%", "L1 hit%"});
+    table.header({"kernel", "level", "cycles", "MemDep%", "L1 hit%"});
+    size_t i = 0;
     for (const auto &rec : sim.timeline()) {
         table.row(
-            {rec.name, std::to_string(rec.sim.cycles),
+            {rec.name, std::to_string(ops.node(i++).level),
+             std::to_string(rec.sim.cycles),
              fmtDouble(100 * rec.sim.stallShare(
                            StallReason::MemoryDependency), 1),
              fmtDouble(100 * rec.sim.l1HitRate(), 1)});
     }
     table.print();
+    const GraphRunReport &report = sim.lastGraphReport();
+    std::printf("dependency-scheduled over %d lanes: %llu cycles "
+                "vs %llu serial (critical path %llu)\n",
+                report.lanes,
+                static_cast<unsigned long long>(
+                    report.makespanCycles),
+                static_cast<unsigned long long>(
+                    report.serialCycles),
+                static_cast<unsigned long long>(
+                    report.criticalPathCycles));
     std::printf("OK: custom model matches its reference\n");
     return 0;
 }

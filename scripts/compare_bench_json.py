@@ -6,11 +6,15 @@ Usage: compare_bench_json.py PREVIOUS.json CURRENT.json
 Compares the per-point metrics of two BENCH_*.json files (e.g. the
 previous CI run's BENCH_sim_throughput.json against this run's):
 
-  - deterministic simulator counters (cycles, warp_instrs) must
-    match exactly — a drift means the simulator's timing model
-    changed and the change should say so. Drift is BLOCKING
-    (exit 1): regenerate the goldens/artifacts deliberately or fix
-    the regression;
+  - deterministic simulator counters (cycles, warp_instrs, plus
+    any metric ending in _cycles — e.g. the op-graph overlap model
+    of BENCH_batch_inference.json: graph_serial_cycles,
+    graph_makespan_cycles, graph_critical_path_cycles — and the
+    graph_levels / graph_lanes structure counters) must match
+    exactly — a drift means the simulator's timing model or the
+    dependency scheduling changed and the change should say so.
+    Drift is BLOCKING (exit 1): regenerate the goldens/artifacts
+    deliberately or fix the regression;
   - wall-clock metrics (*_ms) may jitter; a slowdown beyond
     --tolerance (default 25%) is reported as a warning only (CI
     hosts are too noisy to gate on);
@@ -24,8 +28,15 @@ drift / disappeared points, 2 usage errors.
 import json
 import sys
 
-DETERMINISTIC = ("cycles", "warp_instrs")
+DETERMINISTIC = ("cycles", "warp_instrs", "graph_levels",
+                 "graph_lanes")
+DETERMINISTIC_SUFFIXES = ("_cycles",)
 WALLCLOCK_SUFFIXES = ("_ms",)
+
+
+def is_deterministic(key):
+    return key in DETERMINISTIC or key.endswith(
+        DETERMINISTIC_SUFFIXES)
 
 
 def load_points(path):
@@ -72,7 +83,7 @@ def main(argv):
         cm = cur[label].get("metrics", {})
         for key in sorted(set(pm) & set(cm)):
             a, b = pm[key], cm[key]
-            if key in DETERMINISTIC:
+            if is_deterministic(key):
                 if a != b:
                     blocking.append(
                         f"{label}: deterministic metric '{key}' "

@@ -15,12 +15,65 @@ ExecutionEngine::totalWallUs() const
     return total;
 }
 
+void
+ExecutionEngine::run(const OpGraph &graph)
+{
+    graph.validate();
+    const size_t firstRecord = records.size();
+
+    // Merged graphs: each part gets its own device address space so
+    // its launches see exactly the addresses a standalone run of
+    // that pipeline would (launch simulations start from a flushed
+    // device, so cross-part address relationships never matter).
+    // Plain pipeline graphs keep the engine's shared allocator —
+    // byte-identical behavior to the serial per-kernel path.
+    std::vector<std::unique_ptr<DeviceAllocator>> partAllocs;
+    if (graph.numParts() > 1)
+        for (size_t p = 0; p < graph.numParts(); ++p)
+            partAllocs.push_back(
+                std::make_unique<DeviceAllocator>());
+
+    // Functional execution and launch construction stay in the
+    // deterministic schedule order (device-address assignment and
+    // the timeline depend on it); only the deferred timing
+    // simulations overlap, joined by sync().
+    for (const OpNode &n : graph.nodes())
+        runKernel(*n.kernel,
+                  partAllocs.empty()
+                      ? alloc
+                      : *partAllocs[static_cast<size_t>(n.part)]);
+    sync();
+
+    GraphRunReport report;
+    report.nodes = graph.numNodes();
+    report.edges = graph.numEdges();
+    report.levels = graph.numLevels();
+    report.parts = graph.numParts();
+    report.lanes = std::max(1, concurrentLaneCount());
+    std::vector<uint64_t> costs;
+    costs.reserve(graph.numNodes());
+    report.hasSim = graph.numNodes() > 0;
+    for (size_t i = 0; i < graph.numNodes(); ++i) {
+        const KernelRecord &rec = records.at(firstRecord + i);
+        report.hasSim = report.hasSim && rec.hasSim;
+        costs.push_back(rec.hasSim ? rec.sim.cycles : 0);
+    }
+    if (report.hasSim) {
+        report.serialCycles = graph.serialCost(costs);
+        report.criticalPathCycles = graph.criticalPathCost(costs);
+        report.makespanCycles =
+            graph.makespan(costs, report.lanes);
+    }
+    graphReport = report;
+}
+
 FunctionalEngine::FunctionalEngine(Options opts) : opts(opts)
 {
 }
 
 void
-FunctionalEngine::run(Kernel &kernel)
+FunctionalEngine::runKernel(Kernel &kernel,
+                            DeviceAllocator &kernelAlloc)
 {
     KernelRecord rec;
     rec.name = kernel.name();
@@ -31,7 +84,7 @@ FunctionalEngine::run(Kernel &kernel)
     rec.wallUs = t.elapsedUs();
 
     if (opts.profileCaches) {
-        const KernelLaunch launch = kernel.makeLaunch(alloc);
+        const KernelLaunch launch = kernel.makeLaunch(kernelAlloc);
         HwProfiler prof(opts.hwConfig);
         rec.hw = prof.profile(launch);
         rec.hasHw = true;
@@ -53,7 +106,7 @@ SimEngine::effectiveParallel() const
 }
 
 void
-SimEngine::run(Kernel &kernel)
+SimEngine::runKernel(Kernel &kernel, DeviceAllocator &kernelAlloc)
 {
     KernelRecord rec;
     rec.name = kernel.name();
@@ -63,7 +116,7 @@ SimEngine::run(Kernel &kernel)
     kernel.execute();
     rec.wallUs = t.elapsedUs();
 
-    KernelLaunch launch = kernel.makeLaunch(alloc);
+    KernelLaunch launch = kernel.makeLaunch(kernelAlloc);
 
     if (opts.profileCaches) {
         HwProfiler prof(opts.hwConfig);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/OpGraph.hpp"
 #include "kernels/Kernel.hpp"
 #include "profiler/HwProfiler.hpp"
 #include "simgpu/DeviceAllocator.hpp"
@@ -38,6 +39,26 @@ struct KernelRecord {
     HwProfileResult hw; ///< populated when cache profiling is on
 };
 
+/**
+ * Dependency/overlap summary of one ExecutionEngine::run(OpGraph&)
+ * call. The cycle fields model launch-level concurrency over the
+ * engine's simulation lanes (OpGraph::makespan); they are derived
+ * from deterministic per-launch cycle counts and the deterministic
+ * schedule, so they are themselves deterministic.
+ */
+struct GraphRunReport {
+    size_t nodes = 0;
+    size_t edges = 0;
+    size_t levels = 0; ///< dependency depth of the graph
+    size_t parts = 1;  ///< merged sub-pipelines (batch size)
+    int lanes = 1;     ///< concurrent launch lanes modeled
+
+    bool hasSim = false; ///< cycle fields valid (sim engine only)
+    uint64_t serialCycles = 0;       ///< sum of launch cycles
+    uint64_t criticalPathCycles = 0; ///< longest dependency chain
+    uint64_t makespanCycles = 0;     ///< list-schedule over lanes
+};
+
 /** Abstract engine. */
 class ExecutionEngine
 {
@@ -45,7 +66,20 @@ class ExecutionEngine
     virtual ~ExecutionEngine() = default;
 
     /** Execute one kernel and append a record to the timeline. */
-    virtual void run(Kernel &kernel) = 0;
+    void run(Kernel &kernel) { runKernel(kernel, alloc); }
+
+    /**
+     * Execute a dataflow graph: every node runs in the graph's
+     * deterministic schedule order (so the timeline — and on the
+     * sim engine every launch's device-address layout and stats —
+     * is bit-identical to running the kernels serially one by one),
+     * then sync()s so deferred simulations overlap across the
+     * engine's lanes. Merged graphs give each part its own device
+     * address space, making per-part statistics bit-identical to
+     * running that part's pipeline alone on a fresh engine.
+     * Fills lastGraphReport().
+     */
+    void run(const OpGraph &graph);
 
     /**
      * Wait for any deferred measurement work (e.g. concurrently
@@ -54,6 +88,12 @@ class ExecutionEngine
      * the timeline does it implicitly.
      */
     virtual void sync() {}
+
+    /** Summary of the most recent run(OpGraph&) call. */
+    const GraphRunReport &lastGraphReport() const
+    {
+        return graphReport;
+    }
 
     /** All kernels executed so far, in order (sync()s first). */
     const std::vector<KernelRecord> &
@@ -78,8 +118,25 @@ class ExecutionEngine
     DeviceAllocator &allocator() { return alloc; }
 
   protected:
+    /**
+     * Execute one kernel against an explicit device address space
+     * and append a record. run(Kernel&) passes the engine's shared
+     * allocator; run(OpGraph&) passes a per-part allocator for
+     * merged graphs so each part's address layout matches a
+     * standalone run.
+     */
+    virtual void runKernel(Kernel &kernel,
+                           DeviceAllocator &kernelAlloc) = 0;
+
+    /**
+     * Launch lanes the makespan model of run(OpGraph&) uses; the
+     * sim engine reports its concurrent-launch lane count.
+     */
+    virtual int concurrentLaneCount() const { return 1; }
+
     std::vector<KernelRecord> records;
     DeviceAllocator alloc;
+    GraphRunReport graphReport;
 };
 
 /** Host-execution engine with optional hardware cache profiling. */
@@ -94,7 +151,9 @@ class FunctionalEngine : public ExecutionEngine
     FunctionalEngine() = default;
     explicit FunctionalEngine(Options opts);
 
-    void run(Kernel &kernel) override;
+  protected:
+    void runKernel(Kernel &kernel,
+                   DeviceAllocator &kernelAlloc) override;
 
   private:
     Options opts;
@@ -123,10 +182,17 @@ class SimEngine : public ExecutionEngine
     SimEngine() : SimEngine(Options{}) {}
     explicit SimEngine(Options opts);
 
-    void run(Kernel &kernel) override;
     void sync() override;
 
     const GpuConfig &gpuConfig() const { return sim.config(); }
+
+  protected:
+    void runKernel(Kernel &kernel,
+                   DeviceAllocator &kernelAlloc) override;
+    int concurrentLaneCount() const override
+    {
+        return effectiveParallel();
+    }
 
   private:
     struct PendingSim {

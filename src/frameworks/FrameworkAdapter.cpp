@@ -53,8 +53,10 @@ FrameworkAdapter::resolveCompModel(GnnModelKind kind,
 
 FrameworkRunResult
 FrameworkAdapter::run(const Graph &graph, ModelConfig cfg,
-                      ExecutionEngine &engine) const
+                      ExecutionEngine &engine, int batch) const
 {
+    if (batch < 1)
+        fatal("batch size must be >= 1 (got %d)", batch);
     cfg.comp = resolveCompModel(cfg.model, cfg.comp);
     // DGL's SAGEConv lowers mean aggregation to SpMM; permit it on
     // the DGL path only (gSuite matches the paper and rejects it).
@@ -62,10 +64,30 @@ FrameworkAdapter::run(const Graph &graph, ModelConfig cfg,
         cfg.allowSpmmSage = true;
 
     engine.clearTimeline();
-    GnnPipeline pipeline(graph, cfg);
-    pipeline.run(engine);
+    if (batch == 1) {
+        GnnPipeline pipeline(graph, cfg);
+        pipeline.run(engine);
+    } else {
+        // Batched inference: N independent pipeline instances (the
+        // shared input graph is read-only, so the merged graph's
+        // parts stay write-disjoint) composed into one op-graph
+        // whose roots all issue concurrently.
+        std::vector<std::unique_ptr<GnnPipeline>> replicas;
+        std::vector<const OpGraph *> graphs;
+        replicas.reserve(static_cast<size_t>(batch));
+        graphs.reserve(static_cast<size_t>(batch));
+        for (int b = 0; b < batch; ++b) {
+            replicas.push_back(
+                std::make_unique<GnnPipeline>(graph, cfg));
+            graphs.push_back(&replicas.back()->opGraph());
+        }
+        // run() sync()s before returning, so the replicas may die
+        // when this scope ends.
+        engine.run(OpGraph::merge(graphs));
+    }
 
     FrameworkRunResult res;
+    res.graph = engine.lastGraphReport();
     res.timeline = engine.timeline();
     for (const auto &rec : res.timeline)
         res.kernelUs += rec.wallUs;

@@ -35,6 +35,13 @@ struct FrameworkRunResult {
     double endToEndUs = 0.0; ///< init + dispatch + inflated kernels
     double kernelUs = 0.0;   ///< raw (uninflated) kernel time
     std::vector<KernelRecord> timeline;
+    /**
+     * Dependency/overlap summary of the executed op-graph (node and
+     * edge counts, and for sim engines the deterministic serial /
+     * critical-path / lane-makespan cycle model). For batched runs
+     * the graph is the merge over all replicas.
+     */
+    GraphRunReport graph;
 };
 
 /** Runs pipelines under a framework's overhead model. */
@@ -54,9 +61,17 @@ class FrameworkAdapter
     /**
      * Build and run the pipeline on @p engine (whose timeline is
      * cleared first), returning framework-adjusted timings.
+     *
+     * @param batch Independent inference requests composed into one
+     *        op-graph via OpGraph::merge (>= 1). Each replica is a
+     *        full pipeline instance whose roots issue concurrently;
+     *        the timeline holds the replicas' kernels back to back
+     *        in graph order, each replica's statistics bit-identical
+     *        to an unbatched run.
      */
     FrameworkRunResult run(const Graph &graph, ModelConfig cfg,
-                           ExecutionEngine &engine) const;
+                           ExecutionEngine &engine,
+                           int batch = 1) const;
 
     Framework framework() const { return fw; }
     const FrameworkOverheads &overheads() const { return ov; }

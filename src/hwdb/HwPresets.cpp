@@ -109,6 +109,34 @@ a100Sim()
     return cfg;
 }
 
+/**
+ * H100 SXM5 (Hopper GH100). 132 SMs total (6 x 22), 64 warps/SM
+ * over 4 scheduler partitions, 256 KiB combined L1/shared, 50 MiB
+ * L2 (two partitions; we model the averaged ~273-cycle round trip
+ * the dissecting microbenchmarks report rather than the near/far
+ * split), 3352 GB/s HBM3 at 1.83 GHz boost (~1832 B/cyc over
+ * 132 SMs => 13.88 B/cyc per SM). The big L2 gets 8 address slices,
+ * like the A100 model.
+ */
+GpuConfig
+h100Sim()
+{
+    GpuConfig cfg;
+    cfg.name = "h100";
+    cfg.numSms = 6;
+    cfg.smSampleFactor = 22;
+    cfg.l1Latency = 33;
+    cfg.l2Latency = 273;
+    cfg.dramLatency = 478;
+    cfg.dramBytesPerCyclePerSm = 13.88;
+    cfg.l1d = {256 * 1024, 128, 32, 32, false};
+    // 50 MiB / (128 B lines x 25-way) = 16384 sets (power of two).
+    cfg.l2 = {50ull * 1024 * 1024, 128, 32, 25, true};
+    cfg.numL2Slices = 8;
+    cfg.coreClockGhz = 1.83;
+    return cfg;
+}
+
 std::vector<HwPreset>
 buildRegistry()
 {
@@ -133,6 +161,11 @@ buildRegistry()
          "A100 40GB (Ampere), 108 SMs, 192KiB L1, 40MiB L2, "
          "1555GB/s HBM2e",
          a100Sim()});
+    presets.push_back(
+        {"h100",
+         "H100 SXM5 (Hopper), 132 SMs, 256KiB L1, 50MiB L2, "
+         "3352GB/s HBM3",
+         h100Sim()});
     presets.push_back(
         {"test-tiny",
          "2-SM miniature with tiny caches for unit tests",

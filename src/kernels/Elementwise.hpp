@@ -65,6 +65,15 @@ class ElementwiseKernel : public Kernel
     }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    KernelIo io() const override
+    {
+        KernelIo io{{&inA}, {&out}};
+        if (inB)
+            io.reads.push_back(inB);
+        if (rowVec)
+            io.reads.push_back(rowVec);
+        return io;
+    }
 
   private:
     std::string label;

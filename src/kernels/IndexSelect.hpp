@@ -42,6 +42,10 @@ class IndexSelectKernel : public Kernel
     }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    KernelIo io() const override
+    {
+        return {{&input, &index}, {&output}};
+    }
 
   private:
     std::string label;

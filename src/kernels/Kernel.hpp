@@ -19,11 +19,25 @@
 #define GSUITE_KERNELS_KERNEL_HPP
 
 #include <string>
+#include <vector>
 
 #include "simgpu/DeviceAllocator.hpp"
 #include "simgpu/KernelLaunch.hpp"
 
 namespace gsuite {
+
+/**
+ * The buffers a kernel touches, by host identity. This is the
+ * declaration the op-graph IR (src/ir/OpGraph) derives dataflow
+ * dependencies from: a node reading a buffer depends on the node
+ * that last wrote it. Identity is the address of the host container
+ * (DenseMatrix, CsrMatrix, std::vector) — the same key
+ * DeviceAllocator maps.
+ */
+struct KernelIo {
+    std::vector<const void *> reads;
+    std::vector<const void *> writes;
+};
 
 /** Abstract core kernel. */
 class Kernel
@@ -46,6 +60,16 @@ class Kernel
      * (trace generators reference its operand buffers).
      */
     virtual KernelLaunch makeLaunch(DeviceAllocator &alloc) const = 0;
+
+    /**
+     * Declare the buffers execute() reads and writes. The suite's
+     * six core kernels all implement this; the default (empty)
+     * declaration is the conservative fallback for external custom
+     * kernels: OpGraph treats a node with no declared IO as a
+     * barrier, ordered after every earlier node and before every
+     * later one.
+     */
+    virtual KernelIo io() const { return {}; }
 };
 
 /** Threads per CTA used by all 1D-grid gsuite kernels. */

@@ -60,6 +60,15 @@ class ScatterKernel : public Kernel
     KernelClass kind() const override { return KernelClass::Scatter; }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    KernelIo io() const override
+    {
+        KernelIo io{{&messages, &index}, {&output}};
+        if (edgeScale)
+            io.reads.push_back(edgeScale);
+        if (edgeScaleMat)
+            io.reads.push_back(edgeScaleMat);
+        return io;
+    }
 
   private:
     std::string label;

@@ -28,6 +28,7 @@ class SpgemmKernel : public Kernel
     KernelClass kind() const override { return KernelClass::SpGemm; }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    KernelIo io() const override { return {{&a, &b}, {&c}}; }
 
   private:
     std::string label;

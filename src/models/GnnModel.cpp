@@ -97,21 +97,23 @@ GnnPipeline::GnnPipeline(const Graph &graph, const ModelConfig &cfg)
 void
 GnnPipeline::run(ExecutionEngine &engine)
 {
-    for (auto &k : kernels)
-        engine.run(*k);
-    // Deferred simulations reference the pipeline's operand buffers;
-    // they must finish while this pipeline is alive.
-    engine.sync();
+    // Graph-order scheduling; run(OpGraph&) sync()s before
+    // returning, because deferred simulations reference the
+    // pipeline's operand buffers and must finish while it is alive.
+    engine.run(ops);
 }
 
 std::vector<std::string>
 GnnPipeline::kernelNames() const
 {
-    std::vector<std::string> names;
-    names.reserve(kernels.size());
-    for (const auto &k : kernels)
-        names.push_back(k->name());
-    return names;
+    return ops.kernelNames();
+}
+
+void
+GnnPipeline::add(std::unique_ptr<Kernel> k)
+{
+    kernels.push_back(std::move(k));
+    ops.addNode(*kernels.back());
 }
 
 DenseMatrix *
@@ -205,23 +207,23 @@ GnnPipeline::buildGcnMp()
 
         // sgemm: linear transform first (Fig. 2 order).
         DenseMatrix *lin = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm", k), *x, *w, *lin));
 
         // indexSelect: gather the transformed features along edges.
         DenseMatrix *msg = newMat();
-        kernels.push_back(std::make_unique<IndexSelectKernel>(
+        add(std::make_unique<IndexSelectKernel>(
             lbl("indexSelect", k), *lin, *src, *msg));
 
         // scatter: normalized sum into destination nodes.
         DenseMatrix *agg = newMat(n, out_dim);
-        kernels.push_back(std::make_unique<ScatterKernel>(
+        add(std::make_unique<ScatterKernel>(
             lbl("scatter", k), *msg, *dst, *agg,
             ScatterKernel::Reduce::Sum, norm));
 
         if (k != cfg.layers - 1) {
             DenseMatrix *act = newMat();
-            kernels.push_back(std::make_unique<ElementwiseKernel>(
+            add(std::make_unique<ElementwiseKernel>(
                 lbl("relu", k), ElementwiseKernel::EwOp::Relu, *agg,
                 *act));
             x = act;
@@ -244,10 +246,10 @@ GnnPipeline::buildGcnSpmm()
     *d_half = CsrMatrix::diagonal(invSqrtDegrees(graph));
 
     auto *t1 = newCsr();
-    kernels.push_back(std::make_unique<SpgemmKernel>(
+    add(std::make_unique<SpgemmKernel>(
         "spgemm_dA", *d_half, *a_hat, *t1));
     auto *a_norm = newCsr();
-    kernels.push_back(std::make_unique<SpgemmKernel>(
+    add(std::make_unique<SpgemmKernel>(
         "spgemm_AD", *t1, *d_half, *a_norm));
 
     const DenseMatrix *x = &graph.features;
@@ -256,15 +258,15 @@ GnnPipeline::buildGcnSpmm()
 
         // SpMM: aggregate, then sgemm: transform.
         DenseMatrix *ax = newMat();
-        kernels.push_back(std::make_unique<SpmmKernel>(
+        add(std::make_unique<SpmmKernel>(
             lbl("spmm", k), *a_norm, *x, *ax));
         DenseMatrix *lin = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm", k), *ax, *w, *lin));
 
         if (k != cfg.layers - 1) {
             DenseMatrix *act = newMat();
-            kernels.push_back(std::make_unique<ElementwiseKernel>(
+            add(std::make_unique<ElementwiseKernel>(
                 lbl("relu", k), ElementwiseKernel::EwOp::Relu, *lin,
                 *act));
             x = act;
@@ -289,36 +291,36 @@ GnnPipeline::buildGinMp()
         // Neighbour sum over the raw edges (Eq. (3) has no
         // self-loops; the self term is the (1+eps) addition).
         DenseMatrix *msg = newMat();
-        kernels.push_back(std::make_unique<IndexSelectKernel>(
+        add(std::make_unique<IndexSelectKernel>(
             lbl("indexSelect", k), *x, graph.src, *msg));
         DenseMatrix *agg = newMat(n, in_dim);
-        kernels.push_back(std::make_unique<ScatterKernel>(
+        add(std::make_unique<ScatterKernel>(
             lbl("scatter", k), *msg, graph.dst, *agg,
             ScatterKernel::Reduce::Sum));
 
         // comb = (1 + eps) * x + agg.
         DenseMatrix *comb = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("ginAdd", k), *x, *agg, 1.0f + cfg.ginEps, 1.0f,
             *comb));
 
         // Theta: two-layer MLP.
         DenseMatrix *w1 = newWeight(in_dim, out_dim, rng);
         DenseMatrix *h1 = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_mlp1", k), *comb, *w1, *h1));
         DenseMatrix *act1 = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("relu_mlp", k), ElementwiseKernel::EwOp::Relu, *h1,
             *act1));
         DenseMatrix *w2 = newWeight(out_dim, out_dim, rng);
         DenseMatrix *h2 = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_mlp2", k), *act1, *w2, *h2));
 
         if (k != cfg.layers - 1) {
             DenseMatrix *act = newMat();
-            kernels.push_back(std::make_unique<ElementwiseKernel>(
+            add(std::make_unique<ElementwiseKernel>(
                 lbl("relu", k), ElementwiseKernel::EwOp::Relu, *h2,
                 *act));
             x = act;
@@ -344,25 +346,25 @@ GnnPipeline::buildGinSpmm()
         const int64_t out_dim = layerOutDim(k);
 
         DenseMatrix *ax = newMat();
-        kernels.push_back(std::make_unique<SpmmKernel>(
+        add(std::make_unique<SpmmKernel>(
             lbl("spmm", k), *a_gin, *x, *ax));
 
         DenseMatrix *w1 = newWeight(in_dim, out_dim, rng);
         DenseMatrix *h1 = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_mlp1", k), *ax, *w1, *h1));
         DenseMatrix *act1 = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("relu_mlp", k), ElementwiseKernel::EwOp::Relu, *h1,
             *act1));
         DenseMatrix *w2 = newWeight(out_dim, out_dim, rng);
         DenseMatrix *h2 = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_mlp2", k), *act1, *w2, *h2));
 
         if (k != cfg.layers - 1) {
             DenseMatrix *act = newMat();
-            kernels.push_back(std::make_unique<ElementwiseKernel>(
+            add(std::make_unique<ElementwiseKernel>(
                 lbl("relu", k), ElementwiseKernel::EwOp::Relu, *h2,
                 *act));
             x = act;
@@ -401,33 +403,33 @@ GnnPipeline::buildSageMp()
         const int64_t out_dim = layerOutDim(k);
 
         DenseMatrix *msg = newMat();
-        kernels.push_back(std::make_unique<IndexSelectKernel>(
+        add(std::make_unique<IndexSelectKernel>(
             lbl("indexSelect", k), *x, *src, *msg));
         DenseMatrix *sum = newMat(n, in_dim);
-        kernels.push_back(std::make_unique<ScatterKernel>(
+        add(std::make_unique<ScatterKernel>(
             lbl("scatter", k), *msg, *dst, *sum,
             ScatterKernel::Reduce::Sum));
         DenseMatrix *mean = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("meanDiv", k), *sum, *inv_deg, *mean));
 
         // W1 * h_v + W2 * mean (Eq. (5)).
         DenseMatrix *w1 = newWeight(in_dim, out_dim, rng);
         DenseMatrix *self_lin = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_self", k), *x, *w1, *self_lin));
         DenseMatrix *w2 = newWeight(in_dim, out_dim, rng);
         DenseMatrix *neigh_lin = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_neigh", k), *mean, *w2, *neigh_lin));
         DenseMatrix *combined = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("sageAdd", k), *self_lin, *neigh_lin, 1.0f, 1.0f,
             *combined));
 
         if (k != cfg.layers - 1) {
             DenseMatrix *act = newMat();
-            kernels.push_back(std::make_unique<ElementwiseKernel>(
+            add(std::make_unique<ElementwiseKernel>(
                 lbl("relu", k), ElementwiseKernel::EwOp::Relu,
                 *combined, *act));
             x = act;
@@ -464,27 +466,27 @@ GnnPipeline::buildGatMp()
 
         // z = X W, and the per-node attention halves z.a1, z.a2.
         DenseMatrix *z = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm", k), *x, *w, *z));
         DenseMatrix *s_src = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_attsrc", k), *z, *a_src, *s_src));
         DenseMatrix *s_dst = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_attdst", k), *z, *a_dst, *s_dst));
 
         // Per-edge raw score: LeakyReLU(s_src[u] + s_dst[v]).
         DenseMatrix *g_src = newMat();
-        kernels.push_back(std::make_unique<IndexSelectKernel>(
+        add(std::make_unique<IndexSelectKernel>(
             lbl("indexSelect_src", k), *s_src, *src, *g_src));
         DenseMatrix *g_dst = newMat();
-        kernels.push_back(std::make_unique<IndexSelectKernel>(
+        add(std::make_unique<IndexSelectKernel>(
             lbl("indexSelect_dst", k), *s_dst, *dst, *g_dst));
         DenseMatrix *raw = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("attAdd", k), *g_src, *g_dst, 1.0f, 1.0f, *raw));
         DenseMatrix *score = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("leakyRelu", k), ElementwiseKernel::EwOp::LeakyRelu,
             *raw, *score, cfg.gatSlope));
 
@@ -493,48 +495,48 @@ GnnPipeline::buildGatMp()
         // invariant to the per-destination shift, so clamping the
         // shift at zero only aids numerics.
         DenseMatrix *m = newMat(n, 1);
-        kernels.push_back(std::make_unique<ScatterKernel>(
+        add(std::make_unique<ScatterKernel>(
             lbl("scatter_max", k), *score, *dst, *m,
             ScatterKernel::Reduce::Max));
         DenseMatrix *m_g = newMat();
-        kernels.push_back(std::make_unique<IndexSelectKernel>(
+        add(std::make_unique<IndexSelectKernel>(
             lbl("indexSelect_max", k), *m, *dst, *m_g));
         DenseMatrix *shifted = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("attSub", k), ElementwiseKernel::EwOp::Sub, *score,
             *m_g, *shifted));
         DenseMatrix *expsc = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("attExp", k), ElementwiseKernel::EwOp::Exp, *shifted,
             *expsc));
         DenseMatrix *denom = newMat(n, 1);
-        kernels.push_back(std::make_unique<ScatterKernel>(
+        add(std::make_unique<ScatterKernel>(
             lbl("scatter_denom", k), *expsc, *dst, *denom,
             ScatterKernel::Reduce::Sum));
         DenseMatrix *denom_g = newMat();
-        kernels.push_back(std::make_unique<IndexSelectKernel>(
+        add(std::make_unique<IndexSelectKernel>(
             lbl("indexSelect_denom", k), *denom, *dst, *denom_g));
         DenseMatrix *rden = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("attRecip", k), ElementwiseKernel::EwOp::Recip,
             *denom_g, *rden));
         DenseMatrix *alpha = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("attMul", k), ElementwiseKernel::EwOp::Mul, *expsc,
             *rden, *alpha));
 
         // Attention-weighted aggregation of the transformed rows.
         DenseMatrix *msg = newMat();
-        kernels.push_back(std::make_unique<IndexSelectKernel>(
+        add(std::make_unique<IndexSelectKernel>(
             lbl("indexSelect", k), *z, *src, *msg));
         DenseMatrix *agg = newMat(n, out_dim);
-        kernels.push_back(std::make_unique<ScatterKernel>(
+        add(std::make_unique<ScatterKernel>(
             lbl("scatter", k), *msg, *dst, *agg,
             ScatterKernel::Reduce::Sum, *alpha));
 
         if (k != cfg.layers - 1) {
             DenseMatrix *act = newMat();
-            kernels.push_back(std::make_unique<ElementwiseKernel>(
+            add(std::make_unique<ElementwiseKernel>(
                 lbl("relu", k), ElementwiseKernel::EwOp::Relu, *agg,
                 *act));
             x = act;
@@ -561,25 +563,25 @@ GnnPipeline::buildSageSpmm()
         const int64_t out_dim = layerOutDim(k);
 
         DenseMatrix *mean = newMat();
-        kernels.push_back(std::make_unique<SpmmKernel>(
+        add(std::make_unique<SpmmKernel>(
             lbl("spmm", k), *a_mean, *x, *mean));
 
         DenseMatrix *w1 = newWeight(in_dim, out_dim, rng);
         DenseMatrix *self_lin = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_self", k), *x, *w1, *self_lin));
         DenseMatrix *w2 = newWeight(in_dim, out_dim, rng);
         DenseMatrix *neigh_lin = newMat();
-        kernels.push_back(std::make_unique<SgemmKernel>(
+        add(std::make_unique<SgemmKernel>(
             lbl("sgemm_neigh", k), *mean, *w2, *neigh_lin));
         DenseMatrix *combined = newMat();
-        kernels.push_back(std::make_unique<ElementwiseKernel>(
+        add(std::make_unique<ElementwiseKernel>(
             lbl("sageAdd", k), *self_lin, *neigh_lin, 1.0f, 1.0f,
             *combined));
 
         if (k != cfg.layers - 1) {
             DenseMatrix *act = newMat();
-            kernels.push_back(std::make_unique<ElementwiseKernel>(
+            add(std::make_unique<ElementwiseKernel>(
                 lbl("relu", k), ElementwiseKernel::EwOp::Relu,
                 *combined, *act));
             x = act;

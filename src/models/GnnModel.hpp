@@ -1,13 +1,17 @@
 /**
  * @file
- * GNN inference pipelines: GCN, GIN and GraphSAGE in both the MP and
- * SpMM computational models, composed from the Table II core kernels
- * exactly as Fig. 2 lays out.
+ * GNN inference pipelines: GCN, GIN, GraphSAGE and GAT in the MP
+ * and SpMM computational models, composed from the Table II core
+ * kernels exactly as Fig. 2 lays out.
  *
  * Construction performs the paper's preprocessing (self-loop
  * insertion, degree normalization, CSR assembly, weight init) and
- * instantiates the ordered kernel list; run() pushes the kernels
- * through an ExecutionEngine.
+ * builds the model's op-graph IR (src/ir/OpGraph): each kernel is a
+ * dataflow node whose dependencies are derived from the buffers it
+ * reads and writes, so independent branches (per-layer weight
+ * transforms, GAT's attention halves, SAGE's self/neighbor GEMMs)
+ * stay visible as parallel structure. run() hands the graph to an
+ * ExecutionEngine, which schedules it in deterministic graph order.
  */
 
 #ifndef GSUITE_MODELS_GNNMODEL_HPP
@@ -19,6 +23,7 @@
 
 #include "engine/ExecutionEngine.hpp"
 #include "graph/Graph.hpp"
+#include "ir/OpGraph.hpp"
 #include "kernels/Kernel.hpp"
 #include "sparse/Csr.hpp"
 #include "tensor/DenseMatrix.hpp"
@@ -26,10 +31,11 @@
 namespace gsuite {
 
 /**
- * The models the suite ships: the paper's three (Section II-C) plus
- * GAT, added through the extendability path (Table III lists GAT
- * among the framework model zoos; its edge-softmax attention
- * exercises a kernel composition none of the other models need).
+ * The models the suite ships: the paper's three — GCN, GIN and
+ * GraphSAGE (Section II-C) — plus GAT (parsed as "gat"), added
+ * through the extendability path (Table III lists GAT among the
+ * framework model zoos; its edge-softmax attention exercises a
+ * kernel composition none of the other models need).
  */
 enum class GnnModelKind {
     Gcn,
@@ -44,7 +50,10 @@ enum class CompModel {
     Spmm,
 };
 
-/** Parse "gcn"/"gin"/"sage" (or "sag"); fatal() on unknown names. */
+/**
+ * Parse "gcn"/"gin"/"gat"/"sage" (also "sag" and "graphsage");
+ * fatal() on unknown names.
+ */
 GnnModelKind gnnModelFromName(const std::string &name);
 
 /** Parse "mp"/"spmm"; fatal() on unknown names. */
@@ -85,14 +94,24 @@ class GnnPipeline
      */
     GnnPipeline(const Graph &graph, const ModelConfig &cfg);
 
-    /** Execute every kernel in order on @p engine. */
+    /**
+     * Execute the pipeline's op-graph on @p engine (deterministic
+     * graph-order scheduling; see ExecutionEngine::run(OpGraph&)).
+     */
     void run(ExecutionEngine &engine);
+
+    /**
+     * The pipeline as a dataflow graph. Valid for the pipeline's
+     * lifetime; feed it to ExecutionEngine::run or compose batches
+     * with OpGraph::merge (the pipeline must outlive the merge).
+     */
+    const OpGraph &opGraph() const { return ops; }
 
     /** Final node embeddings [n x outDim]; valid after run(). */
     const DenseMatrix &output() const { return *outBuf; }
 
     /** Number of kernels in the pipeline. */
-    size_t numKernels() const { return kernels.size(); }
+    size_t numKernels() const { return ops.numNodes(); }
 
     /** Kernel names in execution order (for tests/reports). */
     std::vector<std::string> kernelNames() const;
@@ -115,6 +134,7 @@ class GnnPipeline
     std::vector<std::unique_ptr<std::vector<int64_t>>> idxVecs;
     std::vector<std::unique_ptr<std::vector<float>>> fVecs;
     std::vector<std::unique_ptr<Kernel>> kernels;
+    OpGraph ops; ///< dataflow over `kernels`, built by add()
     std::vector<const DenseMatrix *> weightPtrs;
     DenseMatrix *outBuf = nullptr;
 
@@ -123,6 +143,9 @@ class GnnPipeline
     std::vector<int64_t> *newIdx();
     std::vector<float> *newVec();
     DenseMatrix *newWeight(int64_t in, int64_t out, Rng &rng);
+
+    /** Take ownership of @p k and append it as an op-graph node. */
+    void add(std::unique_ptr<Kernel> k);
 
     /** Width of layer k's input. */
     int64_t layerInDim(int k) const;

@@ -193,8 +193,8 @@ BenchSession::runPoint(const UserParams &params, const Graph &graph)
         static_cast<size_t>(params.runs));
     outcome.kernelSamplesUs.reserve(static_cast<size_t>(params.runs));
     for (int r = 0; r < params.runs; ++r) {
-        const FrameworkRunResult res =
-            adapter.run(graph, params.modelConfig(), *engine);
+        const FrameworkRunResult res = adapter.run(
+            graph, params.modelConfig(), *engine, params.batch);
         sum += res.endToEndUs;
         kernel_sum += res.kernelUs;
         outcome.endToEndSamplesUs.push_back(res.endToEndUs);
@@ -208,8 +208,33 @@ BenchSession::runPoint(const UserParams &params, const Graph &graph)
             outcome.maxEndToEndUs =
                 std::max(outcome.maxEndToEndUs, res.endToEndUs);
         }
-        if (r == params.runs - 1)
+        if (r == params.runs - 1) {
             outcome.timeline = res.timeline;
+            // Deterministic overlap model of the executed op-graph
+            // (identical across runs): how much launch-level
+            // concurrency the dependency structure exposes.
+            if (res.graph.hasSim) {
+                outcome.metrics["graph_serial_cycles"] =
+                    static_cast<double>(res.graph.serialCycles);
+                outcome.metrics["graph_critical_path_cycles"] =
+                    static_cast<double>(
+                        res.graph.criticalPathCycles);
+                outcome.metrics["graph_levels"] =
+                    static_cast<double>(res.graph.levels);
+                // The makespan depends on the lane count, which
+                // "auto" (0) resolves from the host's core count —
+                // emit it only when params pin the lanes, so
+                // archived metrics stay machine-independent (CI
+                // diffs them as blocking-exact).
+                if (params.simParallelLaunches > 0) {
+                    outcome.metrics["graph_makespan_cycles"] =
+                        static_cast<double>(
+                            res.graph.makespanCycles);
+                    outcome.metrics["graph_lanes"] =
+                        static_cast<double>(res.graph.lanes);
+                }
+            }
+        }
     }
     outcome.meanEndToEndUs = sum / params.runs;
     outcome.meanKernelUs = kernel_sum / params.runs;

@@ -39,9 +39,13 @@ struct RunOutcome {
     std::vector<double> kernelSamplesUs;
 
     /**
-     * Named scalar results attached by custom point runners (e.g.
-     * training accuracy, paired-config speedups). Emitted verbatim
-     * by ResultStore::toJson.
+     * Named scalar results. The default runner attaches the
+     * executed op-graph's deterministic overlap model on sim
+     * points (graph_serial_cycles, graph_critical_path_cycles,
+     * graph_makespan_cycles, graph_lanes, graph_levels — see
+     * ExecutionEngine::run(OpGraph&)); custom point runners add
+     * their own (e.g. training accuracy, paired-config speedups).
+     * Emitted verbatim by ResultStore::toJson.
      */
     std::map<std::string, double> metrics;
 

@@ -74,6 +74,16 @@ SweepSpec::variants(std::vector<SweepVariant> vs)
 }
 
 SweepSpec &
+SweepSpec::batches(const std::vector<int> &bs)
+{
+    for (const int b : bs)
+        if (b < 1)
+            fatal("batch axis values must be >= 1 (got %d)", b);
+    batchAxis = bs;
+    return *this;
+}
+
+SweepSpec &
 SweepSpec::gpus(const std::vector<std::string> &specs)
 {
     gpuAxis = specs;
@@ -146,6 +156,9 @@ SweepSpec::expand() const
         engineAxis.empty()
             ? std::vector<EngineKind>{baseParams.engine}
             : engineAxis;
+    const std::vector<int> batches =
+        batchAxis.empty() ? std::vector<int>{baseParams.batch}
+                          : batchAxis;
     std::vector<SweepVariant> vars = variantAxis;
     if (vars.empty())
         vars.push_back(SweepVariant{"", nullptr});
@@ -167,7 +180,7 @@ SweepSpec::expand() const
     std::vector<SweepPoint> points;
     points.reserve(gpus.size() * vars.size() * fws.size() *
                    models.size() * comps.size() * engines.size() *
-                   ds.size());
+                   ds.size() * batches.size());
     for (const std::string &g : gpus) {
       for (const SweepVariant &v : vars) {
         for (const Framework fw : fws) {
@@ -175,6 +188,7 @@ SweepSpec::expand() const
                 for (const CompModel c : comps) {
                     for (const EngineKind e : engines) {
                         for (const std::string &d : ds) {
+                          for (const int b : batches) {
                             UserParams p = baseParams;
                             p.gpu = g;
                             p.framework = fw;
@@ -182,6 +196,7 @@ SweepSpec::expand() const
                             p.comp = c;
                             p.engine = e;
                             p.dataset = d;
+                            p.batch = b;
                             if (v.apply)
                                 v.apply(p);
 
@@ -210,9 +225,12 @@ SweepSpec::expand() const
                                 label += e == EngineKind::Sim
                                              ? "@sim"
                                              : "@functional";
+                            if (batches.size() > 1)
+                                label += "x" + std::to_string(b);
                             pt.label = std::move(label);
                             pt.params = std::move(p);
                             points.push_back(std::move(pt));
+                          }
                         }
                     }
                 }

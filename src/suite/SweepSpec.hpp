@@ -43,8 +43,9 @@ struct SweepPoint {
  * additionally split comma-separated base values, the CLI sweep
  * shorthand), so an empty spec expands to exactly one point.
  * Expansion order is fixed and documented:
- * gpus > variants > frameworks > models > comps > engines > datasets
- * (outermost to innermost), each axis in the order given.
+ * gpus > variants > frameworks > models > comps > engines >
+ * datasets > batches (outermost to innermost), each axis in the
+ * order given.
  */
 class SweepSpec
 {
@@ -61,6 +62,13 @@ class SweepSpec
     SweepSpec &engines(const std::vector<EngineKind> &es);
     SweepSpec &engine(EngineKind e);
     SweepSpec &variants(std::vector<SweepVariant> vs);
+
+    /**
+     * Batched-inference axis: op-graph batch sizes (>= 1 each).
+     * Innermost after datasets; labels gain an "xN" suffix whenever
+     * the axis has more than one value.
+     */
+    SweepSpec &batches(const std::vector<int> &bs);
 
     /**
      * GPU axis: hwdb preset names or "file:PATH" specs, one machine
@@ -102,6 +110,7 @@ class SweepSpec
     std::vector<CompModel> compAxis;
     std::vector<Framework> fwAxis;
     std::vector<EngineKind> engineAxis;
+    std::vector<int> batchAxis;
     std::vector<SweepVariant> variantAxis;
     std::vector<std::function<bool(const UserParams &)>> skips;
 };

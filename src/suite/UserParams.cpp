@@ -42,6 +42,7 @@ UserParams::fromOptions(const OptionSet &opts)
         "config",     "dataset",   "model",       "comp",
         "framework",  "engine",    "layers",      "hidden",
         "outdim",     "gineps",    "runs",        "seed",
+        "batch",
         "profile-caches", "node-div", "edge-div", "feature-cap",
         "csv",        "verbose",   "quiet",
         "sim-threads", "sim-parallel", "sweep-threads",
@@ -92,6 +93,7 @@ UserParams::fromOptions(const OptionSet &opts)
         static_cast<float>(opts.getDouble("gineps", p.ginEps));
     p.runs = static_cast<int>(opts.getInt("runs", p.runs));
     p.seed = static_cast<uint64_t>(opts.getInt("seed", 7));
+    p.batch = static_cast<int>(opts.getInt("batch", p.batch));
     p.profileCaches = opts.getBool("profile-caches", false);
     p.simThreads =
         static_cast<int>(opts.getInt("sim-threads", p.simThreads));
@@ -125,6 +127,8 @@ UserParams::fromOptions(const OptionSet &opts)
         fatal("--layers must be >= 1");
     if (p.runs < 1)
         fatal("--runs must be >= 1");
+    if (p.batch < 1)
+        fatal("--batch must be >= 1");
     if (p.simThreads < 0 || p.simParallelLaunches < 0)
         fatal("--sim-threads/--sim-parallel must be >= 0");
     if (p.sweepThreads < 0)
@@ -202,11 +206,14 @@ UserParams::describe() const
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "%s/%s/%s on %s (%s engine, gpu=%s, L=%d, "
-                  "hidden=%d)",
+                  "hidden=%d%s)",
                   frameworkName(framework), gnnModelName(model),
                   compModelName(comp), dataset.c_str(),
                   engine == EngineKind::Sim ? "sim" : "functional",
-                  gpu.c_str(), layers, hidden);
+                  gpu.c_str(), layers, hidden,
+                  batch > 1
+                      ? (", batch=" + std::to_string(batch)).c_str()
+                      : "");
     return buf;
 }
 

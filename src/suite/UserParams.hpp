@@ -67,6 +67,14 @@ struct UserParams {
     int runs = 3; ///< paper: "run three times; mean values collected"
     uint64_t seed = 7;
 
+    /**
+     * Batched inference: independent pipeline instances composed
+     * into one op-graph per run (OpGraph::merge), their roots
+     * issued concurrently. 1 = the classic single-request pipeline.
+     * Per-replica statistics stay bit-identical to batch=1.
+     */
+    int batch = 1;
+
     bool profileCaches = false;
 
     /**

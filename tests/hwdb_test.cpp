@@ -50,9 +50,9 @@ tinySimBase(const std::string &gpu)
 TEST(HwPresets, RegistryHasTheMachineGenerations)
 {
     const std::vector<std::string> names = sweepableHwPresetNames();
-    ASSERT_GE(names.size(), 4u);
+    ASSERT_GE(names.size(), 5u);
     for (const char *expected :
-         {"v100-sim", "rtx2060s", "p100", "a100"})
+         {"v100-sim", "rtx2060s", "p100", "a100", "h100"})
         EXPECT_NE(findHwPreset(expected), nullptr)
             << "missing preset " << expected;
     for (const HwPreset &p : hwPresets()) {
@@ -60,6 +60,28 @@ TEST(HwPresets, RegistryHasTheMachineGenerations)
         EXPECT_EQ(p.name, p.config.name);
         p.config.validate(); // every preset is a legal machine
     }
+}
+
+TEST(HwPresets, HopperPresetIsValidatedAndRoundTrips)
+{
+    // The ROADMAP'd Hopper-class machine: sanity-check the headline
+    // numbers, the --list-gpus description, and the hwdb
+    // serialize->parse round trip explicitly (RoundTripsEveryPreset
+    // covers it generically; this pins the h100 entry itself).
+    const HwPreset &p = hwPresetByName("h100");
+    EXPECT_NE(p.description.find("Hopper"), std::string::npos);
+    EXPECT_TRUE(p.sweepable);
+    const GpuConfig &c = p.config;
+    c.validate();
+    EXPECT_EQ(c.numSms * c.smSampleFactor, 132); // full GH100
+    EXPECT_EQ(c.l1d.sizeBytes, 256u * 1024);
+    EXPECT_EQ(c.l2.sizeBytes, 50ull * 1024 * 1024);
+    EXPECT_GT(c.dramBytesPerCyclePerSm,
+              hwPresetByName("a100").config.dramBytesPerCyclePerSm);
+    const HwConfig reparsed = parseHwConfigText(
+        serializeGpuConfig(c), "<h100>");
+    EXPECT_TRUE(reparsed.gpu == c);
+    EXPECT_NE(hwPresetTable().find("h100"), std::string::npos);
 }
 
 TEST(HwPresets, LookupIsCaseInsensitiveAndCanonical)

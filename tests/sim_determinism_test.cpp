@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "engine/ExecutionEngine.hpp"
+#include "graph/Generators.hpp"
 #include "kernels/Elementwise.hpp"
+#include "models/GnnModel.hpp"
 #include "kernels/IndexSelect.hpp"
 #include "kernels/Scatter.hpp"
 #include "kernels/Sgemm.hpp"
@@ -275,6 +277,65 @@ TEST(SimDeterminism, ParallelLaunchEngineMatchesSerialEngine)
     ASSERT_EQ(serial.size(), parallel.size());
     for (size_t i = 0; i < serial.size(); ++i)
         expectStatsEqual(serial[i], parallel[i]);
+}
+
+TEST(SimDeterminism, GraphScheduledRunMatchesSerialOnAllFourModels)
+{
+    // run(OpGraph&) — the dependency-scheduled path every pipeline
+    // now takes — must keep every launch's stats bit-identical to
+    // the degenerate per-kernel run(Kernel&) path, for every model
+    // and for serial vs threaded/deferred simulation.
+    Rng rng(99);
+    Graph g = generateErdosRenyi(90, 360, rng);
+    fillFeatures(g, 12, rng);
+
+    const std::vector<std::pair<GnnModelKind, CompModel>> models = {
+        {GnnModelKind::Gcn, CompModel::Spmm},
+        {GnnModelKind::Gin, CompModel::Mp},
+        {GnnModelKind::Sage, CompModel::Mp},
+        {GnnModelKind::Gat, CompModel::Mp}};
+    for (const auto &[model, comp] : models) {
+        ModelConfig cfg;
+        cfg.model = model;
+        cfg.comp = comp;
+        cfg.layers = 2;
+        cfg.hidden = 12;
+        cfg.outDim = 6;
+
+        auto run_one = [&](bool graph_path, int sim_threads,
+                           int parallel) {
+            SimEngine::Options eopts;
+            eopts.gpu = detConfig();
+            eopts.sim.maxCtas = 48;
+            eopts.sim.numThreads = sim_threads;
+            eopts.parallelLaunches = parallel;
+            SimEngine engine(eopts);
+            GnnPipeline p(g, cfg);
+            if (graph_path) {
+                p.run(engine);
+            } else {
+                for (const OpNode &n : p.opGraph().nodes())
+                    engine.run(*n.kernel);
+                engine.sync();
+            }
+            std::vector<KernelStats> stats;
+            for (const auto &rec : engine.timeline()) {
+                EXPECT_TRUE(rec.hasSim);
+                stats.push_back(rec.sim);
+            }
+            return stats;
+        };
+
+        const auto serial = run_one(false, 1, 1);
+        for (const auto &[threads, parallel] :
+             std::vector<std::pair<int, int>>{{1, 1}, {4, 1}, {1, 3}}) {
+            const auto graphed = run_one(true, threads, parallel);
+            ASSERT_EQ(serial.size(), graphed.size())
+                << gnnModelName(model);
+            for (size_t i = 0; i < serial.size(); ++i)
+                expectStatsEqual(serial[i], graphed[i]);
+        }
+    }
 }
 
 TEST(SimDeterminism, FastIssuePathMatchesReferenceOnAllSixKernels)

@@ -129,6 +129,57 @@ TEST(SweepSpec, EngineAxisSuffixesLabels)
     EXPECT_NE(points[1].label.find("@sim"), std::string::npos);
 }
 
+TEST(SweepSpec, BatchAxisExpandsInnermostWithSuffixedLabels)
+{
+    UserParams base;
+    base.dataset = "cora,citeseer";
+    const auto points =
+        SweepSpec{}.base(base).batches({1, 4}).expand();
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].label, "gsuite/gcn/mp/corax1");
+    EXPECT_EQ(points[0].params.batch, 1);
+    EXPECT_EQ(points[1].label, "gsuite/gcn/mp/corax4");
+    EXPECT_EQ(points[1].params.batch, 4);
+    EXPECT_EQ(points[2].label, "gsuite/gcn/mp/citeseerx1");
+    EXPECT_EQ(points[3].params.batch, 4);
+
+    // A single-value axis changes params but not labels.
+    const auto solo = SweepSpec{}.batches({2}).expand();
+    ASSERT_EQ(solo.size(), 1u);
+    EXPECT_EQ(solo[0].params.batch, 2);
+    EXPECT_EQ(solo[0].label, "gsuite/gcn/mp/cora");
+
+    EXPECT_EXIT(SweepSpec{}.batches({0}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(BenchSession, BatchedPointRunsMergedGraph)
+{
+    UserParams p;
+    p.engine = EngineKind::Sim;
+    p.runs = 1;
+    p.featureCap = 8;
+    p.nodeDivisor = 8;
+    p.edgeDivisor = 8;
+    p.maxCtas = 64;
+    const RunOutcome one = BenchSession::runPoint(p);
+    p.batch = 2;
+    const RunOutcome two = BenchSession::runPoint(p);
+    ASSERT_EQ(two.timeline.size(), 2 * one.timeline.size());
+    for (size_t i = 0; i < two.timeline.size(); ++i) {
+        const auto &ref =
+            one.timeline[i % one.timeline.size()].sim;
+        EXPECT_EQ(two.timeline[i].sim.cycles, ref.cycles) << i;
+        EXPECT_EQ(two.timeline[i].sim.warpInstrs, ref.warpInstrs)
+            << i;
+    }
+    // The deterministic overlap metrics ride along in RunOutcome.
+    EXPECT_EQ(two.metrics.at("graph_serial_cycles"),
+              2 * one.metrics.at("graph_serial_cycles"));
+    EXPECT_GE(two.metrics.at("graph_makespan_cycles"),
+              two.metrics.at("graph_critical_path_cycles"));
+}
+
 TEST(BenchSession, SweepThreadInvariance)
 {
     // The acceptance bar: a sweep at --sweep-threads 1 and 4 yields
