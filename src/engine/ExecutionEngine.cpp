@@ -1,6 +1,7 @@
 #include "engine/ExecutionEngine.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "util/Timer.hpp"
 
@@ -37,11 +38,29 @@ ExecutionEngine::run(const OpGraph &graph)
     // deterministic schedule order (device-address assignment and
     // the timeline depend on it); only the deferred timing
     // simulations overlap, joined by sync().
-    for (const OpNode &n : graph.nodes())
-        runKernel(*n.kernel,
-                  partAllocs.empty()
-                      ? alloc
-                      : *partAllocs[static_cast<size_t>(n.part)]);
+    size_t nodeIndex = 0;
+    for (const OpNode &n : graph.nodes()) {
+        try {
+            if (faultHook)
+                faultHook(nodeIndex, *n.kernel);
+            runKernel(*n.kernel,
+                      partAllocs.empty()
+                          ? alloc
+                          : *partAllocs[static_cast<size_t>(
+                                n.part)]);
+        } catch (...) {
+            // Deferred simulations reference operand buffers the
+            // caller may destroy while unwinding; drain them before
+            // propagating the node's failure. A secondary sync
+            // failure must not mask the original error.
+            try {
+                sync();
+            } catch (...) {
+            }
+            throw;
+        }
+        ++nodeIndex;
+    }
     sync();
 
     GraphRunReport report;
@@ -158,17 +177,28 @@ SimEngine::sync()
         laneSims.push_back(std::make_unique<GpuSimulator>(opts.gpu));
     SimOptions lane_opts = opts.sim;
     lane_opts.numThreads = 1;
+    // ThreadPool workers must not unwind; capture per-launch errors
+    // and rethrow the lowest launch index on the calling thread so
+    // the reported failure is independent of lane scheduling.
+    std::vector<std::exception_ptr> errors(pending.size());
     simPool->parallelFor(
         pending.size(), [&](size_t i, int lane) {
             GpuSimulator &lane_sim =
                 lane == 0 ? sim
                           : *laneSims[static_cast<size_t>(lane - 1)];
             PendingSim &p = pending[i];
-            records[p.recordIndex].sim =
-                lane_sim.run(p.launch, lane_opts);
-            records[p.recordIndex].hasSim = true;
+            try {
+                records[p.recordIndex].sim =
+                    lane_sim.run(p.launch, lane_opts);
+                records[p.recordIndex].hasSim = true;
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
         });
     pending.clear();
+    for (std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
 }
 
 } // namespace gsuite

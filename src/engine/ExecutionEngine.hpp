@@ -12,6 +12,7 @@
 #ifndef GSUITE_ENGINE_EXECUTIONENGINE_HPP
 #define GSUITE_ENGINE_EXECUTIONENGINE_HPP
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,6 +90,22 @@ class ExecutionEngine
      */
     virtual void sync() {}
 
+    /**
+     * Install a hook called before each node of run(OpGraph&) with
+     * the node's schedule index and kernel. Fault-injection layers
+     * throw RunException(RunError::FaultInjected) from it to
+     * exercise the engine's failure-propagation path; the engine
+     * drains deferred work before rethrowing so unwinding never
+     * leaves simulations referencing dead operand buffers.
+     * Pass nullptr to clear.
+     */
+    void
+    setFaultHook(
+        std::function<void(size_t, const Kernel &)> hook)
+    {
+        faultHook = std::move(hook);
+    }
+
     /** Summary of the most recent run(OpGraph&) call. */
     const GraphRunReport &lastGraphReport() const
     {
@@ -137,6 +154,7 @@ class ExecutionEngine
     std::vector<KernelRecord> records;
     DeviceAllocator alloc;
     GraphRunReport graphReport;
+    std::function<void(size_t, const Kernel &)> faultHook;
 };
 
 /** Host-execution engine with optional hardware cache profiling. */

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic fault-injection plans — the failure half of the hwdb
+ * subsystem. A FaultPlan describes *when the machine misbehaves*
+ * the same way a GpuConfig describes how fast it runs: seeded rates
+ * of kernel failures, device stalls and memory-pressure windows,
+ * plus fixed events pinned to exact simulated cycles. Plans are
+ * hwdb-style "fault.*" key files that round-trip through
+ * parse/serialize exactly like GPU configs, and resolve from CLI
+ * specs ("none", "light", "heavy", "file:PATH") the way --gpu specs
+ * do.
+ *
+ * Expansion is pure: FaultPlan::events(horizon) returns the same
+ * event list for the same (plan, horizon) on every call, thread
+ * count and run — the serving simulation's degradation paths are
+ * exercised reproducibly, never raced.
+ */
+
+#ifndef GSUITE_HWDB_FAULTPLAN_HPP
+#define GSUITE_HWDB_FAULTPLAN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsuite {
+
+/** What kind of machine misbehavior an event models. */
+enum class FaultKind {
+    KernelFailure, ///< one in-flight request's kernel fails
+    DeviceStall,   ///< the device makes no progress for a window
+    MemPressure,   ///< part of device memory is unavailable
+};
+
+/** Stable lowercase name ("kernel-fail", "stall", "mem-pressure"). */
+const char *faultKindName(FaultKind k);
+
+/** Inverse of faultKindName; fatal() on unknown names. */
+FaultKind faultKindFromName(const std::string &name);
+
+/** One fault occurrence at a simulated cycle. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::KernelFailure;
+    uint64_t cycle = 0;
+    /** Window length (stall / mem-pressure); 0 for kernel-fail. */
+    uint64_t durationCycles = 0;
+    /** Mem-pressure: fraction of the budget withheld, in [0, 1]. */
+    double magnitude = 0.0;
+
+    bool operator==(const FaultEvent &o) const
+    {
+        return kind == o.kind && cycle == o.cycle &&
+               durationCycles == o.durationCycles &&
+               magnitude == o.magnitude;
+    }
+    bool operator!=(const FaultEvent &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** A complete, reproducible fault schedule description. */
+struct FaultPlan {
+    std::string name = "none";
+    uint64_t seed = 1;
+
+    // Seeded-Poisson event rates, per million simulated cycles.
+    double kernelFailPerMcycle = 0.0;
+    double stallPerMcycle = 0.0;
+    double memPressurePerMcycle = 0.0;
+
+    /** Window length of each generated stall event. */
+    uint64_t stallCycles = 20'000;
+    /** Window length of each generated mem-pressure event. */
+    uint64_t memPressureCycles = 200'000;
+    /** Budget fraction each generated mem-pressure event withholds. */
+    double memPressureFraction = 0.5;
+
+    /** Events pinned to exact cycles on top of the seeded rates. */
+    std::vector<FaultEvent> fixedEvents;
+
+    /** No rates and no fixed events: nothing will ever fire. */
+    bool empty() const;
+
+    /**
+     * Expand the plan over [0, horizonCycles): seeded-Poisson draws
+     * per kind (independent streams forked from `seed`) merged with
+     * the fixed events, sorted by (cycle, kind). Pure — identical
+     * output for identical inputs.
+     */
+    std::vector<FaultEvent> events(uint64_t horizonCycles) const;
+
+    bool operator==(const FaultPlan &o) const;
+    bool operator!=(const FaultPlan &o) const { return !(*this == o); }
+
+    /** fatal() unless rates/durations/fractions are in range. */
+    void validate() const;
+};
+
+/** Parse hwdb-style "fault.*" key text; fatal() with origin:line on
+ *  unknown keys or ill-typed values. */
+FaultPlan parseFaultPlanText(const std::string &text,
+                             const std::string &origin);
+
+/** parseFaultPlanText over a file. */
+FaultPlan parseFaultPlanFile(const std::string &path);
+
+/** Canonical key-file rendering; parse(serialize(p)) == p. */
+std::string serializeFaultPlan(const FaultPlan &plan);
+
+/** True if @p spec names an on-disk plan ("file:PATH"). */
+bool isFileFaultPlanSpec(const std::string &spec);
+
+/**
+ * Resolve one fault-plan spec — a named preset ("none", "light",
+ * "heavy") or "file:PATH" — to a validated plan. fatal() on unknown
+ * names, unreadable files, or a comma list (expand sweeps first).
+ */
+FaultPlan resolveFaultPlanSpec(const std::string &spec);
+
+/**
+ * Normalize a CLI --fault-plan value into the ordered spec list a
+ * sweep runs over: splits on commas, canonicalizes preset names and
+ * validates every component (expandGpuSpecs-style).
+ */
+std::vector<std::string>
+expandFaultPlanSpecs(const std::string &specList);
+
+} // namespace gsuite
+
+#endif // GSUITE_HWDB_FAULTPLAN_HPP

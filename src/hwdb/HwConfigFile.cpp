@@ -7,6 +7,7 @@
 
 #include "frameworks/FrameworkAdapter.hpp"
 #include "hwdb/HwPresets.hpp"
+#include "hwdb/KeyValueFile.hpp"
 #include "util/Logging.hpp"
 #include "util/StringUtils.hpp"
 
@@ -27,22 +28,6 @@ struct KeyDef {
                        const std::string &origin)>
         set;
 };
-
-std::string
-fmtTrimmedDouble(double v)
-{
-    // Shortest representation that round-trips a double exactly.
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    double reparsed;
-    for (int prec = 1; prec < 17; ++prec) {
-        char probe[64];
-        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
-        if (parseDouble(probe, reparsed) && reparsed == v)
-            return probe;
-    }
-    return buf;
-}
 
 int64_t
 parseIntOrDie(const char *key, const std::string &value,
@@ -359,21 +344,6 @@ applyOverheadKey(HwConfig &hw, const std::string &key,
     return true;
 }
 
-/**
- * Strip trailing "# ..." comments. '#' only starts a comment at the
- * line start or after whitespace, so a value like "name RTX#2060"
- * survives the serialize -> parse round trip.
- */
-std::string
-stripComment(const std::string &line)
-{
-    for (size_t i = 0; i < line.size(); ++i)
-        if (line[i] == '#' &&
-            (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t'))
-            return line.substr(0, i);
-    return line;
-}
-
 void
 checkDerivedSets(const GpuConfig &cfg, const char *key,
                  const CacheGeometry &geom, int64_t claimed,
@@ -404,40 +374,14 @@ parseHwConfigText(const std::string &text, const std::string &origin)
     bool sawKey = false;
     int64_t claimedL1Sets = -1, claimedL2Sets = -1;
 
-    std::istringstream in(text);
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        std::string t = trim(stripComment(line));
-        if (t.empty() || t[0] == ';')
-            continue;
-        if (t[0] == '-')
-            t = trim(t.substr(1)); // gpgpusim "-key value" flavour
-
-        // Split into key and value on '=' or the first whitespace.
-        std::string key, value;
-        const size_t eq = t.find('=');
-        if (eq != std::string::npos) {
-            key = trim(t.substr(0, eq));
-            value = trim(t.substr(eq + 1));
-        } else {
-            const size_t sp = t.find_first_of(" \t");
-            if (sp == std::string::npos)
-                fatal("%s:%d: expected 'key value' or 'key=value', "
-                      "got '%s'",
-                      origin.c_str(), lineno, t.c_str());
-            key = trim(t.substr(0, sp));
-            value = trim(t.substr(sp + 1));
-        }
-        if (key.empty() || value.empty())
-            fatal("%s:%d: empty key or value in '%s'", origin.c_str(),
-                  lineno, t.c_str());
+    for (const KeyValueLine &kv : parseKeyValueText(text, origin)) {
+        const std::string &key = kv.key;
+        const std::string &value = kv.value;
 
         if (key == "base") {
             if (sawKey)
                 fatal("%s:%d: 'base' must precede every other key",
-                      origin.c_str(), lineno);
+                      origin.c_str(), kv.lineno);
             hw.gpu = hwPresetByName(value).config;
             continue;
         }
@@ -450,11 +394,11 @@ parseHwConfigText(const std::string &text, const std::string &origin)
         if (!def)
             fatal("%s:%d: unknown key '%s' (see src/hwdb/README.md "
                   "for the key table)",
-                  origin.c_str(), lineno, key.c_str());
+                  origin.c_str(), kv.lineno, key.c_str());
         def->set(hw.gpu, value, origin);
-        if (key == std::string("l1d.sets"))
+        if (key == "l1d.sets")
             parseInt(value, claimedL1Sets);
-        else if (key == std::string("l2.sets"))
+        else if (key == "l2.sets")
             parseInt(value, claimedL2Sets);
     }
 

@@ -249,11 +249,24 @@ OpGraph::makespan(const std::vector<uint64_t> &costs, int lanes) const
     // reusing one lane instead of smearing idle gaps across all of
     // them (lanes are work-conserving launch queues). All lanes are
     // identical, so a multiset of lane-free times suffices.
+    const std::vector<uint64_t> finish = finishTimes(costs, lanes);
+    uint64_t end = 0;
+    for (const uint64_t f : finish)
+        end = std::max(end, f);
+    return end;
+}
+
+std::vector<uint64_t>
+OpGraph::finishTimes(const std::vector<uint64_t> &costs,
+                     int lanes) const
+{
+    panicIf(costs.size() != nodeList.size(),
+            "OpGraph: one cost per node required");
+    panicIf(lanes < 1, "OpGraph::finishTimes needs at least one lane");
     std::vector<uint64_t> finish(nodeList.size(), 0);
     std::multiset<uint64_t> laneFree;
     for (int l = 0; l < lanes; ++l)
         laneFree.insert(0);
-    uint64_t end = 0;
     for (const OpNode &n : nodeList) {
         uint64_t ready = 0;
         for (const size_t d : n.deps)
@@ -265,9 +278,8 @@ OpGraph::makespan(const std::vector<uint64_t> &costs, int lanes) const
         laneFree.erase(lane);
         finish[n.index] = start + costs[n.index];
         laneFree.insert(finish[n.index]);
-        end = std::max(end, finish[n.index]);
     }
-    return end;
+    return finish;
 }
 
 } // namespace gsuite

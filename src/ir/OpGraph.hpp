@@ -180,6 +180,15 @@ class OpGraph
     uint64_t makespan(const std::vector<uint64_t> &costs,
                       int lanes) const;
 
+    /**
+     * The per-node finish times of the makespan() list schedule (the
+     * makespan is their maximum). Serving-layer batch models replay
+     * this schedule over profiled per-class costs; exposing the
+     * ground truth lets tests pin those replays to the IR exactly.
+     */
+    std::vector<uint64_t>
+    finishTimes(const std::vector<uint64_t> &costs, int lanes) const;
+
   private:
     struct BufferState {
         size_t lastWriter = kNoNode;

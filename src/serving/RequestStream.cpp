@@ -1,0 +1,326 @@
+#include "serving/RequestStream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwdb/KeyValueFile.hpp"
+#include "util/Logging.hpp"
+#include "util/Random.hpp"
+#include "util/StringUtils.hpp"
+
+namespace gsuite {
+
+namespace {
+
+[[noreturn]] void
+specError(const std::string &spec, const char *why)
+{
+    fatal("bad arrival spec '%s': %s (grammar: "
+          "poisson[:rate=R] | bursty[:rate=R;on=F;period=C] | "
+          "trace:file=PATH)",
+          spec.c_str(), why);
+}
+
+double
+totalWeight(const std::vector<RequestProfile> &profiles)
+{
+    double total = 0.0;
+    for (const RequestProfile &p : profiles) {
+        if (p.weight < 0.0)
+            fatal("request-profile weights must be >= 0");
+        total += p.weight;
+    }
+    if (total <= 0.0)
+        fatal("request profiles need a positive total weight");
+    return total;
+}
+
+/** Weighted profile draw — one rng call per request. */
+int
+drawProfile(Rng &rng, const std::vector<RequestProfile> &profiles,
+            double total)
+{
+    double x = rng.nextDouble() * total;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        x -= profiles[i].weight;
+        if (x < 0.0)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(profiles.size() - 1);
+}
+
+/**
+ * Spec-canonical number: integral values render without an
+ * exponent ("80", not the shortest-round-trip "8e+01").
+ */
+std::string
+fmtSpecDouble(double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v)))
+        return std::to_string(static_cast<long long>(v));
+    return fmtTrimmedDouble(v);
+}
+
+Request
+makeRequest(uint64_t id, uint64_t cycle, int profileIndex,
+            const RequestProfile &profile)
+{
+    Request r;
+    r.id = id;
+    r.profile = profileIndex;
+    r.classIndex = profile.classIndex;
+    r.priority = profile.priority;
+    r.arrivalCycle = cycle;
+    if (profile.sloCycles > 0)
+        r.deadlineCycle = cycle + profile.sloCycles;
+    return r;
+}
+
+std::vector<Request>
+replayTrace(const std::string &path,
+            const std::vector<RequestProfile> &profiles,
+            uint64_t horizonCycles)
+{
+    std::vector<Request> out;
+    for (const KeyValueLine &kv : parseKeyValueFile(path)) {
+        int64_t cycle;
+        if (!parseInt(kv.key, cycle) || cycle < 0)
+            fatal("%s:%d: trace lines are "
+                  "'cycle profileIndex [priority]', got '%s %s'",
+                  path.c_str(), kv.lineno, kv.key.c_str(),
+                  kv.value.c_str());
+        std::vector<std::string> fields;
+        for (const std::string &f : split(kv.value, ' '))
+            if (!trim(f).empty())
+                fields.push_back(trim(f));
+        if (fields.empty() || fields.size() > 2)
+            fatal("%s:%d: trace lines are "
+                  "'cycle profileIndex [priority]'",
+                  path.c_str(), kv.lineno);
+        int64_t profile;
+        if (!parseInt(trim(fields[0]), profile) || profile < 0 ||
+            static_cast<size_t>(profile) >= profiles.size())
+            fatal("%s:%d: profile index '%s' out of range (%zu "
+                  "profiles)",
+                  path.c_str(), kv.lineno, fields[0].c_str(),
+                  profiles.size());
+        if (static_cast<uint64_t>(cycle) >= horizonCycles)
+            continue;
+        Request r = makeRequest(
+            out.size(), static_cast<uint64_t>(cycle),
+            static_cast<int>(profile),
+            profiles[static_cast<size_t>(profile)]);
+        if (fields.size() == 2) {
+            int64_t prio;
+            if (!parseInt(trim(fields[1]), prio))
+                fatal("%s:%d: trace priority must be an integer",
+                      path.c_str(), kv.lineno);
+            r.priority = static_cast<int>(prio);
+        }
+        out.push_back(r);
+    }
+    // Traces may be written out of order; arrivals must not be.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrivalCycle < b.arrivalCycle;
+                     });
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i].id = i;
+    return out;
+}
+
+} // namespace
+
+const char *
+arrivalKindName(ArrivalKind k)
+{
+    switch (k) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty: return "bursty";
+      case ArrivalKind::Trace: return "trace";
+    }
+    panic("unknown ArrivalKind");
+}
+
+std::string
+ArrivalSpec::describe() const
+{
+    switch (kind) {
+      case ArrivalKind::Poisson:
+        return "poisson:rate=" + fmtSpecDouble(ratePerMcycle);
+      case ArrivalKind::Bursty:
+        return "bursty:rate=" + fmtSpecDouble(ratePerMcycle) +
+               ";on=" + fmtSpecDouble(onFraction) +
+               ";period=" + std::to_string(periodCycles);
+      case ArrivalKind::Trace:
+        return "trace:file=" + tracePath;
+    }
+    panic("unknown ArrivalKind");
+}
+
+void
+ArrivalSpec::validate() const
+{
+    if (kind == ArrivalKind::Trace) {
+        if (tracePath.empty())
+            fatal("trace arrival spec needs file=PATH");
+        return;
+    }
+    if (ratePerMcycle <= 0.0)
+        fatal("arrival rate must be > 0 per Mcycle");
+    if (kind == ArrivalKind::Bursty) {
+        if (onFraction <= 0.0 || onFraction > 1.0)
+            fatal("bursty on-fraction must be in (0, 1]");
+        if (periodCycles == 0)
+            fatal("bursty period must be > 0 cycles");
+    }
+}
+
+ArrivalSpec
+parseArrivalSpec(const std::string &spec)
+{
+    const std::string s = trim(spec);
+    const size_t colon = s.find(':');
+    const std::string head =
+        toLower(trim(colon == std::string::npos
+                         ? s
+                         : s.substr(0, colon)));
+
+    ArrivalSpec out;
+    if (head == "poisson")
+        out.kind = ArrivalKind::Poisson;
+    else if (head == "bursty")
+        out.kind = ArrivalKind::Bursty;
+    else if (head == "trace")
+        out.kind = ArrivalKind::Trace;
+    else
+        specError(spec, "unknown arrival kind");
+
+    if (colon != std::string::npos) {
+        for (const std::string &param :
+             split(s.substr(colon + 1), ';')) {
+            const size_t eq = param.find('=');
+            if (eq == std::string::npos)
+                specError(spec, "parameters are key=value");
+            const std::string key = toLower(trim(param.substr(0, eq)));
+            const std::string value = trim(param.substr(eq + 1));
+            if (key == "rate") {
+                if (!parseDouble(value, out.ratePerMcycle))
+                    specError(spec, "rate expects a number");
+            } else if (key == "on") {
+                if (!parseDouble(value, out.onFraction))
+                    specError(spec, "on expects a number");
+            } else if (key == "period") {
+                int64_t v;
+                if (!parseInt(value, v) || v <= 0)
+                    specError(spec,
+                              "period expects a positive integer");
+                out.periodCycles = static_cast<uint64_t>(v);
+            } else if (key == "file") {
+                if (value.empty())
+                    specError(spec, "file expects a path");
+                out.tracePath = value;
+            } else {
+                specError(spec, "unknown parameter");
+            }
+        }
+    }
+    out.validate();
+    return out;
+}
+
+std::vector<std::string>
+expandArrivalSpecs(const std::string &list)
+{
+    std::vector<std::string> out;
+    for (const std::string &part : split(list, ',')) {
+        if (trim(part).empty())
+            fatal("--arrivals has an empty component in '%s'",
+                  list.c_str());
+        const std::string canonical =
+            parseArrivalSpec(part).describe();
+        if (std::find(out.begin(), out.end(), canonical) ==
+            out.end())
+            out.push_back(canonical);
+    }
+    if (out.empty())
+        fatal("--arrivals must name at least one arrival spec");
+    return out;
+}
+
+std::vector<double>
+expandSloUsList(const std::string &list)
+{
+    std::vector<double> out;
+    for (const std::string &part : split(list, ',')) {
+        const std::string s = trim(part);
+        if (s.empty())
+            fatal("--slo-us has an empty component in '%s'",
+                  list.c_str());
+        double v;
+        if (!parseDouble(s, v) || v <= 0.0)
+            fatal("--slo-us components must be positive "
+                  "microseconds, got '%s'",
+                  s.c_str());
+        if (std::find(out.begin(), out.end(), v) == out.end())
+            out.push_back(v);
+    }
+    if (out.empty())
+        fatal("--slo-us must name at least one deadline");
+    return out;
+}
+
+std::vector<Request>
+generateArrivals(const ArrivalSpec &spec,
+                 const std::vector<RequestProfile> &profiles,
+                 uint64_t horizonCycles, uint64_t seed)
+{
+    spec.validate();
+    if (profiles.empty())
+        fatal("generateArrivals needs at least one profile");
+    if (spec.kind == ArrivalKind::Trace)
+        return replayTrace(spec.tracePath, profiles, horizonCycles);
+
+    const double total = totalWeight(profiles);
+    Rng rng(seed);
+    std::vector<Request> out;
+
+    // Draw exponential gaps in *active* time, then map to wall
+    // cycles. Poisson is the identity map; bursty compresses each
+    // period's arrivals into its leading on-window, preserving the
+    // long-run offered rate while hammering the queue periodically.
+    const double mean_gap = 1e6 / spec.ratePerMcycle;
+    const double active_per_period =
+        spec.kind == ArrivalKind::Bursty
+            ? spec.onFraction *
+                  static_cast<double>(spec.periodCycles)
+            : 0.0;
+    double t = 0.0;
+    for (;;) {
+        t += -std::log(1.0 - rng.nextDouble()) * mean_gap;
+        uint64_t cycle;
+        if (spec.kind == ArrivalKind::Bursty) {
+            const double period =
+                std::floor(t / active_per_period);
+            const double offset =
+                t - period * active_per_period;
+            const double wall =
+                period * static_cast<double>(spec.periodCycles) +
+                offset;
+            if (wall >= static_cast<double>(horizonCycles))
+                break;
+            cycle = static_cast<uint64_t>(wall);
+        } else {
+            if (t >= static_cast<double>(horizonCycles))
+                break;
+            cycle = static_cast<uint64_t>(t);
+        }
+        const int profile = drawProfile(rng, profiles, total);
+        out.push_back(makeRequest(
+            out.size(), cycle, profile,
+            profiles[static_cast<size_t>(profile)]));
+    }
+    return out;
+}
+
+} // namespace gsuite

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic request-stream generation for the serving simulator:
+ * seeded Poisson and bursty arrival processes, plus trace-file
+ * replay, over a weighted mix of request profiles (model x dataset x
+ * priority x SLO classes). A (spec, profiles, horizon, seed) tuple
+ * fully determines the stream — same inputs, bit-identical requests,
+ * on any thread count.
+ *
+ * Arrival specs are CLI-composable the way --gpu specs are: ','
+ * separates sweep components, ';' separates parameters *inside* one
+ * spec ("poisson:rate=40,bursty:rate=80;on=0.25;period=500000"), so
+ * serving profiles cross with GPU sweeps without a quoting war.
+ */
+
+#ifndef GSUITE_SERVING_REQUESTSTREAM_HPP
+#define GSUITE_SERVING_REQUESTSTREAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsuite {
+
+/** How request arrival times are produced. */
+enum class ArrivalKind {
+    Poisson, ///< exponential inter-arrival gaps at a fixed rate
+    Bursty,  ///< Poisson compressed into periodic on-windows
+    Trace,   ///< replayed from an on-disk arrival trace
+};
+
+/** Stable lowercase name ("poisson", "bursty", "trace"). */
+const char *arrivalKindName(ArrivalKind k);
+
+/** One parsed arrival process description. */
+struct ArrivalSpec {
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Mean arrivals per million cycles (poisson, bursty). */
+    double ratePerMcycle = 40.0;
+    /** Fraction of each period that receives arrivals (bursty). */
+    double onFraction = 0.25;
+    /** Burst period length in cycles (bursty). */
+    uint64_t periodCycles = 1'000'000;
+    /** Arrival trace path (trace). */
+    std::string tracePath;
+
+    /** Canonical spec string; parse(describe()) == *this. */
+    std::string describe() const;
+
+    bool operator==(const ArrivalSpec &o) const
+    {
+        return kind == o.kind && ratePerMcycle == o.ratePerMcycle &&
+               onFraction == o.onFraction &&
+               periodCycles == o.periodCycles &&
+               tracePath == o.tracePath;
+    }
+
+    /** fatal() unless rates/fractions/periods are in range. */
+    void validate() const;
+};
+
+/**
+ * Parse one arrival spec: "kind" or "kind:key=val;key=val" with keys
+ * rate (per Mcycle), on (fraction), period (cycles), file (trace
+ * path). fatal() with the known grammar on errors.
+ */
+ArrivalSpec parseArrivalSpec(const std::string &spec);
+
+/**
+ * Normalize a CLI --arrivals value into the ordered, deduplicated
+ * spec list a sweep runs over (expandGpuSpecs-style): split on ',',
+ * parse + validate + canonicalize each component.
+ */
+std::vector<std::string> expandArrivalSpecs(const std::string &list);
+
+/**
+ * Parse a CLI --slo-us value: a comma-separated list of positive
+ * microsecond deadlines, validated and deduplicated in order.
+ */
+std::vector<double> expandSloUsList(const std::string &list);
+
+/** One request class in the offered mix. */
+struct RequestProfile {
+    /** Index into the serving scheduler's ClassCost table. */
+    int classIndex = 0;
+    /** Relative share of the offered stream. */
+    double weight = 1.0;
+    /** Higher = more important (admission and shed order). */
+    int priority = 0;
+    /** Deadline = arrival + sloCycles; 0 = no deadline. */
+    uint64_t sloCycles = 0;
+};
+
+/** One inference request in flight. */
+struct Request {
+    uint64_t id = 0;
+    int profile = 0;    ///< index into the profile table
+    int classIndex = 0; ///< resolved from the profile
+    int priority = 0;
+    uint64_t arrivalCycle = 0;
+    uint64_t deadlineCycle = ~uint64_t{0}; ///< ~0 = no deadline
+    int attempts = 0; ///< dispatch attempts so far (retry policy)
+
+    bool operator==(const Request &o) const
+    {
+        return id == o.id && profile == o.profile &&
+               classIndex == o.classIndex &&
+               priority == o.priority &&
+               arrivalCycle == o.arrivalCycle &&
+               deadlineCycle == o.deadlineCycle &&
+               attempts == o.attempts;
+    }
+};
+
+/**
+ * Expand an arrival process over [0, horizonCycles): seeded draws
+ * (or trace replay) with profiles assigned by weighted draw, ids
+ * assigned in arrival order. Pure and deterministic. Trace-file
+ * lines are "cycle profileIndex [priority]" ('#' comments); traced
+ * priorities override the profile's.
+ */
+std::vector<Request>
+generateArrivals(const ArrivalSpec &spec,
+                 const std::vector<RequestProfile> &profiles,
+                 uint64_t horizonCycles, uint64_t seed);
+
+} // namespace gsuite
+
+#endif // GSUITE_SERVING_REQUESTSTREAM_HPP

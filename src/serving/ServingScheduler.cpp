@@ -1,0 +1,691 @@
+#include "serving/ServingScheduler.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "engine/ExecutionEngine.hpp"
+#include "hwdb/KeyValueFile.hpp"
+#include "models/GnnModel.hpp"
+#include "util/Logging.hpp"
+#include "util/StringUtils.hpp"
+
+namespace gsuite {
+
+// ---------------------------------------------------------------------------
+// Class costs
+
+ClassCost
+classCostFromGraph(const OpGraph &graph,
+                   const std::vector<uint64_t> &costs,
+                   std::string name, uint64_t memBytes)
+{
+    panicIf(costs.size() != graph.numNodes(),
+            "classCostFromGraph: one cost per node required");
+    ClassCost cc;
+    cc.name = std::move(name);
+    cc.nodeCycles = costs;
+    cc.memBytes = memBytes;
+    cc.preds.resize(graph.numNodes());
+    for (const OpNode &n : graph.nodes()) {
+        for (const size_t d : n.deps)
+            cc.preds[n.index].push_back(static_cast<int>(d));
+        cc.serialCycles += costs[n.index];
+    }
+    return cc;
+}
+
+ClassCost
+profileClass(std::string name, const Graph &graph,
+             const ModelConfig &cfg, const GpuConfig &gpu,
+             const SimOptions &sim)
+{
+    GnnPipeline pipeline(graph, cfg);
+    SimEngine::Options opts;
+    opts.gpu = gpu;
+    opts.sim = sim;
+    opts.parallelLaunches = 1;
+    SimEngine engine(opts);
+    engine.run(pipeline.opGraph());
+    const std::vector<KernelRecord> &timeline = engine.timeline();
+    panicIf(timeline.size() != pipeline.opGraph().numNodes(),
+            "profileClass: timeline/graph size mismatch");
+    std::vector<uint64_t> costs;
+    costs.reserve(timeline.size());
+    for (const KernelRecord &rec : timeline) {
+        panicIf(!rec.hasSim, "profileClass needs simulated records");
+        costs.push_back(rec.sim.cycles);
+    }
+    return classCostFromGraph(pipeline.opGraph(), costs,
+                              std::move(name),
+                              engine.allocator().bytesAllocated());
+}
+
+// ---------------------------------------------------------------------------
+// Policy
+
+bool
+ServingPolicy::operator==(const ServingPolicy &o) const
+{
+    return name == o.name && lanes == o.lanes &&
+           memBudgetBytes == o.memBudgetBytes &&
+           queueCapacity == o.queueCapacity &&
+           maxBatch == o.maxBatch && maxRetries == o.maxRetries &&
+           retryBackoffCycles == o.retryBackoffCycles &&
+           retryBudget == o.retryBudget && degrade == o.degrade;
+}
+
+void
+ServingPolicy::validate() const
+{
+    if (name.empty())
+        fatal("serving policy name must not be empty");
+    if (lanes < 1)
+        fatal("serving policy '%s': lanes must be >= 1",
+              name.c_str());
+    if (queueCapacity < 1)
+        fatal("serving policy '%s': queue capacity must be >= 1",
+              name.c_str());
+    if (maxBatch < 1)
+        fatal("serving policy '%s': max batch must be >= 1",
+              name.c_str());
+    if (maxRetries < 0 || retryBudget < 0)
+        fatal("serving policy '%s': retry knobs must be >= 0",
+              name.c_str());
+    if (maxRetries > 0 && retryBackoffCycles == 0)
+        fatal("serving policy '%s': retry backoff must be > 0 when "
+              "retries are enabled",
+              name.c_str());
+    if (degrade.fallbackQueueDepth < 0)
+        fatal("serving policy '%s': fallback queue depth must be "
+              ">= 0",
+              name.c_str());
+}
+
+ServingPolicy
+parseServingPolicyText(const std::string &text,
+                       const std::string &origin)
+{
+    ServingPolicy p;
+    auto intKey = [&](const char *key, const std::string &v,
+                      int lineno) {
+        int64_t out;
+        if (!parseInt(v, out))
+            fatal("%s:%d: key '%s' expects an integer, got '%s'",
+                  origin.c_str(), lineno, key, v.c_str());
+        return out;
+    };
+    auto boolKey = [&](const char *key, const std::string &v,
+                       int lineno) {
+        bool out;
+        if (!parseBool(v, out))
+            fatal("%s:%d: key '%s' expects a boolean, got '%s'",
+                  origin.c_str(), lineno, key, v.c_str());
+        return out;
+    };
+    for (const KeyValueLine &kv : parseKeyValueText(text, origin)) {
+        const std::string &v = kv.value;
+        if (kv.key == "name")
+            p.name = v;
+        else if (kv.key == "serving.lanes")
+            p.lanes = static_cast<int>(
+                intKey("serving.lanes", v, kv.lineno));
+        else if (kv.key == "serving.mem_budget_bytes")
+            p.memBudgetBytes = static_cast<uint64_t>(intKey(
+                "serving.mem_budget_bytes", v, kv.lineno));
+        else if (kv.key == "serving.queue_capacity")
+            p.queueCapacity = static_cast<int>(
+                intKey("serving.queue_capacity", v, kv.lineno));
+        else if (kv.key == "serving.max_batch")
+            p.maxBatch = static_cast<int>(
+                intKey("serving.max_batch", v, kv.lineno));
+        else if (kv.key == "serving.max_retries")
+            p.maxRetries = static_cast<int>(
+                intKey("serving.max_retries", v, kv.lineno));
+        else if (kv.key == "serving.retry_backoff_cycles")
+            p.retryBackoffCycles = static_cast<uint64_t>(intKey(
+                "serving.retry_backoff_cycles", v, kv.lineno));
+        else if (kv.key == "serving.retry_budget")
+            p.retryBudget = static_cast<int>(
+                intKey("serving.retry_budget", v, kv.lineno));
+        else if (kv.key == "serving.degrade.shrink_batch")
+            p.degrade.shrinkBatchUnderPressure = boolKey(
+                "serving.degrade.shrink_batch", v, kv.lineno);
+        else if (kv.key == "serving.degrade.shed_lowest_priority")
+            p.degrade.shedLowestPriority =
+                boolKey("serving.degrade.shed_lowest_priority", v,
+                        kv.lineno);
+        else if (kv.key == "serving.degrade.fallback_queue_depth")
+            p.degrade.fallbackQueueDepth = static_cast<int>(
+                intKey("serving.degrade.fallback_queue_depth", v,
+                       kv.lineno));
+        else
+            fatal("%s:%d: unknown serving-policy key '%s' (see "
+                  "src/serving/README.md for the key table)",
+                  origin.c_str(), kv.lineno, kv.key.c_str());
+    }
+    p.validate();
+    return p;
+}
+
+ServingPolicy
+parseServingPolicyFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open serving-policy file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseServingPolicyText(text.str(), path);
+}
+
+std::string
+serializeServingPolicy(const ServingPolicy &p)
+{
+    std::string out = "# gSuite serving policy\n";
+    out += "name " + p.name + "\n";
+    out += "serving.lanes " + std::to_string(p.lanes) + "\n";
+    out += "serving.mem_budget_bytes " +
+           std::to_string(p.memBudgetBytes) + "\n";
+    out += "serving.queue_capacity " +
+           std::to_string(p.queueCapacity) + "\n";
+    out += "serving.max_batch " + std::to_string(p.maxBatch) + "\n";
+    out += "serving.max_retries " + std::to_string(p.maxRetries) +
+           "\n";
+    out += "serving.retry_backoff_cycles " +
+           std::to_string(p.retryBackoffCycles) + "\n";
+    out += "serving.retry_budget " + std::to_string(p.retryBudget) +
+           "\n";
+    out += std::string("serving.degrade.shrink_batch ") +
+           (p.degrade.shrinkBatchUnderPressure ? "true" : "false") +
+           "\n";
+    out += std::string("serving.degrade.shed_lowest_priority ") +
+           (p.degrade.shedLowestPriority ? "true" : "false") + "\n";
+    out += "serving.degrade.fallback_queue_depth " +
+           std::to_string(p.degrade.fallbackQueueDepth) + "\n";
+    return out;
+}
+
+ServingPolicy
+resolveServingPolicySpec(const std::string &spec)
+{
+    const std::string s = trim(spec);
+    if (startsWith(s, "file:"))
+        return parseServingPolicyFile(s.substr(5));
+    if (toLower(s) == "default" || s.empty())
+        return ServingPolicy{};
+    fatal("unknown serving policy '%s' (known: default, file:PATH)",
+          spec.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+bool
+ServingStats::operator==(const ServingStats &o) const
+{
+    return offered == o.offered && completed == o.completed &&
+           shedOverflow == o.shedOverflow &&
+           shedDeadline == o.shedDeadline &&
+           shedOversize == o.shedOversize && failed == o.failed &&
+           retries == o.retries &&
+           sloViolations == o.sloViolations &&
+           batches == o.batches &&
+           fallbackDispatches == o.fallbackDispatches &&
+           shrinkedBatches == o.shrinkedBatches &&
+           queueDepthPeak == o.queueDepthPeak &&
+           busyCycles == o.busyCycles && endCycle == o.endCycle &&
+           p50LatencyCycles == o.p50LatencyCycles &&
+           p95LatencyCycles == o.p95LatencyCycles &&
+           p99LatencyCycles == o.p99LatencyCycles &&
+           maxLatencyCycles == o.maxLatencyCycles;
+}
+
+// ---------------------------------------------------------------------------
+// The serving loop
+
+namespace {
+
+constexpr uint64_t kNever = ~uint64_t{0};
+
+/** A disjoint, sorted [begin, end) device-stall window. */
+struct StallWindow {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+};
+
+std::vector<StallWindow>
+stallWindows(const std::vector<FaultEvent> &events)
+{
+    std::vector<StallWindow> raw;
+    for (const FaultEvent &ev : events)
+        if (ev.kind == FaultKind::DeviceStall &&
+            ev.durationCycles > 0)
+            raw.push_back(
+                StallWindow{ev.cycle, ev.cycle + ev.durationCycles});
+    std::sort(raw.begin(), raw.end(),
+              [](const StallWindow &a, const StallWindow &b) {
+                  return a.begin < b.begin;
+              });
+    std::vector<StallWindow> merged;
+    for (const StallWindow &w : raw) {
+        if (!merged.empty() && w.begin <= merged.back().end)
+            merged.back().end = std::max(merged.back().end, w.end);
+        else
+            merged.push_back(w);
+    }
+    return merged;
+}
+
+/**
+ * Wall-clock cycle at which @p work cycles of device progress,
+ * started at @p start, complete — stall windows freeze progress.
+ */
+uint64_t
+wallAfterWork(uint64_t start, uint64_t work,
+              const std::vector<StallWindow> &stalls)
+{
+    uint64_t t = start;
+    size_t i = 0;
+    while (i < stalls.size() && stalls[i].end <= t)
+        ++i;
+    for (;;) {
+        if (i < stalls.size() && stalls[i].begin <= t) {
+            t = stalls[i].end;
+            ++i;
+            continue;
+        }
+        if (work == 0)
+            return t;
+        const uint64_t next =
+            i < stalls.size() ? stalls[i].begin : kNever;
+        const uint64_t advance =
+            std::min<uint64_t>(work, next - t);
+        t += advance;
+        work -= advance;
+    }
+}
+
+/** Max withheld-budget fraction of pressure windows active at @p c. */
+double
+pressureAt(uint64_t c, const std::vector<FaultEvent> &events)
+{
+    double frac = 0.0;
+    for (const FaultEvent &ev : events)
+        if (ev.kind == FaultKind::MemPressure && ev.cycle <= c &&
+            c < ev.cycle + ev.durationCycles)
+            frac = std::max(frac, ev.magnitude);
+    return std::min(frac, 1.0);
+}
+
+/** Earliest end of a pressure window active at @p c (kNever: none). */
+uint64_t
+pressureEndsAt(uint64_t c, const std::vector<FaultEvent> &events)
+{
+    uint64_t end = kNever;
+    for (const FaultEvent &ev : events)
+        if (ev.kind == FaultKind::MemPressure && ev.cycle <= c &&
+            c < ev.cycle + ev.durationCycles)
+            end = std::min(end, ev.cycle + ev.durationCycles);
+    return end;
+}
+
+/** A request waiting to (re-)enter admission at readyCycle. */
+struct PendingArrival {
+    uint64_t readyCycle = 0;
+    Request req;
+};
+
+struct PendingOrder {
+    bool
+    operator()(const PendingArrival &a, const PendingArrival &b) const
+    {
+        // priority_queue is a max-heap; invert for earliest-first.
+        if (a.readyCycle != b.readyCycle)
+            return a.readyCycle > b.readyCycle;
+        if (a.req.id != b.req.id)
+            return a.req.id > b.req.id;
+        return a.req.attempts > b.req.attempts;
+    }
+};
+
+/** Admission order: important first, urgent first, oldest first. */
+bool
+admissionBefore(const Request &a, const Request &b)
+{
+    if (a.priority != b.priority)
+        return a.priority > b.priority;
+    if (a.deadlineCycle != b.deadlineCycle)
+        return a.deadlineCycle < b.deadlineCycle;
+    if (a.arrivalCycle != b.arrivalCycle)
+        return a.arrivalCycle < b.arrivalCycle;
+    return a.id < b.id;
+}
+
+uint64_t
+percentile(const std::vector<uint64_t> &sorted, int p)
+{
+    if (sorted.empty())
+        return 0;
+    return sorted[(static_cast<size_t>(p) * (sorted.size() - 1)) /
+                  100];
+}
+
+} // namespace
+
+std::vector<uint64_t>
+batchFinishOffsets(const std::vector<const ClassCost *> &batch,
+                   int lanes)
+{
+    panicIf(lanes < 1, "batchFinishOffsets needs at least one lane");
+    // The exact algorithm of OpGraph::finishTimes over the merged
+    // part-major node order: parts (requests) in batch order, each
+    // part's nodes in schedule order with intra-part dependencies
+    // only, best-fit lane selection over one shared lane pool.
+    std::multiset<uint64_t> laneFree;
+    for (int l = 0; l < lanes; ++l)
+        laneFree.insert(0);
+    std::vector<uint64_t> out;
+    out.reserve(batch.size());
+    std::vector<uint64_t> finish;
+    for (const ClassCost *cls : batch) {
+        finish.assign(cls->nodeCycles.size(), 0);
+        uint64_t partEnd = 0;
+        for (size_t n = 0; n < cls->nodeCycles.size(); ++n) {
+            uint64_t ready = 0;
+            for (const int d : cls->preds[n])
+                ready = std::max(ready,
+                                 finish[static_cast<size_t>(d)]);
+            auto lane = laneFree.upper_bound(ready);
+            if (lane != laneFree.begin())
+                --lane; // latest lane already free at `ready`
+            const uint64_t start = std::max(ready, *lane);
+            laneFree.erase(lane);
+            finish[n] = start + cls->nodeCycles[n];
+            laneFree.insert(finish[n]);
+            partEnd = std::max(partEnd, finish[n]);
+        }
+        out.push_back(partEnd);
+    }
+    return out;
+}
+
+ServingStats
+runServing(const ServingPolicy &policy,
+           const std::vector<ClassCost> &classes,
+           const std::vector<Request> &requests,
+           const FaultPlan &faults, uint64_t horizonCycles)
+{
+    policy.validate();
+    panicIf(classes.empty(), "runServing needs at least one class");
+    for (const ClassCost &cls : classes)
+        panicIf(cls.fallbackClass >=
+                        static_cast<int>(classes.size()) ||
+                    cls.fallbackClass < -1,
+                "ClassCost fallback index out of range");
+
+    const std::vector<FaultEvent> faultEvents =
+        faults.events(horizonCycles);
+    const std::vector<StallWindow> stalls =
+        stallWindows(faultEvents);
+    std::vector<uint64_t> failCycles;
+    for (const FaultEvent &ev : faultEvents)
+        if (ev.kind == FaultKind::KernelFailure)
+            failCycles.push_back(ev.cycle);
+
+    const uint64_t baseBudget =
+        policy.memBudgetBytes == 0 ? kNever : policy.memBudgetBytes;
+
+    ServingStats stats;
+    stats.offered = requests.size();
+
+    std::priority_queue<PendingArrival, std::vector<PendingArrival>,
+                        PendingOrder>
+        pending;
+    for (const Request &r : requests) {
+        panicIf(r.classIndex < 0 ||
+                    static_cast<size_t>(r.classIndex) >=
+                        classes.size(),
+                "request class index out of range");
+        pending.push(PendingArrival{r.arrivalCycle, r});
+    }
+
+    std::vector<Request> queue;
+    std::vector<uint64_t> latencies;
+    size_t failIdx = 0;
+    int retriesLeft = policy.retryBudget;
+    uint64_t now = 0;
+
+    auto shedAt = [&](uint64_t cycle) {
+        stats.endCycle = std::max(stats.endCycle, cycle);
+    };
+
+    while (!pending.empty() || !queue.empty()) {
+        if (queue.empty())
+            now = std::max(now, pending.top().readyCycle);
+
+        // Admission: everything that has arrived by `now` enters the
+        // bounded queue; expired requests are shed instead of
+        // queued (deadline-aware load shedding).
+        while (!pending.empty() &&
+               pending.top().readyCycle <= now) {
+            const PendingArrival arrival = pending.top();
+            pending.pop();
+            if (arrival.req.deadlineCycle <= arrival.readyCycle) {
+                ++stats.shedDeadline;
+                shedAt(arrival.readyCycle);
+                continue;
+            }
+            if (queue.size() >=
+                static_cast<size_t>(policy.queueCapacity)) {
+                if (policy.degrade.shedLowestPriority) {
+                    // Evict the least important queued request when
+                    // the arrival outranks it; ties keep the queue.
+                    auto victim = std::min_element(
+                        queue.begin(), queue.end(),
+                        [](const Request &a, const Request &b) {
+                            return !admissionBefore(a, b) &&
+                                   (admissionBefore(b, a) ||
+                                    a.id > b.id);
+                        });
+                    if (victim != queue.end() &&
+                        arrival.req.priority > victim->priority) {
+                        ++stats.shedOverflow;
+                        shedAt(arrival.readyCycle);
+                        *victim = arrival.req;
+                        continue;
+                    }
+                }
+                ++stats.shedOverflow;
+                shedAt(arrival.readyCycle);
+                continue;
+            }
+            queue.push_back(arrival.req);
+            stats.queueDepthPeak =
+                std::max(stats.queueDepthPeak,
+                         static_cast<uint64_t>(queue.size()));
+        }
+        if (queue.empty())
+            continue; // all admitted arrivals were shed
+
+        std::stable_sort(queue.begin(), queue.end(),
+                         admissionBefore);
+
+        // Deadline-aware shedding at dispatch: a queued request
+        // whose deadline already passed can no longer meet it.
+        {
+            std::vector<Request> alive;
+            alive.reserve(queue.size());
+            for (const Request &r : queue) {
+                if (r.deadlineCycle <= now) {
+                    ++stats.shedDeadline;
+                    shedAt(now);
+                } else {
+                    alive.push_back(r);
+                }
+            }
+            queue.swap(alive);
+        }
+        if (queue.empty())
+            continue;
+
+        // Compose the dispatch batch against the memory budget,
+        // with the declarative degradation modes applied.
+        const double pressure = pressureAt(now, faultEvents);
+        const uint64_t effectiveBudget =
+            baseBudget == kNever
+                ? kNever
+                : static_cast<uint64_t>(
+                      static_cast<double>(baseBudget) *
+                      (1.0 - pressure));
+        size_t batchCap = static_cast<size_t>(policy.maxBatch);
+        const bool shrunk =
+            pressure > 0.0 &&
+            policy.degrade.shrinkBatchUnderPressure &&
+            policy.maxBatch > 1;
+        if (shrunk)
+            batchCap = std::max<size_t>(
+                1, static_cast<size_t>(policy.maxBatch) / 2);
+        const bool useFallback =
+            policy.degrade.fallbackQueueDepth > 0 &&
+            queue.size() >= static_cast<size_t>(
+                                policy.degrade.fallbackQueueDepth);
+
+        std::vector<Request> batch;
+        std::vector<const ClassCost *> batchClasses;
+        std::vector<Request> leftover;
+        uint64_t memUsed = 0;
+        uint64_t fallbacksInBatch = 0;
+        for (const Request &r : queue) {
+            const ClassCost *cls =
+                &classes[static_cast<size_t>(r.classIndex)];
+            bool usedFallback = false;
+            if (useFallback && cls->fallbackClass >= 0) {
+                cls = &classes[static_cast<size_t>(
+                    cls->fallbackClass)];
+                usedFallback = true;
+            }
+            const bool fits =
+                batch.size() < batchCap &&
+                (effectiveBudget == kNever ||
+                 memUsed + cls->memBytes <= effectiveBudget);
+            if (fits) {
+                memUsed += cls->memBytes;
+                batch.push_back(r);
+                batchClasses.push_back(cls);
+                fallbacksInBatch += usedFallback ? 1 : 0;
+            } else {
+                leftover.push_back(r);
+            }
+        }
+
+        if (batch.empty()) {
+            // Head-of-line request cannot dispatch. Under transient
+            // memory pressure, wait the window out; otherwise it
+            // will never fit — shed it so the loop always advances.
+            const ClassCost &head = classes[static_cast<size_t>(
+                queue.front().classIndex)];
+            const uint64_t windowEnd =
+                pressureEndsAt(now, faultEvents);
+            if (head.memBytes <= baseBudget &&
+                windowEnd != kNever) {
+                now = windowEnd;
+                continue;
+            }
+            ++stats.shedOversize;
+            shedAt(now);
+            queue.erase(queue.begin());
+            continue;
+        }
+
+        queue.swap(leftover);
+        ++stats.batches;
+        stats.fallbackDispatches += fallbacksInBatch;
+        stats.shrinkedBatches += shrunk ? 1 : 0;
+
+        // Dispatch: the batch's work schedule replays the merged
+        // op-graph list schedule; device stalls dilate work cycles
+        // into wall cycles.
+        const std::vector<uint64_t> offsets =
+            batchFinishOffsets(batchClasses, policy.lanes);
+        uint64_t maxOffset = 0;
+        for (const uint64_t o : offsets)
+            maxOffset = std::max(maxOffset, o);
+        const uint64_t dispatchWall = now;
+        const uint64_t batchEnd =
+            wallAfterWork(dispatchWall, maxOffset, stalls);
+        stats.busyCycles += batchEnd - dispatchWall;
+
+        // Kernel-failure events landing inside the busy window pick
+        // a deterministic victim among the batch's requests.
+        std::vector<bool> victim(batch.size(), false);
+        while (failIdx < failCycles.size() &&
+               failCycles[failIdx] < dispatchWall)
+            ++failIdx; // fired while idle: no kernel to kill
+        size_t probe = failIdx;
+        while (probe < failCycles.size() &&
+               failCycles[probe] < batchEnd) {
+            size_t v = static_cast<size_t>(failCycles[probe] %
+                                           batch.size());
+            for (size_t tries = 0;
+                 tries < batch.size() && victim[v]; ++tries)
+                v = (v + 1) % batch.size();
+            if (!victim[v])
+                victim[v] = true;
+            ++probe;
+        }
+        failIdx = probe;
+
+        for (size_t i = 0; i < batch.size(); ++i) {
+            Request r = batch[i];
+            if (victim[i]) {
+                ++r.attempts;
+                const uint64_t failWall =
+                    std::min(wallAfterWork(dispatchWall,
+                                           offsets[i], stalls),
+                             batchEnd);
+                if (r.attempts <= policy.maxRetries &&
+                    retriesLeft > 0) {
+                    --retriesLeft;
+                    ++stats.retries;
+                    const uint64_t backoff =
+                        policy.retryBackoffCycles
+                        << (r.attempts - 1);
+                    pending.push(PendingArrival{
+                        failWall + backoff, r});
+                } else {
+                    ++stats.failed;
+                    shedAt(failWall);
+                }
+                continue;
+            }
+            const uint64_t done =
+                wallAfterWork(dispatchWall, offsets[i], stalls);
+            ++stats.completed;
+            const uint64_t latency = done - r.arrivalCycle;
+            latencies.push_back(latency);
+            if (r.deadlineCycle != kNever && done > r.deadlineCycle)
+                ++stats.sloViolations;
+            stats.endCycle = std::max(stats.endCycle, done);
+        }
+        now = batchEnd;
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    stats.p50LatencyCycles = percentile(latencies, 50);
+    stats.p95LatencyCycles = percentile(latencies, 95);
+    stats.p99LatencyCycles = percentile(latencies, 99);
+    stats.maxLatencyCycles =
+        latencies.empty() ? 0 : latencies.back();
+
+    panicIf(stats.offered + stats.retries !=
+                stats.completed + stats.shedOverflow +
+                    stats.shedDeadline + stats.shedOversize +
+                    stats.failed + stats.retries,
+            "serving accounting identity violated");
+    return stats;
+}
+
+} // namespace gsuite

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The continuous-batching serving simulator: a deterministic,
+ * cycle-domain discrete-event loop that admits a request stream
+ * against a bounded queue and a device-memory budget, composes
+ * in-flight requests into merged batches whose dispatch cost replays
+ * OpGraph::finishTimes over profiled per-class kernel costs, and
+ * exercises SLO enforcement, deadline-aware load shedding, a retry
+ * policy with exponential backoff and a retry budget, fault
+ * injection (hwdb FaultPlan), and declarative graceful-degradation
+ * modes.
+ *
+ * Everything is integer cycle arithmetic over deterministic inputs:
+ * the same (policy, classes, requests, faults) produce bit-identical
+ * ServingStats on every run and thread count. The expensive part —
+ * cycle-accurate kernel costs — happens once per request class in
+ * profileClass(); the serving loop itself is cheap enough to sweep
+ * offered load x arrival shape x GPU x fault plan in one session.
+ */
+
+#ifndef GSUITE_SERVING_SERVINGSCHEDULER_HPP
+#define GSUITE_SERVING_SERVINGSCHEDULER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwdb/FaultPlan.hpp"
+#include "ir/OpGraph.hpp"
+#include "serving/RequestStream.hpp"
+#include "simgpu/GpuConfig.hpp"
+#include "simgpu/GpuSimulator.hpp"
+
+namespace gsuite {
+
+class Graph;
+struct ModelConfig;
+
+/**
+ * The profiled cost of one request class: per-node simulated cycles
+ * and the intra-class dependency structure of its op-graph, plus the
+ * device-memory footprint one request of this class occupies. Batch
+ * dispatch replays OpGraph::finishTimes over B part-major replicas
+ * of this structure, which is exactly what OpGraph::merge +
+ * ExecutionEngine::run would schedule.
+ */
+struct ClassCost {
+    std::string name;
+    std::vector<uint64_t> nodeCycles;
+    /** Per node, its dependency indices (all < the node's index). */
+    std::vector<std::vector<int>> preds;
+    uint64_t memBytes = 0;    ///< device footprint per request
+    uint64_t serialCycles = 0; ///< sum of nodeCycles
+    /** Smaller class dispatched instead under fallback degrade
+     *  (index into the scheduler's class table; -1 = none). */
+    int fallbackClass = -1;
+};
+
+/** Extract a ClassCost from an op-graph and its per-node costs. */
+ClassCost classCostFromGraph(const OpGraph &graph,
+                             const std::vector<uint64_t> &costs,
+                             std::string name, uint64_t memBytes);
+
+/**
+ * Profile one request class: build the pipeline for (graph, cfg),
+ * run it once through a sim engine on @p gpu, and package the
+ * timeline's per-node cycles, the op-graph structure, and the
+ * engine's allocator footprint. Deterministic.
+ */
+ClassCost profileClass(std::string name, const Graph &graph,
+                       const ModelConfig &cfg, const GpuConfig &gpu,
+                       const SimOptions &sim);
+
+/** Declarative graceful-degradation switches. */
+struct DegradePolicy {
+    /** Halve the batch cap while a mem-pressure window is active. */
+    bool shrinkBatchUnderPressure = true;
+    /** On queue overflow, evict the lowest-priority queued request
+     *  for a higher-priority arrival (else shed the arrival). */
+    bool shedLowestPriority = false;
+    /** Dispatch a class's fallbackClass once the queue is at least
+     *  this deep (0 = fallback disabled). */
+    int fallbackQueueDepth = 0;
+
+    bool operator==(const DegradePolicy &o) const
+    {
+        return shrinkBatchUnderPressure ==
+                   o.shrinkBatchUnderPressure &&
+               shedLowestPriority == o.shedLowestPriority &&
+               fallbackQueueDepth == o.fallbackQueueDepth;
+    }
+};
+
+/** The admission scheduler's declarative configuration. Serializes
+ *  as hwdb-style "serving.*" keys and round-trips exactly. */
+struct ServingPolicy {
+    std::string name = "default";
+    /** Concurrent launch lanes the batch schedule models. */
+    int lanes = 4;
+    /** Device-memory budget for in-flight requests; 0 = unlimited. */
+    uint64_t memBudgetBytes = 0;
+    /** Bounded admission queue capacity. */
+    int queueCapacity = 64;
+    /** Max requests composed into one dispatch batch. */
+    int maxBatch = 8;
+    /** Dispatch attempts per request beyond the first. */
+    int maxRetries = 2;
+    /** Backoff after attempt k is retryBackoffCycles << k. */
+    uint64_t retryBackoffCycles = 100'000;
+    /** Total retries the whole run may spend; exhausted = fail. */
+    int retryBudget = 64;
+    DegradePolicy degrade;
+
+    bool operator==(const ServingPolicy &o) const;
+    bool operator!=(const ServingPolicy &o) const
+    {
+        return !(*this == o);
+    }
+
+    /** fatal() unless every knob is in range. */
+    void validate() const;
+};
+
+/** Parse hwdb-style "serving.*" key text. */
+ServingPolicy parseServingPolicyText(const std::string &text,
+                                     const std::string &origin);
+
+/** parseServingPolicyText over a file. */
+ServingPolicy parseServingPolicyFile(const std::string &path);
+
+/** Canonical key-file rendering; parse(serialize(p)) == p. */
+std::string serializeServingPolicy(const ServingPolicy &policy);
+
+/**
+ * Resolve a policy spec — "default" or "file:PATH" — to a validated
+ * policy (resolveGpuSpec-style).
+ */
+ServingPolicy resolveServingPolicySpec(const std::string &spec);
+
+/** Deterministic cycle-domain counters of one serving run. Every
+ *  field is exact; the accounting identity
+ *  offered == completed + shedOverflow + shedDeadline + shedOversize
+ *            + failed
+ *  always holds (checked by the fuzz suite — no request is lost, so
+ *  the loop cannot deadlock). */
+struct ServingStats {
+    uint64_t offered = 0;       ///< requests in the input stream
+    uint64_t completed = 0;     ///< finished (late ones included)
+    uint64_t shedOverflow = 0;  ///< dropped: queue full
+    uint64_t shedDeadline = 0;  ///< dropped: deadline passed queued
+    uint64_t shedOversize = 0;  ///< dropped: never fits the budget
+    uint64_t failed = 0;        ///< kernel faults past retry policy
+    uint64_t retries = 0;       ///< re-dispatches performed
+    uint64_t sloViolations = 0; ///< completed after their deadline
+    uint64_t batches = 0;       ///< dispatches issued
+    uint64_t fallbackDispatches = 0; ///< degrade: smaller model
+    uint64_t shrinkedBatches = 0;    ///< degrade: halved batch cap
+    uint64_t queueDepthPeak = 0;
+    uint64_t busyCycles = 0; ///< device busy (stalls included)
+    uint64_t endCycle = 0;   ///< last completion / shed cycle
+    uint64_t p50LatencyCycles = 0; ///< over completed requests
+    uint64_t p95LatencyCycles = 0;
+    uint64_t p99LatencyCycles = 0;
+    uint64_t maxLatencyCycles = 0;
+
+    /** completed - sloViolations: requests that met their SLO. */
+    uint64_t goodput() const { return completed - sloViolations; }
+
+    bool operator==(const ServingStats &o) const;
+    bool operator!=(const ServingStats &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/**
+ * Run the serving simulation: admit @p requests (sorted by arrival)
+ * under @p policy over the classes in @p classes, with the fault
+ * events of @p faults expanded over @p horizonCycles. Pure.
+ */
+ServingStats runServing(const ServingPolicy &policy,
+                        const std::vector<ClassCost> &classes,
+                        const std::vector<Request> &requests,
+                        const FaultPlan &faults,
+                        uint64_t horizonCycles);
+
+/**
+ * The batch-dispatch cost model: per-request completion offsets of
+ * one merged batch (requests' classes in batch order) list-scheduled
+ * over @p lanes, all lanes free at offset 0. Equals the per-part
+ * maxima of OpGraph::finishTimes on the merged graph — pinned by
+ * serving_test against the IR ground truth.
+ */
+std::vector<uint64_t>
+batchFinishOffsets(const std::vector<const ClassCost *> &batch,
+                   int lanes);
+
+} // namespace gsuite
+
+#endif // GSUITE_SERVING_SERVINGSCHEDULER_HPP

@@ -4,6 +4,7 @@
 #include <cinttypes>
 
 #include "util/Logging.hpp"
+#include "util/RunError.hpp"
 
 namespace gsuite {
 
@@ -63,6 +64,14 @@ GpuSimulator::controlPhase(RunControl &ctl)
         next_event = std::min(next_event, ctl.eventBy[w]);
     }
 
+    // The watchdog ceiling stops the clock exactly like cycleLimit
+    // (so fast-forwarding cannot overshoot it), but is reported as an
+    // error instead of a truncation.
+    const uint64_t hard_stop =
+        ctl.cycleCeiling
+            ? std::min(ctl.cycleLimit, ctl.cycleCeiling)
+            : ctl.cycleLimit;
+
     // Advance first, then re-assign and re-check: the reported cycle
     // count includes the cycle in which the last instruction issued
     // (matching the original serial loop, which broke at the top of
@@ -73,7 +82,7 @@ GpuSimulator::controlPhase(RunControl &ctl)
     } else {
         // Fast-forward: nothing can issue until next_event, so
         // repeat each SM's current classification for the gap.
-        const uint64_t target = std::min(next_event, ctl.cycleLimit);
+        const uint64_t target = std::min(next_event, hard_stop);
         const uint64_t delta = target - ctl.cycle - 1;
         if (delta > 0) {
             for (auto &sm : sms)
@@ -82,9 +91,19 @@ GpuSimulator::controlPhase(RunControl &ctl)
         ctl.cycle = target;
     }
 
-    if (ctl.cycle >= ctl.cycleLimit) {
+    if (ctl.cycle >= hard_stop) {
         ctl.done = true;
-        ctl.hitLimit = true;
+        if (ctl.cycleCeiling && ctl.cycle >= ctl.cycleCeiling)
+            ctl.hitCeiling = true;
+        else
+            ctl.hitLimit = true;
+        return;
+    }
+
+    if (ctl.cancel &&
+        ctl.cancel->load(std::memory_order_relaxed)) {
+        ctl.done = true;
+        ctl.cancelled = true;
         return;
     }
 
@@ -135,6 +154,8 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
     RunControl ctl;
     ctl.ctasToSim = std::min(expected, opts.maxCtas);
     ctl.cycleLimit = opts.cycleLimit;
+    ctl.cycleCeiling = opts.cycleCeiling;
+    ctl.cancel = opts.cancel;
     ctl.issuedBy.assign(static_cast<size_t>(threads), 0);
     ctl.eventBy.assign(static_cast<size_t>(threads), ~uint64_t{0});
 
@@ -179,6 +200,21 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
             }
         });
     }
+
+    // Throw only here — every worker has left the barrier loop, so
+    // no thread is waiting on a phase that will never be published.
+    if (ctl.cancelled)
+        throw RunException(
+            RunError::Timeout,
+            "kernel '" + launch.name +
+                "' cancelled by watchdog at cycle " +
+                std::to_string(ctl.cycle));
+    if (ctl.hitCeiling)
+        throw RunException(
+            RunError::Timeout,
+            "kernel '" + launch.name + "' exceeded the " +
+                std::to_string(ctl.cycleCeiling) +
+                "-cycle watchdog ceiling");
 
     // Flush any still-parked memory access so its counters land.
     for (auto &sm : sms)

@@ -19,6 +19,7 @@
 #ifndef GSUITE_SIMGPU_GPUSIMULATOR_HPP
 #define GSUITE_SIMGPU_GPUSIMULATOR_HPP
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -66,6 +67,23 @@ struct SimOptions {
      * the legacy every-SM-every-cycle stepping (ablation/debugging).
      */
     bool perSmFastForward = true;
+
+    /**
+     * Watchdog ceiling: a kernel that reaches this many cycles fails
+     * with RunException(RunError::Timeout) instead of completing.
+     * 0 disables. Unlike cycleLimit — which truncates the run with a
+     * warning and still reports stats — the ceiling is an error, so
+     * sweeps can bound runaway points deterministically.
+     */
+    uint64_t cycleCeiling = 0;
+
+    /**
+     * Watchdog cancel flag, polled once per control phase. When it
+     * becomes true the run aborts with RunException(Timeout). The
+     * abort cycle depends on wall-clock timing, but a cancelled run
+     * reports no stats, so determinism of successful runs holds.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Timing-detailed GPU simulator. */
@@ -87,8 +105,12 @@ class GpuSimulator
         int64_t nextCta = 0;
         uint64_t cycle = 0;
         uint64_t cycleLimit = 0;
+        uint64_t cycleCeiling = 0;
+        const std::atomic<bool> *cancel = nullptr;
         bool done = false;
         bool hitLimit = false;
+        bool hitCeiling = false;
+        bool cancelled = false;
         std::vector<uint8_t> issuedBy; ///< per-worker issue flags
         std::vector<uint64_t> eventBy; ///< per-worker event minima
     };

@@ -156,8 +156,9 @@ ResultStore::toCsv(const std::string &path) const
     CsvWriter csv(path);
     csv.header({"label", "variant", "gpu", "framework", "model",
                 "comp", "dataset", "engine", "scale", "ok", "error",
-                "runs", "end_to_end_us_mean", "end_to_end_us_min",
-                "end_to_end_us_max", "kernel_us_mean"});
+                "error_kind", "runs", "end_to_end_us_mean",
+                "end_to_end_us_min", "end_to_end_us_max",
+                "kernel_us_mean"});
     for (const auto &r : results) {
         const UserParams &p = r.point.params;
         csv.row({r.point.label, r.point.variant, p.gpu,
@@ -165,6 +166,7 @@ ResultStore::toCsv(const std::string &path) const
                  compModelName(p.comp), p.dataset,
                  engineName(p.engine), r.outcome.scaleDescription,
                  r.ok ? "1" : "0", r.error,
+                 r.ok ? "" : runErrorName(r.errorKind),
                  std::to_string(p.runs),
                  fmtDouble(r.outcome.meanEndToEndUs, 3),
                  fmtDouble(r.outcome.minEndToEndUs, 3),
@@ -293,8 +295,11 @@ ResultStore::toJson(const std::string &path,
             compModelName(p.comp), jsonEscape(p.dataset).c_str(),
             engineName(p.engine), r.ok ? "true" : "false");
         if (!r.ok)
-            std::fprintf(f, ", \"error\": \"%s\"",
-                         jsonEscape(r.error).c_str());
+            std::fprintf(f,
+                         ", \"error\": \"%s\", "
+                         "\"error_kind\": \"%s\"",
+                         jsonEscape(r.error).c_str(),
+                         runErrorName(r.errorKind));
         if (r.ok) {
             std::fprintf(f,
                          ",\n     \"end_to_end_us\": {\"mean\": %.3f, "

@@ -18,6 +18,7 @@
 
 #include "suite/Runner.hpp"
 #include "suite/SweepSpec.hpp"
+#include "util/RunError.hpp"
 
 namespace gsuite {
 
@@ -26,6 +27,8 @@ struct SweepResult {
     SweepPoint point;
     bool ok = false;
     std::string error; ///< failure description when !ok
+    /** Failure taxonomy when !ok (None while ok). */
+    RunError errorKind = RunError::None;
 
     RunOutcome outcome; ///< valid only when ok
 

@@ -27,6 +27,8 @@ AbstractionModule::makeEngine(const UserParams &params,
     opts.hwConfig.numThreads = params.simThreads;
     opts.sim.maxCtas = params.maxCtas;
     opts.sim.numThreads = params.simThreads;
+    opts.sim.cycleCeiling = params.cycleCeiling;
+    opts.sim.cancel = params.cancel;
     opts.parallelLaunches = params.simParallelLaunches;
     return std::make_unique<SimEngine>(opts);
 }

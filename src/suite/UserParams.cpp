@@ -46,7 +46,7 @@ UserParams::fromOptions(const OptionSet &opts)
         "profile-caches", "node-div", "edge-div", "feature-cap",
         "csv",        "verbose",   "quiet",
         "sim-threads", "sim-parallel", "sweep-threads",
-        "max-ctas",   "scheduler", "l1-bypass",
+        "max-ctas",   "cycle-ceiling", "scheduler", "l1-bypass",
         "gpu",        "list-gpus",
     };
     for (const auto &key : opts.keys()) {
@@ -102,6 +102,12 @@ UserParams::fromOptions(const OptionSet &opts)
     p.sweepThreads = static_cast<int>(
         opts.getInt("sweep-threads", p.sweepThreads));
     p.maxCtas = opts.getInt("max-ctas", p.maxCtas);
+    {
+        const int64_t ceiling = opts.getInt("cycle-ceiling", 0);
+        if (ceiling < 0)
+            fatal("--cycle-ceiling must be >= 0");
+        p.cycleCeiling = static_cast<uint64_t>(ceiling);
+    }
     // The scheduler/l1-bypass overrides only engage when given, so
     // a preset's own policy survives an override-free run.
     if (opts.has("scheduler"))

@@ -8,6 +8,7 @@
 #ifndef GSUITE_SUITE_USERPARAMS_HPP
 #define GSUITE_SUITE_USERPARAMS_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -98,6 +99,20 @@ struct UserParams {
 
     /** CTA sampling cap forwarded to the timing simulator. */
     int64_t maxCtas = 2048;
+
+    /**
+     * Watchdog: fail a sim run with RunError::Timeout once any
+     * kernel reaches this many simulated cycles. 0 disables. The
+     * failure is deterministic (cycle-domain, not wall-clock).
+     */
+    uint64_t cycleCeiling = 0;
+
+    /**
+     * Watchdog cancel flag forwarded to the simulator; not a CLI
+     * option — BenchSession installs a per-point flag that its
+     * wall-clock watchdog raises. Non-owning.
+     */
+    const std::atomic<bool> *cancel = nullptr;
     /**
      * Warp scheduler override. Unset (the default) defers to the
      * gpu preset/file; --scheduler or an ablation variant engages

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Typed run-failure taxonomy shared by the engine, the suite and the
+ * serving layer: a failed benchmark point or serving request carries a
+ * machine-readable kind (config / oom / fault-injected / timeout), not
+ * just a message string, so sweeps, serving reports and CI emitters
+ * all speak one error vocabulary.
+ *
+ * Throwers raise RunException; BenchSession catches it (plus
+ * std::bad_alloc, classified as Oom) and records the kind in the
+ * SweepResult, which ResultStore surfaces as an `error_kind` CSV/JSON
+ * column. Exceptions without a taxonomy land as RunError::Unknown.
+ */
+
+#ifndef GSUITE_UTIL_RUNERROR_HPP
+#define GSUITE_UTIL_RUNERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace gsuite {
+
+/** Why a run (sweep point, launch, serving request) failed. */
+enum class RunError {
+    None,         ///< did not fail
+    Config,       ///< invalid or inconsistent configuration
+    Oom,          ///< memory exhaustion (host or modeled device)
+    FaultInjected, ///< a deterministic fault-injection event fired
+    Timeout,      ///< watchdog: cycle ceiling or wall-clock deadline
+    Unknown,      ///< failed without a taxonomy (legacy throwers)
+};
+
+/** Stable lowercase name ("config", "fault-injected", ...). */
+const char *runErrorName(RunError e);
+
+/** Inverse of runErrorName; fatal() on unknown names. */
+RunError runErrorFromName(const std::string &name);
+
+/** Exception carrying a RunError kind alongside the message. */
+class RunException : public std::runtime_error
+{
+  public:
+    RunException(RunError kind, const std::string &what)
+        : std::runtime_error(what), errKind(kind)
+    {
+    }
+
+    RunError kind() const { return errKind; }
+
+  private:
+    RunError errKind;
+};
+
+} // namespace gsuite
+
+#endif // GSUITE_UTIL_RUNERROR_HPP
