@@ -24,7 +24,9 @@
  *                      (default 100)
  *   --fault-plan LIST  hwdb fault plans: none|light|heavy|file:PATH
  *                      (default "none,heavy")
- *   --policy SPEC      serving policy: default|file:PATH
+ *   --policy SPEC      serving policy: default|file:PATH (a file
+ *                      policy's knobs stand unless the matching CLI
+ *                      flag is given explicitly)
  *   --lanes N          launch lanes the batch schedule models (4)
  *   --mem-budget-mb N  device-memory budget, 0 = unlimited (0)
  *   --horizon-mcycles N  arrival horizon (default 20; --quick 5)
@@ -108,8 +110,6 @@ main(int argc, char **argv)
     const BenchArgs args = BenchArgs::parse(argc, argv);
     const std::string json_path =
         cli.getString("json", "BENCH_serving.json");
-    const int lanes = static_cast<int>(cli.getInt("lanes", 4));
-    const int64_t mem_budget_mb = cli.getInt("mem-budget-mb", 0);
     const uint64_t horizon =
         static_cast<uint64_t>(cli.getInt(
             "horizon-mcycles", args.quick ? 5 : 20)) *
@@ -129,17 +129,27 @@ main(int argc, char **argv)
     const std::vector<std::string> faults = expandFaultPlanSpecs(
         cli.getString("fault-plan", "none,heavy"));
 
-    ServingPolicy policy =
-        resolveServingPolicySpec(cli.getString("policy", "default"));
-    policy.lanes = lanes;
-    policy.memBudgetBytes =
-        static_cast<uint64_t>(mem_budget_mb) * (1ull << 20);
-    // Degradation knobs the bench exercises by default: halve the
-    // batch under mem pressure, evict low-priority work on
-    // overflow, fall back to the 1-layer variant when the queue is
-    // half full.
-    policy.degrade.shedLowestPriority = true;
-    policy.degrade.fallbackQueueDepth = policy.queueCapacity / 2;
+    const std::string policy_spec =
+        cli.getString("policy", "default");
+    ServingPolicy policy = resolveServingPolicySpec(policy_spec);
+    const bool file_policy = startsWith(trim(policy_spec), "file:");
+    // A file policy owns its knobs; CLI flags override only when
+    // explicitly given. The default policy takes the CLI defaults.
+    if (!file_policy || cli.has("lanes"))
+        policy.lanes = static_cast<int>(cli.getInt("lanes", 4));
+    if (!file_policy || cli.has("mem-budget-mb"))
+        policy.memBudgetBytes =
+            static_cast<uint64_t>(cli.getInt("mem-budget-mb", 0)) *
+            (1ull << 20);
+    if (!file_policy) {
+        // Degradation knobs the bench exercises by default: halve
+        // the batch under mem pressure, evict low-priority work on
+        // overflow, fall back to the 1-layer variant when the queue
+        // is half full.
+        policy.degrade.shedLowestPriority = true;
+        policy.degrade.fallbackQueueDepth =
+            policy.queueCapacity / 2;
+    }
     policy.validate();
 
     UserParams base = args.simBase();
@@ -156,7 +166,7 @@ main(int argc, char **argv)
     banner("serving under load: continuous batching + faults",
            "model " + std::string(gnnModelName(base.model)) +
                ", dataset " + base.dataset + ", " +
-               std::to_string(lanes) + " lanes, horizon " +
+               std::to_string(policy.lanes) + " lanes, horizon " +
                std::to_string(horizon / 1'000'000) +
                " Mcycles | offered load is a fraction of profiled "
                "capacity; goodput = completed within SLO");
@@ -326,17 +336,53 @@ main(int argc, char **argv)
     });
 
     // Any fault-injected plan must visibly perturb the run — a
-    // plan that injects nothing is a plumbing regression.
+    // plan that injects nothing is a plumbing regression. Fault
+    // counters are the primary signal; a stall/pressure-only plan
+    // legitimately leaves them at zero, so such points pass when
+    // their timing differs from the fault-free twin point — and are
+    // left ungated when no twin ran. Only plans that inject kernel
+    // failures are required to show counters.
+    std::map<std::string, const SweepResult *> byLabel;
+    for (const auto &r : store)
+        byLabel.emplace(r.point.label, &r);
+    const char *timingKeys[] = {
+        "completed_requests", "slo_violations",  "shed_overflow",
+        "shed_deadline",      "queue_depth_peak", "batches",
+        "fallback_dispatches", "busy_cycles",     "end_cycles",
+        "p50_latency_cycles", "p95_latency_cycles",
+        "p99_latency_cycles", "max_latency_cycles"};
     for (const auto &r : store) {
         if (r.point.variant == "none" || !r.ok)
             continue;
         const auto &m = r.outcome.metrics;
-        const double perturbed = m.at("retries") +
-                                 m.at("failed_requests") +
-                                 m.at("shrink_batches") +
-                                 m.at("shed_oversize");
-        if (perturbed == 0.0)
-            faults_seen_ok = false;
+        const double counters = m.at("retries") +
+                                m.at("failed_requests") +
+                                m.at("shrink_batches") +
+                                m.at("shed_oversize");
+        if (counters > 0.0)
+            continue;
+        const std::string &label = r.point.label;
+        const std::string twinLabel =
+            label.substr(0, label.size() -
+                                r.point.variant.size()) +
+            "none";
+        const auto twin = byLabel.find(twinLabel);
+        if (twin != byLabel.end() && twin->second->ok) {
+            bool differs = false;
+            for (const char *key : timingKeys)
+                differs = differs ||
+                          m.at(key) !=
+                              twin->second->outcome.metrics.at(key);
+            if (differs)
+                continue;
+        }
+        const FaultPlan plan =
+            resolveFaultPlanSpec(r.point.variant);
+        for (const FaultEvent &ev : plan.events(horizon))
+            if (ev.kind == FaultKind::KernelFailure) {
+                faults_seen_ok = false;
+                break;
+            }
     }
 
     auto metric = [](const SweepResult &r, const char *key) {
@@ -394,7 +440,7 @@ main(int argc, char **argv)
                      c("p99_latency_cycles")}};
         });
     store.toJson(json_path,
-                 {{"lanes", static_cast<double>(lanes)},
+                 {{"lanes", static_cast<double>(policy.lanes)},
                   {"horizon_mcycles",
                    static_cast<double>(horizon / 1'000'000)},
                   {"quick", args.quick ? 1.0 : 0.0}});

@@ -285,28 +285,24 @@ generateArrivals(const ArrivalSpec &spec,
     Rng rng(seed);
     std::vector<Request> out;
 
-    // Draw exponential gaps in *active* time, then map to wall
-    // cycles. Poisson is the identity map; bursty compresses each
-    // period's arrivals into its leading on-window, preserving the
-    // long-run offered rate while hammering the queue periodically.
+    // Draw exponential gaps at the offered rate in virtual time t.
+    // Poisson maps t to wall cycles directly; bursty compresses each
+    // full period's worth of drawn arrivals into that period's
+    // leading on-window (offset scaled by onFraction), so the
+    // long-run offered rate matches poisson's while the queue gets
+    // hammered periodically.
     const double mean_gap = 1e6 / spec.ratePerMcycle;
-    const double active_per_period =
-        spec.kind == ArrivalKind::Bursty
-            ? spec.onFraction *
-                  static_cast<double>(spec.periodCycles)
-            : 0.0;
     double t = 0.0;
     for (;;) {
         t += -std::log(1.0 - rng.nextDouble()) * mean_gap;
         uint64_t cycle;
         if (spec.kind == ArrivalKind::Bursty) {
-            const double period =
-                std::floor(t / active_per_period);
+            const double period_len =
+                static_cast<double>(spec.periodCycles);
+            const double period = std::floor(t / period_len);
             const double offset =
-                t - period * active_per_period;
-            const double wall =
-                period * static_cast<double>(spec.periodCycles) +
-                offset;
+                (t - period * period_len) * spec.onFraction;
+            const double wall = period * period_len + offset;
             if (wall >= static_cast<double>(horizonCycles))
                 break;
             cycle = static_cast<uint64_t>(wall);

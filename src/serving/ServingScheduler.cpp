@@ -650,11 +650,20 @@ runServing(const ServingPolicy &policy,
                     retriesLeft > 0) {
                     --retriesLeft;
                     ++stats.retries;
+                    // Saturating exponential backoff: maxRetries and
+                    // retryBackoffCycles are unbounded policy-file
+                    // inputs, so the shift must not hit UB or wrap.
+                    const unsigned shift = std::min(
+                        static_cast<unsigned>(r.attempts - 1), 63u);
                     const uint64_t backoff =
-                        policy.retryBackoffCycles
-                        << (r.attempts - 1);
-                    pending.push(PendingArrival{
-                        failWall + backoff, r});
+                        policy.retryBackoffCycles > (kNever >> shift)
+                            ? kNever
+                            : policy.retryBackoffCycles << shift;
+                    const uint64_t ready =
+                        backoff > kNever - failWall
+                            ? kNever
+                            : failWall + backoff;
+                    pending.push(PendingArrival{ready, r});
                 } else {
                     ++stats.failed;
                     shedAt(failWall);

@@ -182,6 +182,33 @@ TEST(RequestStream, BurstyArrivalsLandInOnWindows)
             << "arrival outside the burst window";
 }
 
+TEST(RequestStream, BurstyPreservesLongRunOfferedRate)
+{
+    // Compressing arrivals into on-windows must not change the
+    // long-run offered rate: over a 10-Mcycle horizon at rate 400
+    // the expected count is 4000 (stddev ~63), for bursty exactly
+    // as for poisson. The old active-time mapping under-delivered
+    // by a factor of onFraction — pin the count so it stays fixed.
+    const uint64_t horizon = 10'000'000;
+    const double expected = 400.0 * 10.0;
+    const ArrivalSpec bursty =
+        parseArrivalSpec("bursty:rate=400;on=0.25;period=500000");
+    const ArrivalSpec poisson = parseArrivalSpec("poisson:rate=400");
+    const double nBursty = static_cast<double>(
+        generateArrivals(bursty, oneProfile(), horizon, 7).size());
+    const double nPoisson = static_cast<double>(
+        generateArrivals(poisson, oneProfile(), horizon, 7).size());
+    EXPECT_NEAR(nBursty, expected, 0.05 * expected);
+    EXPECT_NEAR(nPoisson, expected, 0.05 * expected);
+
+    // Thin on-windows must not erode the rate either.
+    const ArrivalSpec thin =
+        parseArrivalSpec("bursty:rate=400;on=0.05;period=250000");
+    const double nThin = static_cast<double>(
+        generateArrivals(thin, oneProfile(), horizon, 7).size());
+    EXPECT_NEAR(nThin, expected, 0.05 * expected);
+}
+
 TEST(RequestStream, TraceReplaySortsAndOverridesPriority)
 {
     const std::string path = tempPath("serving_trace.txt");
@@ -470,6 +497,27 @@ TEST(RunServing, KernelFailureRetriesWithBackoff)
         noBudget, classes, {requestAt(0, 0)}, plan, 10'000);
     EXPECT_EQ(g.failed, 1u);
     EXPECT_EQ(g.retries, 0u);
+}
+
+TEST(RunServing, HugeBackoffSaturatesInsteadOfWrapping)
+{
+    // retry_backoff_cycles is an unbounded policy-file input; a
+    // near-UINT64_MAX backoff must saturate the re-dispatch cycle
+    // (the request can then never run again and is shed), not wrap
+    // around into the past.
+    const std::vector<ClassCost> classes = {trivialClass(100)};
+    FaultPlan plan;
+    plan.fixedEvents.push_back(
+        FaultEvent{FaultKind::KernelFailure, 50, 0, 0.0});
+    ServingPolicy policy;
+    policy.maxRetries = 100;
+    policy.retryBackoffCycles = ~uint64_t{0} - 10;
+    const ServingStats s = runServing(
+        policy, classes, {requestAt(0, 0)}, plan, 10'000);
+    EXPECT_EQ(s.retries, 1u);
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.shedDeadline, 1u);
+    EXPECT_EQ(totalAccounted(s), s.offered);
 }
 
 TEST(RunServing, DeviceStallDelaysCompletion)
