@@ -15,6 +15,12 @@ previous CI run's BENCH_sim_throughput.json against this run's):
     dependency scheduling changed and the change should say so.
     Drift is BLOCKING (exit 1): regenerate the goldens/artifacts
     deliberately or fix the regression;
+  - the memory planner's accounting (BENCH_memplan.json and the
+    mem_peak_* columns of graph runs) is likewise a pure function
+    of the op-graph: every metric ending in _bytes, the
+    plan_waves / plan_spills / plan_fits_budget / plan_sliced
+    budget counters, and plan_peak_ratio (a quotient of two exact
+    byte counts) are gated as blocking-exact;
   - wall-clock metrics (*_ms) may jitter; a slowdown beyond
     --tolerance (default 25%) is reported as a warning only (CI
     hosts are too noisy to gate on);
@@ -38,8 +44,14 @@ DETERMINISTIC = ("cycles", "warp_instrs", "graph_levels",
                  "shed_deadline", "shed_oversize",
                  "failed_requests", "retries", "slo_violations",
                  "batches", "fallback_dispatches", "shrink_batches",
-                 "queue_depth_peak")
-DETERMINISTIC_SUFFIXES = ("_cycles",)
+                 "queue_depth_peak",
+                 # BENCH_memplan.json: planner accounting is a pure
+                 # function of the op-graph (byte metrics are caught
+                 # by the _bytes suffix).
+                 "plan_waves", "plan_spills", "plan_fits_budget",
+                 "plan_sliced", "plan_peak_ratio", "graph_nodes",
+                 "graph_max_level_width")
+DETERMINISTIC_SUFFIXES = ("_cycles", "_bytes")
 WALLCLOCK_SUFFIXES = ("_ms",)
 
 

@@ -53,11 +53,20 @@ struct GraphRunReport {
     size_t levels = 0; ///< dependency depth of the graph
     size_t parts = 1;  ///< merged sub-pipelines (batch size)
     int lanes = 1;     ///< concurrent launch lanes modeled
+    size_t maxLevelWidth = 0; ///< widest dependency level
 
     bool hasSim = false; ///< cycle fields valid (sim engine only)
     uint64_t serialCycles = 0;       ///< sum of launch cycles
     uint64_t criticalPathCycles = 0; ///< longest dependency chain
     uint64_t makespanCycles = 0;     ///< list-schedule over lanes
+
+    /** True when plan-backed placement ran (mem-plan mode + full
+     *  span coverage); functional execution was level-parallel. */
+    bool planned = false;
+    /** MemPlan::peakBytes() of the graph (0 without coverage). */
+    uint64_t memPeakPlannedBytes = 0;
+    /** Naive bump-layout total (0 without coverage). */
+    uint64_t memPeakNaiveBytes = 0;
 };
 
 /** Abstract engine. */
@@ -70,15 +79,19 @@ class ExecutionEngine
     void run(Kernel &kernel) { runKernel(kernel, alloc); }
 
     /**
-     * Execute a dataflow graph: every node runs in the graph's
-     * deterministic schedule order (so the timeline — and on the
-     * sim engine every launch's device-address layout and stats —
-     * is bit-identical to running the kernels serially one by one),
-     * then sync()s so deferred simulations overlap across the
-     * engine's lanes. Merged graphs give each part its own device
-     * address space, making per-part statistics bit-identical to
-     * running that part's pipeline alone on a fresh engine.
-     * Fills lastGraphReport().
+     * Execute a dataflow graph. In the default naive mode every node
+     * runs in the graph's deterministic schedule order (so the
+     * timeline — and on the sim engine every launch's
+     * device-address layout and stats — is bit-identical to running
+     * the kernels serially one by one), then sync()s so deferred
+     * simulations overlap across the engine's lanes. In mem-plan
+     * mode (setMemPlanMode) functional execution is level-parallel
+     * and launches are built against a pre-planned frozen address
+     * layout — statistics stay bit-identical because the canonical
+     * plan layout IS the naive layout. Merged graphs give each part
+     * its own device address space, making per-part statistics
+     * bit-identical to running that part's pipeline alone on a
+     * fresh engine. Fills lastGraphReport().
      */
     void run(const OpGraph &graph);
 
@@ -105,6 +118,27 @@ class ExecutionEngine
     {
         faultHook = std::move(hook);
     }
+
+    /**
+     * Enable plan-backed placement for run(OpGraph&): functional
+     * execution goes level-parallel (same-level nodes have no
+     * dependency path between them), then a MemPlan pre-maps and
+     * freezes every declared span in canonical schedule order before
+     * any launch is built — so device addresses, and therefore every
+     * simulated statistic, stay bit-identical to a naive in-order
+     * run. Graphs with undeclared spans (barriers, external kernels)
+     * fall back to naive on-demand placement with a warn().
+     *
+     * @param execThreads Lanes for level-parallel functional
+     *        execution; 0 = auto.
+     */
+    void
+    setMemPlanMode(bool on, int execThreads = 0)
+    {
+        planMode = on;
+        planThreads = execThreads;
+    }
+    bool memPlanMode() const { return planMode; }
 
     /** Summary of the most recent run(OpGraph&) call. */
     const GraphRunReport &lastGraphReport() const
@@ -137,13 +171,27 @@ class ExecutionEngine
   protected:
     /**
      * Execute one kernel against an explicit device address space
-     * and append a record. run(Kernel&) passes the engine's shared
-     * allocator; run(OpGraph&) passes a per-part allocator for
-     * merged graphs so each part's address layout matches a
-     * standalone run.
+     * and append a record (functional execution + measurement).
+     * run(Kernel&) passes the engine's shared allocator; naive-mode
+     * run(OpGraph&) passes a per-part allocator for merged graphs so
+     * each part's address layout matches a standalone run.
      */
-    virtual void runKernel(Kernel &kernel,
-                           DeviceAllocator &kernelAlloc) = 0;
+    void runKernel(Kernel &kernel, DeviceAllocator &kernelAlloc);
+
+    /**
+     * Measurement face of one already-executed kernel: build its
+     * launch against @p kernelAlloc and fill records[recordIndex]'s
+     * sim/hw fields. Plan-backed runs call this in schedule order
+     * after the level-parallel functional phase; runKernel() calls
+     * it right after execute(). Default: no measurement.
+     */
+    virtual void measureKernel(size_t recordIndex, Kernel &kernel,
+                               DeviceAllocator &kernelAlloc)
+    {
+        (void)recordIndex;
+        (void)kernel;
+        (void)kernelAlloc;
+    }
 
     /**
      * Launch lanes the makespan model of run(OpGraph&) uses; the
@@ -155,6 +203,14 @@ class ExecutionEngine
     DeviceAllocator alloc;
     GraphRunReport graphReport;
     std::function<void(size_t, const Kernel &)> faultHook;
+    bool planMode = false;
+    int planThreads = 0;
+
+  private:
+    /** Level-parallel functional phase of a plan-backed run. */
+    void executeLevels(const OpGraph &graph, size_t firstRecord);
+
+    std::unique_ptr<ThreadPool> execPool;
 };
 
 /** Host-execution engine with optional hardware cache profiling. */
@@ -170,8 +226,8 @@ class FunctionalEngine : public ExecutionEngine
     explicit FunctionalEngine(Options opts);
 
   protected:
-    void runKernel(Kernel &kernel,
-                   DeviceAllocator &kernelAlloc) override;
+    void measureKernel(size_t recordIndex, Kernel &kernel,
+                       DeviceAllocator &kernelAlloc) override;
 
   private:
     Options opts;
@@ -205,8 +261,8 @@ class SimEngine : public ExecutionEngine
     const GpuConfig &gpuConfig() const { return sim.config(); }
 
   protected:
-    void runKernel(Kernel &kernel,
-                   DeviceAllocator &kernelAlloc) override;
+    void measureKernel(size_t recordIndex, Kernel &kernel,
+                       DeviceAllocator &kernelAlloc) override;
     int concurrentLaneCount() const override
     {
         return effectiveParallel();
@@ -216,6 +272,7 @@ class SimEngine : public ExecutionEngine
     struct PendingSim {
         size_t recordIndex;
         KernelLaunch launch;
+        uint64_t deviceBytesPeak = 0;
     };
 
     Options opts;

@@ -137,6 +137,32 @@ h100Sim()
     return cfg;
 }
 
+/**
+ * Jetson AGX Orin (Ampere GA10B, integrated). 16 SMs (4 x 4),
+ * 192 KiB combined L1/shared per SM, 4 MiB shared L2, and 204.8 GB/s
+ * of LPDDR5 *shared with the CPU* — at the 1.3 GHz GPU clock that is
+ * ~157.5 B/cyc over 16 SMs => 9.84 B/cyc per SM, with DRAM latency
+ * well above the discrete parts (LPDDR over a coherent fabric). The
+ * shared-memory budget class: the natural target for budget-
+ * constrained memory planning (src/memplan).
+ */
+GpuConfig
+jetsonOrinSim()
+{
+    GpuConfig cfg;
+    cfg.name = "jetson-orin";
+    cfg.numSms = 4;
+    cfg.smSampleFactor = 4;
+    cfg.l1Latency = 33;
+    cfg.l2Latency = 240;
+    cfg.dramLatency = 420;
+    cfg.dramBytesPerCyclePerSm = 9.84;
+    cfg.l1d = {192 * 1024, 128, 32, 24, false};
+    cfg.l2 = {4ull * 1024 * 1024, 128, 32, 32, true};
+    cfg.coreClockGhz = 1.3;
+    return cfg;
+}
+
 std::vector<HwPreset>
 buildRegistry()
 {
@@ -166,6 +192,11 @@ buildRegistry()
          "H100 SXM5 (Hopper), 132 SMs, 256KiB L1, 50MiB L2, "
          "3352GB/s HBM3",
          h100Sim()});
+    presets.push_back(
+        {"jetson-orin",
+         "Jetson AGX Orin (Ampere, integrated), 16 SMs, 192KiB L1, "
+         "4MiB L2, 205GB/s shared LPDDR5",
+         jetsonOrinSim()});
     presets.push_back(
         {"test-tiny",
          "2-SM miniature with tiny caches for unit tests",

@@ -221,4 +221,24 @@ ElementwiseKernel::makeLaunch(DeviceAllocator &alloc) const
     return launch;
 }
 
+std::vector<IoSpan>
+ElementwiseKernel::ioSpans() const
+{
+    // Mirror makeLaunch()'s map calls exactly: inA, optional inB and
+    // rowVec, then out.
+    std::vector<IoSpan> spans;
+    spans.push_back(
+        {&inA, inA.data(), static_cast<uint64_t>(inA.size()) * 4});
+    if (inB)
+        spans.push_back({inB, inB->data(),
+                         static_cast<uint64_t>(inB->size()) * 4});
+    if (rowVec)
+        spans.push_back(
+            {rowVec, rowVec->data(),
+             static_cast<uint64_t>(rowVec->size()) * 4});
+    spans.push_back(
+        {&out, out.data(), static_cast<uint64_t>(out.size()) * 4});
+    return spans;
+}
+
 } // namespace gsuite

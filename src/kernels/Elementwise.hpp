@@ -65,6 +65,7 @@ class ElementwiseKernel : public Kernel
     }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    std::vector<IoSpan> ioSpans() const override;
     KernelIo io() const override
     {
         KernelIo io{{&inA}, {&out}};

@@ -107,4 +107,17 @@ IndexSelectKernel::makeLaunch(DeviceAllocator &alloc) const
     return launch;
 }
 
+std::vector<IoSpan>
+IndexSelectKernel::ioSpans() const
+{
+    // Mirror makeLaunch()'s map calls exactly — note the index is
+    // mapped FIRST, unlike io()'s read-list order.
+    const uint64_t e = static_cast<uint64_t>(index.size());
+    return {{&index, index.data(), e * 8},
+            {&input, input.data(),
+             static_cast<uint64_t>(input.size()) * 4},
+            {&output, output.data(),
+             static_cast<uint64_t>(output.size()) * 4}};
+}
+
 } // namespace gsuite

@@ -42,6 +42,7 @@ class IndexSelectKernel : public Kernel
     }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    std::vector<IoSpan> ioSpans() const override;
     KernelIo io() const override
     {
         return {{&input, &index}, {&output}};

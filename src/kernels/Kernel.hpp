@@ -39,6 +39,24 @@ struct KernelIo {
     std::vector<const void *> writes;
 };
 
+/**
+ * One device-mapped span of a kernel operand, sized. `buffer` is the
+ * io() container key the span belongs to (a container may map
+ * several spans — a CSR maps rowPtr/colIdx/vals separately); `data`
+ * and `bytes` are exactly what makeLaunch() passes to
+ * DeviceAllocator::map for that span. The memory planner
+ * (src/memplan) rebuilds the naive address layout by replaying these
+ * declarations in schedule order, so a kernel's ioSpans() MUST list
+ * its spans in makeLaunch()'s map order with makeLaunch()'s exact
+ * byte sizes — the plan-backed placement mode freezes the allocator
+ * and treats any undeclared map() as a contract violation.
+ */
+struct IoSpan {
+    const void *buffer = nullptr; ///< owning io() container key
+    const void *data = nullptr;   ///< map key (span base pointer)
+    uint64_t bytes = 0;           ///< exact mapped size
+};
+
 /** Abstract core kernel. */
 class Kernel
 {
@@ -70,6 +88,15 @@ class Kernel
      * later one.
      */
     virtual KernelIo io() const { return {}; }
+
+    /**
+     * Declare the device spans makeLaunch() will map, in map order
+     * with exact sizes. Valid only after execute() (span sizes may
+     * be data-dependent, e.g. SpGEMM's output). The default (empty)
+     * declaration marks the kernel as opaque to the memory planner:
+     * graphs containing such a node fall back to naive placement.
+     */
+    virtual std::vector<IoSpan> ioSpans() const { return {}; }
 };
 
 /** Threads per CTA used by all 1D-grid gsuite kernels. */

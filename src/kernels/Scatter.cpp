@@ -156,4 +156,23 @@ ScatterKernel::makeLaunch(DeviceAllocator &alloc) const
     return launch;
 }
 
+std::vector<IoSpan>
+ScatterKernel::ioSpans() const
+{
+    // Mirror makeLaunch()'s map calls exactly: index, messages,
+    // output, then the optional per-edge scale operand.
+    const uint64_t e = static_cast<uint64_t>(index.size());
+    std::vector<IoSpan> spans{
+        {&index, index.data(), e * 8},
+        {&messages, messages.data(),
+         static_cast<uint64_t>(messages.size()) * 4},
+        {&output, output.data(),
+         static_cast<uint64_t>(output.size()) * 4}};
+    if (edgeScale)
+        spans.push_back({edgeScale, edgeScale->data(), e * 4});
+    else if (edgeScaleMat)
+        spans.push_back({edgeScaleMat, edgeScaleMat->data(), e * 4});
+    return spans;
+}
+
 } // namespace gsuite

@@ -60,6 +60,7 @@ class ScatterKernel : public Kernel
     KernelClass kind() const override { return KernelClass::Scatter; }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    std::vector<IoSpan> ioSpans() const override;
     KernelIo io() const override
     {
         KernelIo io{{&messages, &index}, {&output}};

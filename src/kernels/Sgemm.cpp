@@ -190,4 +190,13 @@ SgemmKernel::makeLaunch(DeviceAllocator &alloc) const
     return launch;
 }
 
+std::vector<IoSpan>
+SgemmKernel::ioSpans() const
+{
+    // Mirror makeLaunch()'s map calls exactly: a, b, c, 4B floats.
+    return {{&a, a.data(), static_cast<uint64_t>(a.size()) * 4},
+            {&b, b.data(), static_cast<uint64_t>(b.size()) * 4},
+            {&c, c.data(), static_cast<uint64_t>(c.size()) * 4}};
+}
+
 } // namespace gsuite

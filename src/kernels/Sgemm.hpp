@@ -34,6 +34,7 @@ class SgemmKernel : public Kernel
     KernelClass kind() const override { return KernelClass::Sgemm; }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    std::vector<IoSpan> ioSpans() const override;
     KernelIo io() const override { return {{&a, &b}, {&c}}; }
 
     /** Output tile edge (threads are kTile x kTile per CTA). */

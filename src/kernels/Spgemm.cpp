@@ -217,4 +217,37 @@ SpgemmKernel::makeLaunch(DeviceAllocator &alloc) const
     return launch;
 }
 
+std::vector<IoSpan>
+SpgemmKernel::ioSpans() const
+{
+    panicIf(c.rows() != a.rows(),
+            "SpGEMM ioSpans() before execute()");
+    // Mirror makeLaunch()'s map calls exactly, including the
+    // max(nnz,1) floors and the empty-vals colIdx alias (no map).
+    std::vector<IoSpan> spans;
+    spans.push_back({&a, a.rowPtr.data(),
+                     static_cast<uint64_t>(a.rowPtr.size()) * 8});
+    spans.push_back(
+        {&a, a.colIdx.data(),
+         static_cast<uint64_t>(std::max<int64_t>(a.nnz(), 1)) * 8});
+    if (!a.vals.empty())
+        spans.push_back({&a, a.vals.data(),
+                         static_cast<uint64_t>(a.nnz()) * 4});
+    spans.push_back({&b, b.rowPtr.data(),
+                     static_cast<uint64_t>(b.rowPtr.size()) * 8});
+    spans.push_back(
+        {&b, b.colIdx.data(),
+         static_cast<uint64_t>(std::max<int64_t>(b.nnz(), 1)) * 8});
+    if (!b.vals.empty())
+        spans.push_back({&b, b.vals.data(),
+                         static_cast<uint64_t>(b.nnz()) * 4});
+    spans.push_back(
+        {&c, c.colIdx.data(),
+         static_cast<uint64_t>(std::max<int64_t>(c.nnz(), 1)) * 8});
+    spans.push_back(
+        {&c, c.vals.data(),
+         static_cast<uint64_t>(std::max<int64_t>(c.nnz(), 1)) * 4});
+    return spans;
+}
+
 } // namespace gsuite

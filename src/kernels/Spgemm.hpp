@@ -28,6 +28,7 @@ class SpgemmKernel : public Kernel
     KernelClass kind() const override { return KernelClass::SpGemm; }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    std::vector<IoSpan> ioSpans() const override;
     KernelIo io() const override { return {{&a, &b}, {&c}}; }
 
   private:

@@ -142,4 +142,24 @@ SpmmKernel::makeLaunch(DeviceAllocator &alloc) const
     return launch;
 }
 
+std::vector<IoSpan>
+SpmmKernel::ioSpans() const
+{
+    // Mirror makeLaunch()'s map calls exactly: order, pointers and
+    // byte sizes. Empty vals alias colIdx's base without a map call.
+    std::vector<IoSpan> spans;
+    spans.push_back({&a, a.rowPtr.data(),
+                     static_cast<uint64_t>(a.rowPtr.size()) * 8});
+    spans.push_back({&a, a.colIdx.data(),
+                     static_cast<uint64_t>(a.colIdx.size()) * 8});
+    if (!a.vals.empty())
+        spans.push_back({&a, a.vals.data(),
+                         static_cast<uint64_t>(a.vals.size()) * 4});
+    spans.push_back(
+        {&b, b.data(), static_cast<uint64_t>(b.size()) * 4});
+    spans.push_back(
+        {&c, c.data(), static_cast<uint64_t>(c.size()) * 4});
+    return spans;
+}
+
 } // namespace gsuite

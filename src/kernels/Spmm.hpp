@@ -30,6 +30,7 @@ class SpmmKernel : public Kernel
     KernelClass kind() const override { return KernelClass::SpMM; }
     void execute() override;
     KernelLaunch makeLaunch(DeviceAllocator &alloc) const override;
+    std::vector<IoSpan> ioSpans() const override;
     KernelIo io() const override { return {{&a, &b}, {&c}}; }
 
   private:

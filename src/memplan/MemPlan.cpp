@@ -1,0 +1,687 @@
+#include "memplan/MemPlan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/Logging.hpp"
+
+namespace gsuite {
+
+namespace {
+
+/** Must match DeviceAllocator: 256-byte aligned, 0-byte maps pad. */
+constexpr uint64_t kPlanAlign = 256;
+
+uint64_t
+alignUp(uint64_t bytes)
+{
+    const uint64_t padded =
+        (bytes + kPlanAlign - 1) / kPlanAlign * kPlanAlign;
+    return padded == 0 ? kPlanAlign : padded;
+}
+
+/**
+ * Everything the planner derives from a graph's io()/ioSpans()
+ * declarations: per-buffer footprints and accessor lists, span
+ * attribution, and the dependency-ancestor closure used by the
+ * happens-before lifetime model.
+ */
+struct GraphMem {
+    size_t n = 0;
+    size_t words = 0; ///< bitset words per ancestor row
+    bool coverage = false;
+    std::vector<std::vector<IoSpan>> nodeSpans;
+    std::unordered_map<const void *, BufferId> hostToBuf;
+    std::vector<uint64_t> footprint; ///< per buffer, spans deduped
+    std::vector<size_t> firstSpanOrder; ///< global first appearance
+    std::vector<std::vector<size_t>> accessors; ///< per buffer, asc
+    std::vector<int> bufPart; ///< part, or -1 = shared across parts
+    std::vector<uint64_t> anc; ///< n x words transitive closure
+
+    bool ancestor(size_t node, size_t maybeAncestor) const
+    {
+        return (anc[node * words + maybeAncestor / 64] >>
+                (maybeAncestor % 64)) &
+               1u;
+    }
+};
+
+GraphMem
+analyze(const OpGraph &graph)
+{
+    GraphMem m;
+    m.n = graph.numNodes();
+    m.words = (m.n + 63) / 64;
+    m.coverage = m.n > 0;
+    m.nodeSpans.resize(m.n);
+    const size_t nbuf = graph.numBuffers();
+    m.footprint.assign(nbuf, 0);
+    m.firstSpanOrder.assign(nbuf, static_cast<size_t>(-1));
+    m.accessors.resize(nbuf);
+    m.bufPart.assign(nbuf, -2);
+    m.anc.assign(m.n * m.words, 0);
+
+    for (size_t b = 0; b < nbuf; ++b)
+        m.hostToBuf.emplace(graph.buffer(static_cast<BufferId>(b))
+                                .host,
+                            static_cast<BufferId>(b));
+
+    std::unordered_set<const void *> seenSpanData;
+    size_t spanOrder = 0;
+    for (size_t i = 0; i < m.n; ++i) {
+        const OpNode &node = graph.node(i);
+        m.nodeSpans[i] = node.kernel->ioSpans();
+        if (m.nodeSpans[i].empty())
+            m.coverage = false;
+
+        for (const IoSpan &s : m.nodeSpans[i]) {
+            const auto it = m.hostToBuf.find(s.buffer);
+            panicIf(it == m.hostToBuf.end(),
+                    "ioSpans() declares a span whose buffer is not "
+                    "in the kernel's io() declaration");
+            const size_t b = static_cast<size_t>(it->second);
+            if (seenSpanData.insert(s.data).second) {
+                m.footprint[b] += alignUp(s.bytes);
+                if (m.firstSpanOrder[b] == static_cast<size_t>(-1))
+                    m.firstSpanOrder[b] = spanOrder;
+            }
+            ++spanOrder;
+        }
+
+        std::vector<BufferId> touched;
+        touched.insert(touched.end(), node.reads.begin(),
+                       node.reads.end());
+        touched.insert(touched.end(), node.writes.begin(),
+                       node.writes.end());
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+        for (BufferId b : touched) {
+            m.accessors[static_cast<size_t>(b)].push_back(i);
+            int &part = m.bufPart[static_cast<size_t>(b)];
+            if (part == -2)
+                part = node.part;
+            else if (part != node.part)
+                part = -1;
+        }
+
+        uint64_t *row = m.anc.data() + i * m.words;
+        for (size_t d : node.deps) {
+            const uint64_t *drow = m.anc.data() + d * m.words;
+            for (size_t w = 0; w < m.words; ++w)
+                row[w] |= drow[w];
+            row[d / 64] |= 1ull << (d % 64);
+        }
+    }
+    return m;
+}
+
+/**
+ * True if every accessor of @p a is a strict dependency ancestor of
+ * @p b's first writer — then a's region is provably dead before b
+ * materializes, under any dependency-respecting execution order.
+ * A buffer that is *read before* its first write (external-input
+ * state early, overwritten in place later) materializes at that
+ * first read, not at the writer, so it can never take another
+ * region: its pre-write readers are not ordered through the writer.
+ */
+bool
+deadBefore(const OpGraph &graph, const GraphMem &m,
+           const PlannedWindow &a, const PlannedWindow &b)
+{
+    if (b.input)
+        return false; // inputs live from graph start, never reuse
+    const size_t writer = graph.buffer(b.id).firstWriter;
+    for (size_t acc :
+         m.accessors[static_cast<size_t>(b.id)]) {
+        if (acc < writer)
+            return false; // read-before-write: lives from the read
+    }
+    for (size_t acc :
+         m.accessors[static_cast<size_t>(a.id)]) {
+        if (acc == writer || !m.ancestor(writer, acc))
+            return false;
+    }
+    return true;
+}
+
+bool
+intervalsOverlap(const PlannedWindow &a, const PlannedWindow &b)
+{
+    return a.firstNode <= b.lastNode && b.firstNode <= a.lastNode;
+}
+
+bool
+regionsOverlap(const PlannedWindow &a, const PlannedWindow &b)
+{
+    return a.offset < b.offset + b.bytes &&
+           b.offset < a.offset + a.bytes;
+}
+
+bool
+windowsConflict(const OpGraph &graph, const GraphMem &m,
+                LifetimeModel model, const PlannedWindow &a,
+                const PlannedWindow &b)
+{
+    if (a.id == b.id || model == LifetimeModel::Serial)
+        return intervalsOverlap(a, b);
+    return !deadBefore(graph, m, a, b) &&
+           !deadBefore(graph, m, b, a);
+}
+
+} // namespace
+
+MemPlan
+MemPlan::build(const OpGraph &graph)
+{
+    return build(graph, Options());
+}
+
+MemPlan
+MemPlan::build(const OpGraph &graph, const Options &opts)
+{
+    MemPlan plan;
+    plan.budget = opts.budgetBytes;
+    plan.model = opts.lifetime;
+    const size_t numParts = graph.numParts();
+    plan.partPeaks.assign(numParts, 0);
+    plan.partWave.assign(numParts, 0);
+    plan.partReplay.resize(numParts);
+    plan.highWater.assign(graph.numNodes(), 0);
+
+    const GraphMem m = analyze(graph);
+    plan.coverage = m.coverage;
+    if (!m.coverage) {
+        // A barrier / external kernel hides its spans: nothing to
+        // plan. Accounting stays zero; a budget cannot be checked.
+        plan.fits = opts.budgetBytes == 0;
+        return plan;
+    }
+
+    // Naive accounting and the canonical per-part replay order: what
+    // the bump allocator maps, per part, each distinct span once.
+    plan.naiveHW.assign(m.n, 0);
+    std::vector<std::unordered_set<const void *>> partSeen(numParts);
+    std::vector<uint64_t> partCum(numParts, 0);
+    for (size_t i = 0; i < m.n; ++i) {
+        const size_t part =
+            static_cast<size_t>(graph.node(i).part);
+        for (const IoSpan &s : m.nodeSpans[i]) {
+            plan.partReplay[part].push_back(s);
+            if (partSeen[part].insert(s.data).second) {
+                plan.naiveTotal += alignUp(s.bytes);
+                partCum[part] += alignUp(s.bytes);
+            }
+        }
+        plan.naiveHW[i] = partCum[part];
+    }
+
+    // Lifetime windows: one per buffer, split at spill/reload copy
+    // nodes under the Serial model (the spilled gap is off-device).
+    for (size_t b = 0; b < graph.numBuffers(); ++b) {
+        if (m.footprint[b] == 0)
+            continue;
+        const BufferId id = static_cast<BufferId>(b);
+        PlannedWindow proto;
+        proto.id = id;
+        proto.host = graph.buffer(id).host;
+        proto.bytes = m.footprint[b];
+        proto.part = m.bufPart[b];
+        proto.input = graph.buffer(id).isInput();
+
+        bool open = false;
+        PlannedWindow cur = proto;
+        for (size_t acc : m.accessors[b]) {
+            const auto *copy =
+                opts.lifetime == LifetimeModel::Serial
+                    ? dynamic_cast<const MemCopyKernel *>(
+                          graph.node(acc).kernel)
+                    : nullptr;
+            if (copy && copy->bufferKey() == proto.host &&
+                copy->direction() == MemCopyKernel::Dir::Spill) {
+                cur.lastNode = acc; // live through the spill copy
+                plan.windowList.push_back(cur);
+                open = false;
+                continue;
+            }
+            if (!open) {
+                cur = proto;
+                cur.firstNode = acc;
+                open = true;
+            }
+            cur.lastNode = acc;
+        }
+        if (open)
+            plan.windowList.push_back(cur);
+    }
+
+    // Deterministic placement order: first span appearance in the
+    // canonical replay (== naive map order), then window start.
+    std::sort(plan.windowList.begin(), plan.windowList.end(),
+              [&](const PlannedWindow &a, const PlannedWindow &b) {
+                  const size_t oa =
+                      m.firstSpanOrder[static_cast<size_t>(a.id)];
+                  const size_t ob =
+                      m.firstSpanOrder[static_cast<size_t>(b.id)];
+                  if (oa != ob)
+                      return oa < ob;
+                  if (a.firstNode != b.firstNode)
+                      return a.firstNode < b.firstNode;
+                  return a.id < b.id;
+              });
+
+    // Greedy best-fit within one arena: each window takes the
+    // smallest already-open gap among conflicting placed windows
+    // (ties: lowest offset), else extends the arena. Placement order
+    // is the deterministic sort above, so offsets are a pure function
+    // of graph structure.
+    const auto place =
+        [&](const std::vector<size_t> &domain) -> uint64_t {
+        uint64_t domPeak = 0;
+        std::vector<size_t> placed;
+        for (size_t wi : domain) {
+            PlannedWindow &w = plan.windowList[wi];
+            std::vector<std::pair<uint64_t, uint64_t>> busy;
+            for (size_t pj : placed) {
+                const PlannedWindow &q = plan.windowList[pj];
+                if (windowsConflict(graph, m, opts.lifetime, w, q))
+                    busy.emplace_back(q.offset,
+                                      q.offset + q.bytes);
+            }
+            std::sort(busy.begin(), busy.end());
+            uint64_t gapStart = 0;
+            uint64_t bestOff = 0;
+            uint64_t bestSize = ~0ull;
+            bool found = false;
+            for (const auto &iv : busy) {
+                if (iv.first > gapStart) {
+                    const uint64_t sz = iv.first - gapStart;
+                    if (sz >= w.bytes && sz < bestSize) {
+                        bestSize = sz;
+                        bestOff = gapStart;
+                        found = true;
+                    }
+                }
+                gapStart = std::max(gapStart, iv.second);
+            }
+            w.offset = found ? bestOff : gapStart;
+            placed.push_back(wi);
+            domPeak = std::max(domPeak, w.offset + w.bytes);
+        }
+        return domPeak;
+    };
+
+    // Arena layout: shared buffers (read by several parts — merge()
+    // guarantees they are never written cross-part) sit at the bottom
+    // of the address space; each part's private arena stacks above,
+    // so a merged plan's peak is exactly sharedArena + the sum of the
+    // concurrent parts' peaks.
+    std::vector<size_t> sharedDomain;
+    std::vector<std::vector<size_t>> partDomain(numParts);
+    for (size_t wi = 0; wi < plan.windowList.size(); ++wi) {
+        const PlannedWindow &w = plan.windowList[wi];
+        if (numParts > 1 && w.part < 0)
+            sharedDomain.push_back(wi);
+        else
+            partDomain[static_cast<size_t>(std::max(w.part, 0))]
+                .push_back(wi);
+    }
+    plan.sharedArena = place(sharedDomain);
+    for (size_t p = 0; p < numParts; ++p)
+        plan.partPeaks[p] = place(partDomain[p]);
+
+    // Budget: pack parts into sequential waves; parts in later waves
+    // rebase onto the same address range (they never run
+    // concurrently with an earlier wave).
+    uint64_t allPartBytes = 0;
+    for (uint64_t pk : plan.partPeaks)
+        allPartBytes += pk;
+    plan.waves = 1;
+    if (opts.budgetBytes > 0 && numParts > 1 &&
+        plan.sharedArena + allPartBytes > opts.budgetBytes) {
+        int wave = 0;
+        uint64_t cur = plan.sharedArena;
+        bool waveEmpty = true;
+        for (size_t p = 0; p < numParts; ++p) {
+            if (!waveEmpty && cur + plan.partPeaks[p] >
+                                  opts.budgetBytes) {
+                ++wave;
+                cur = plan.sharedArena;
+                waveEmpty = true;
+            }
+            plan.partWave[p] = wave;
+            cur += plan.partPeaks[p];
+            waveEmpty = false;
+        }
+        plan.waves = static_cast<size_t>(wave) + 1;
+    }
+
+    std::vector<uint64_t> partBase(numParts, plan.sharedArena);
+    for (size_t p = 1; p < numParts; ++p) {
+        partBase[p] = partBase[p - 1];
+        if (plan.partWave[p] == plan.partWave[p - 1])
+            partBase[p] += plan.partPeaks[p - 1];
+        else
+            partBase[p] = plan.sharedArena; // new wave rebases
+    }
+    for (size_t p = 0; p < numParts; ++p)
+        for (size_t wi : partDomain[p])
+            plan.windowList[wi].offset += partBase[p];
+
+    plan.peak = plan.sharedArena;
+    for (const PlannedWindow &w : plan.windowList)
+        plan.peak = std::max(plan.peak, w.offset + w.bytes);
+    plan.fits =
+        opts.budgetBytes == 0 || plan.peak <= opts.budgetBytes;
+
+    for (const PlannedWindow &w : plan.windowList)
+        for (size_t i = w.firstNode; i <= w.lastNode; ++i)
+            plan.highWater[i] =
+                std::max(plan.highWater[i], w.offset + w.bytes);
+
+    return plan;
+}
+
+uint64_t
+MemPlan::partPeakBytes(size_t part) const
+{
+    panicIf(part >= partPeaks.size(),
+            "partPeakBytes: part out of range");
+    return partPeaks[part];
+}
+
+int
+MemPlan::waveOf(size_t part) const
+{
+    panicIf(part >= partWave.size(), "waveOf: part out of range");
+    return partWave[part];
+}
+
+void
+MemPlan::bindAllocator(DeviceAllocator &alloc, size_t part) const
+{
+    panicIf(!coverage,
+            "bindAllocator on a plan without full span coverage");
+    panicIf(part >= partReplay.size(),
+            "bindAllocator: part out of range");
+    // map() is idempotent, so replaying the canonical span order
+    // reproduces the naive layout exactly — including on a warm
+    // allocator that already holds mappings from earlier runs.
+    for (const IoSpan &s : partReplay[part])
+        alloc.map(s.data, s.bytes);
+    alloc.freeze();
+}
+
+void
+MemPlan::verify(const OpGraph &graph) const
+{
+    const GraphMem m = analyze(graph);
+    for (size_t i = 0; i < windowList.size(); ++i) {
+        const PlannedWindow &a = windowList[i];
+        for (size_t j = i + 1; j < windowList.size(); ++j) {
+            const PlannedWindow &b = windowList[j];
+            if (!regionsOverlap(a, b))
+                continue;
+            if (a.id == b.id) {
+                panicIf(intervalsOverlap(a, b),
+                        "memplan: split windows of one buffer "
+                        "overlap in both space and time");
+                continue;
+            }
+            if (a.part >= 0 && b.part >= 0 && a.part != b.part) {
+                panicIf(partWave[static_cast<size_t>(a.part)] ==
+                            partWave[static_cast<size_t>(b.part)],
+                        "memplan: windows of two parts in the same "
+                        "wave overlap");
+                continue;
+            }
+            panicIf(windowsConflict(graph, m, model, a, b),
+                    "memplan: overlapping regions with "
+                    "non-disjoint lifetimes");
+        }
+    }
+    panicIf(coverage && peak > naiveTotal,
+            "memplan: planned peak exceeds the naive total");
+}
+
+MemCopyKernel::MemCopyKernel(std::string label_in, Dir dir,
+                             const void *bufferKey,
+                             std::vector<IoSpan> spans_in,
+                             std::vector<uint8_t> &staging)
+    : label(std::move(label_in)), dir(dir), bufKey(bufferKey),
+      spans(std::move(spans_in)), staging(staging)
+{
+}
+
+void
+MemCopyKernel::execute()
+{
+    uint64_t total = 0;
+    for (const IoSpan &s : spans)
+        total += s.bytes;
+    if (dir == Dir::Spill) {
+        staging.resize(total);
+        uint64_t off = 0;
+        for (const IoSpan &s : spans) {
+            std::memcpy(staging.data() + off, s.data, s.bytes);
+            off += s.bytes;
+        }
+        return;
+    }
+    panicIf(staging.size() != total,
+            "reload before its matching spill ran");
+    uint64_t off = 0;
+    for (const IoSpan &s : spans) {
+        // Reload restores the exact spilled bytes into the (owned,
+        // mutable) operand containers the spans point into.
+        std::memcpy(const_cast<void *>(s.data),
+                    staging.data() + off, s.bytes);
+        off += s.bytes;
+    }
+}
+
+KernelIo
+MemCopyKernel::io() const
+{
+    if (dir == Dir::Spill)
+        return {{bufKey}, {const_cast<std::vector<uint8_t> *>(
+                     &staging)}};
+    return {{const_cast<std::vector<uint8_t> *>(&staging)},
+            {bufKey}};
+}
+
+KernelLaunch
+MemCopyKernel::makeLaunch(DeviceAllocator &alloc) const
+{
+    // Device side of the transfer only: a spill streams reads out of
+    // the spans, a reload streams writes back in (the host leg rides
+    // the copy engine, not the SMs). Staging is host memory and is
+    // never device-mapped.
+    struct Seg {
+        uint64_t base;
+        int64_t words;
+    };
+    std::vector<Seg> segs;
+    int64_t totalWords = 0;
+    uint64_t totalBytes = 0;
+    for (const IoSpan &s : spans) {
+        const uint64_t base = alloc.map(s.data, s.bytes);
+        const int64_t words =
+            static_cast<int64_t>((s.bytes + 3) / 4);
+        segs.push_back({base, words});
+        totalWords += words;
+        totalBytes += s.bytes;
+    }
+
+    KernelLaunch launch;
+    launch.name = label;
+    launch.kind = KernelClass::Aux;
+    launch.dims.numCtas =
+        ceilDiv(std::max<int64_t>(totalWords, 1), kCtaThreads);
+    launch.dims.threadsPerCta = kCtaThreads;
+    launch.bytesEstimate = totalBytes;
+
+    const bool isSpill = dir == Dir::Spill;
+    launch.streamTrace = [=](int64_t cta,
+                             int warp) -> WarpTraceStream {
+        return [=](TraceBuilder &b) {
+            const int64_t t0 =
+                (cta * kCtaWarps + warp) * static_cast<int64_t>(32);
+            const int lanes = static_cast<int>(
+                std::clamp<int64_t>(totalWords - t0, 0, 32));
+            if (lanes == 0) {
+                b.exit();
+                return true;
+            }
+            const uint32_t mask = maskOfLanes(lanes);
+            std::array<uint64_t, 32> addrs{};
+            for (int l = 0; l < lanes; ++l) {
+                int64_t w = t0 + l;
+                uint64_t addr = 0;
+                for (const Seg &seg : segs) {
+                    if (w < seg.words) {
+                        addr = seg.base +
+                               static_cast<uint64_t>(w) * 4;
+                        break;
+                    }
+                    w -= seg.words;
+                }
+                addrs[static_cast<size_t>(l)] = addr;
+            }
+            b.aluChain(Op::INT, 2, mask);
+            if (isSpill) {
+                b.load({addrs.data(),
+                        static_cast<size_t>(lanes)});
+            } else {
+                const Reg v =
+                    b.alu(Op::INT, kNoReg, kNoReg, mask);
+                b.store({addrs.data(),
+                         static_cast<size_t>(lanes)},
+                        v);
+            }
+            b.exit();
+            return true;
+        };
+    };
+    return launch;
+}
+
+SpilledGraph
+spillToBudget(const OpGraph &graph, uint64_t budgetBytes)
+{
+    panicIf(graph.numParts() != 1,
+            "spillToBudget handles single-part graphs; merged "
+            "graphs are wave-packed by MemPlan instead");
+    SpilledGraph out;
+    std::vector<Kernel *> sched;
+    sched.reserve(graph.numNodes());
+    for (const OpNode &node : graph.nodes())
+        sched.push_back(node.kernel);
+
+    MemPlan::Options popts;
+    popts.budgetBytes = budgetBytes;
+    popts.lifetime = LifetimeModel::Serial;
+    constexpr size_t kMaxSpills = 32;
+
+    for (;;) {
+        OpGraph g;
+        for (Kernel *k : sched)
+            g.addNode(*k);
+        MemPlan plan = MemPlan::build(g, popts);
+
+        if (plan.fullSpanCoverage() && !plan.fitsBudget() &&
+            out.spills < kMaxSpills) {
+            const GraphMem m = analyze(g);
+            // The schedule point where the plan peaks (lowest index
+            // on ties) — the node a spill must relieve.
+            size_t nStar = 0;
+            for (size_t i = 1; i < plan.nodeHighWater().size();
+                 ++i)
+                if (plan.nodeHighWater()[i] >
+                    plan.nodeHighWater()[nStar])
+                    nStar = i;
+
+            // Victim: the largest non-input window live-but-idle
+            // across the peak — spill after its last accessor before
+            // n*, reload before its next accessor after n*.
+            const PlannedWindow *victim = nullptr;
+            size_t prev = 0;
+            size_t next = 0;
+            for (const PlannedWindow &w : plan.windows()) {
+                if (w.input || w.bytes == 0)
+                    continue;
+                if (!(w.firstNode < nStar && nStar < w.lastNode))
+                    continue;
+                const auto &acc =
+                    m.accessors[static_cast<size_t>(w.id)];
+                if (std::binary_search(acc.begin(), acc.end(),
+                                       nStar))
+                    continue; // accessed at the peak: not idle
+                size_t p = w.firstNode;
+                size_t nx = w.lastNode;
+                for (size_t a : acc) {
+                    if (a < nStar && a >= w.firstNode)
+                        p = std::max(p, a);
+                    if (a > nStar && a <= w.lastNode)
+                        nx = std::min(nx, a);
+                }
+                const bool better =
+                    victim == nullptr ||
+                    w.bytes > victim->bytes ||
+                    (w.bytes == victim->bytes &&
+                     w.id < victim->id);
+                if (better) {
+                    victim = &w;
+                    prev = p;
+                    next = nx;
+                }
+            }
+            if (victim != nullptr) {
+                // Collect the victim's device spans in canonical
+                // (first appearance) order for the copy kernels.
+                std::vector<IoSpan> vspans;
+                std::unordered_set<const void *> seen;
+                for (size_t i = 0; i < g.numNodes(); ++i)
+                    for (const IoSpan &s : m.nodeSpans[i]) {
+                        const auto it = m.hostToBuf.find(s.buffer);
+                        if (it != m.hostToBuf.end() &&
+                            it->second == victim->id &&
+                            seen.insert(s.data).second)
+                            vspans.push_back(s);
+                    }
+                const std::string tag =
+                    std::to_string(out.spills);
+                out.staging.push_back(
+                    std::make_unique<std::vector<uint8_t>>());
+                auto spill = std::make_unique<MemCopyKernel>(
+                    "spill" + tag, MemCopyKernel::Dir::Spill,
+                    victim->host, vspans, *out.staging.back());
+                auto reload = std::make_unique<MemCopyKernel>(
+                    "reload" + tag, MemCopyKernel::Dir::Reload,
+                    victim->host, vspans, *out.staging.back());
+                // Insert back-to-front so the earlier index stays
+                // valid: reload right before the next accessor,
+                // spill right after the previous one.
+                sched.insert(sched.begin() +
+                                 static_cast<ptrdiff_t>(next),
+                             reload.get());
+                sched.insert(sched.begin() +
+                                 static_cast<ptrdiff_t>(prev + 1),
+                             spill.get());
+                out.copies.push_back(std::move(spill));
+                out.copies.push_back(std::move(reload));
+                ++out.spills;
+                continue;
+            }
+        }
+        out.graph = std::move(g);
+        out.plan = std::move(plan);
+        return out;
+    }
+}
+
+} // namespace gsuite

@@ -8,6 +8,7 @@
 
 #include "engine/ExecutionEngine.hpp"
 #include "hwdb/KeyValueFile.hpp"
+#include "memplan/MemPlan.hpp"
 #include "models/GnnModel.hpp"
 #include "util/Logging.hpp"
 #include "util/StringUtils.hpp"
@@ -58,9 +59,29 @@ profileClass(std::string name, const Graph &graph,
         panicIf(!rec.hasSim, "profileClass needs simulated records");
         costs.push_back(rec.sim.cycles);
     }
-    return classCostFromGraph(pipeline.opGraph(), costs,
-                              std::move(name),
-                              engine.allocator().bytesAllocated());
+    ClassCost cc = classCostFromGraph(
+        pipeline.opGraph(), costs, std::move(name),
+        engine.allocator().bytesAllocated());
+
+    // Planned admission model: plan a two-replica merged graph. The
+    // merged plan separates the shared arena (dataset inputs, live
+    // for every concurrent replica) from the per-part arenas — a
+    // single-pipeline plan cannot, because there work buffers may
+    // legally reuse input space that a batch must keep resident.
+    GnnPipeline replica(graph, cfg);
+    FunctionalEngine sizer;
+    sizer.run(replica.opGraph()); // size the replica's spans
+    const OpGraph merged = OpGraph::merge(
+        {&pipeline.opGraph(), &replica.opGraph()});
+    const MemPlan plan = MemPlan::build(merged);
+    if (plan.fullSpanCoverage()) {
+        panicIf(plan.partPeakBytes(0) != plan.partPeakBytes(1),
+                "profileClass: identical replicas planned to "
+                "different part peaks");
+        cc.plannedSharedBytes = plan.sharedArenaBytes();
+        cc.plannedPerReplicaBytes = plan.partPeakBytes(0);
+    }
+    return cc;
 }
 
 // ---------------------------------------------------------------------------
@@ -556,7 +577,14 @@ runServing(const ServingPolicy &policy,
         std::vector<Request> batch;
         std::vector<const ClassCost *> batchClasses;
         std::vector<Request> leftover;
-        uint64_t memUsed = 0;
+        // Planned-memory accounting: a merged batch graph keeps one
+        // shared arena (the max over admitted classes) plus one
+        // planned per-replica arena per request — exactly
+        // MemPlan::peakBytes() of the merged graph for homogeneous
+        // batches. Classes without a plan fall back to their
+        // profiled whole-pipeline footprint.
+        uint64_t sharedUsed = 0;
+        uint64_t workUsed = 0;
         uint64_t fallbacksInBatch = 0;
         for (const Request &r : queue) {
             const ClassCost *cls =
@@ -567,12 +595,20 @@ runServing(const ServingPolicy &policy,
                     cls->fallbackClass)];
                 usedFallback = true;
             }
+            const bool planned = cls->plannedPerReplicaBytes > 0;
+            const uint64_t candShared =
+                std::max(sharedUsed,
+                         planned ? cls->plannedSharedBytes : 0);
+            const uint64_t candWork =
+                workUsed + (planned ? cls->plannedPerReplicaBytes
+                                    : cls->memBytes);
             const bool fits =
                 batch.size() < batchCap &&
                 (effectiveBudget == kNever ||
-                 memUsed + cls->memBytes <= effectiveBudget);
+                 candShared + candWork <= effectiveBudget);
             if (fits) {
-                memUsed += cls->memBytes;
+                sharedUsed = candShared;
+                workUsed = candWork;
                 batch.push_back(r);
                 batchClasses.push_back(cls);
                 fallbacksInBatch += usedFallback ? 1 : 0;
@@ -587,9 +623,14 @@ runServing(const ServingPolicy &policy,
             // will never fit — shed it so the loop always advances.
             const ClassCost &head = classes[static_cast<size_t>(
                 queue.front().classIndex)];
+            const uint64_t headFootprint =
+                head.plannedPerReplicaBytes > 0
+                    ? head.plannedSharedBytes +
+                          head.plannedPerReplicaBytes
+                    : head.memBytes;
             const uint64_t windowEnd =
                 pressureEndsAt(now, faultEvents);
-            if (head.memBytes <= baseBudget &&
+            if (headFootprint <= baseBudget &&
                 windowEnd != kNever) {
                 now = windowEnd;
                 continue;

@@ -51,6 +51,16 @@ struct ClassCost {
     std::vector<std::vector<int>> preds;
     uint64_t memBytes = 0;    ///< device footprint per request
     uint64_t serialCycles = 0; ///< sum of nodeCycles
+    /**
+     * Planned-memory admission model (src/memplan), derived from a
+     * two-replica merged plan of this class's pipeline: the batch
+     * arena is plannedSharedBytes (read-only inputs resident once,
+     * whatever the batch size) plus plannedPerReplicaBytes for each
+     * admitted request. Zero (the legacy profiled estimate
+     * memBytes per request) when no plan is available.
+     */
+    uint64_t plannedSharedBytes = 0;
+    uint64_t plannedPerReplicaBytes = 0;
     /** Smaller class dispatched instead under fallback degrade
      *  (index into the scheduler's class table; -1 = none). */
     int fallbackClass = -1;
@@ -65,7 +75,9 @@ ClassCost classCostFromGraph(const OpGraph &graph,
  * Profile one request class: build the pipeline for (graph, cfg),
  * run it once through a sim engine on @p gpu, and package the
  * timeline's per-node cycles, the op-graph structure, and the
- * engine's allocator footprint. Deterministic.
+ * engine's allocator footprint — plus the planned admission model
+ * (plannedSharedBytes / plannedPerReplicaBytes) from a MemPlan of a
+ * two-replica merged graph. Deterministic.
  */
 ClassCost profileClass(std::string name, const Graph &graph,
                        const ModelConfig &cfg, const GpuConfig &gpu,

@@ -154,6 +154,8 @@ KernelStats::merge(const KernelStats &other)
     // high-water mark, not a sum (the per-SM sum within one launch is
     // computed by the simulator's reduction instead).
     traceBytesPeak = std::max(traceBytesPeak, other.traceBytesPeak);
+    deviceBytesPeak =
+        std::max(deviceBytesPeak, other.deviceBytesPeak);
 }
 
 StatSet
@@ -196,6 +198,8 @@ KernelStats::toStatSet() const
     s.set("memory_util", memoryUtilization());
     s.set("divergence", divergence());
     s.set("trace_bytes_peak", static_cast<double>(traceBytesPeak));
+    s.set("device_bytes_peak",
+          static_cast<double>(deviceBytesPeak));
     s.set("classify_evals", static_cast<double>(classifyEvals));
     s.set("fast_forward_cycles",
           static_cast<double>(fastForwardCycles));

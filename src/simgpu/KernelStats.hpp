@@ -121,6 +121,13 @@ struct KernelStats {
      */
     uint64_t traceBytesPeak = 0;
 
+    /**
+     * Device-allocator high-water mark (bytes mapped) as of this
+     * kernel's launch construction: the per-node naive placement
+     * peak. Filled by the engines, not the simulator.
+     */
+    uint64_t deviceBytesPeak = 0;
+
     // --- derived metrics ----------------------------------------------------
     double l1HitRate() const;
     double l2HitRate() const;

@@ -318,6 +318,18 @@ BenchSession::runPoint(const UserParams &params, const Graph &graph)
                         static_cast<double>(res.graph.lanes);
                 }
             }
+            // Planned vs naive peak footprint (src/memplan): pure
+            // functions of the graph, identical in both placement
+            // modes; present whenever every kernel declares its
+            // spans (all six core kernels do).
+            if (res.graph.memPeakNaiveBytes > 0) {
+                outcome.metrics["mem_peak_planned_bytes"] =
+                    static_cast<double>(
+                        res.graph.memPeakPlannedBytes);
+                outcome.metrics["mem_peak_naive_bytes"] =
+                    static_cast<double>(
+                        res.graph.memPeakNaiveBytes);
+            }
         }
     }
     outcome.meanEndToEndUs = sum / params.runs;

@@ -14,7 +14,9 @@ AbstractionModule::makeEngine(const UserParams &params)
     FunctionalEngine::Options opts;
     opts.profileCaches = params.profileCaches;
     opts.hwConfig.numThreads = params.simThreads;
-    return std::make_unique<FunctionalEngine>(opts);
+    auto engine = std::make_unique<FunctionalEngine>(opts);
+    engine->setMemPlanMode(params.memPlan, params.simThreads);
+    return engine;
 }
 
 std::unique_ptr<ExecutionEngine>
@@ -30,7 +32,9 @@ AbstractionModule::makeEngine(const UserParams &params,
     opts.sim.cycleCeiling = params.cycleCeiling;
     opts.sim.cancel = params.cancel;
     opts.parallelLaunches = params.simParallelLaunches;
-    return std::make_unique<SimEngine>(opts);
+    auto engine = std::make_unique<SimEngine>(opts);
+    engine->setMemPlanMode(params.memPlan, params.simThreads);
+    return engine;
 }
 
 Graph

@@ -42,7 +42,7 @@ UserParams::fromOptions(const OptionSet &opts)
         "config",     "dataset",   "model",       "comp",
         "framework",  "engine",    "layers",      "hidden",
         "outdim",     "gineps",    "runs",        "seed",
-        "batch",
+        "batch",      "mem-plan",
         "profile-caches", "node-div", "edge-div", "feature-cap",
         "csv",        "verbose",   "quiet",
         "sim-threads", "sim-parallel", "sweep-threads",
@@ -95,6 +95,7 @@ UserParams::fromOptions(const OptionSet &opts)
     p.seed = static_cast<uint64_t>(opts.getInt("seed", 7));
     p.batch = static_cast<int>(opts.getInt("batch", p.batch));
     p.profileCaches = opts.getBool("profile-caches", false);
+    p.memPlan = opts.getBool("mem-plan", p.memPlan);
     p.simThreads =
         static_cast<int>(opts.getInt("sim-threads", p.simThreads));
     p.simParallelLaunches = static_cast<int>(

@@ -79,6 +79,16 @@ struct UserParams {
     bool profileCaches = false;
 
     /**
+     * Plan-backed placement (--mem-plan): run(OpGraph&) plans the
+     * device address layout from graph structure (src/memplan),
+     * executes levels concurrently in the functional phase, and
+     * reports planned/naive peak bytes. Off by default — naive
+     * execution-order placement stays the A/B oracle; statistics
+     * are bit-identical either way.
+     */
+    bool memPlan = false;
+
+    /**
      * Worker threads per simulated launch (0 = auto). Statistics are
      * bit-identical for every value.
      */

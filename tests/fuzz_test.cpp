@@ -10,9 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <deque>
 
 #include "engine/ExecutionEngine.hpp"
 #include "graph/Generators.hpp"
+#include "kernels/Elementwise.hpp"
+#include "memplan/MemPlan.hpp"
 #include "hwdb/FaultPlan.hpp"
 #include "models/GnnModel.hpp"
 #include "models/Reference.hpp"
@@ -449,6 +452,173 @@ TEST_P(FuzzSeeds, RandomFaultPlansNeverDeadlockTheScheduler)
     EXPECT_EQ(stats, runServing(policy, classes, requests, plan,
                                 horizon))
         << "rerun diverged";
+}
+
+namespace {
+
+/**
+ * A random elementwise dataflow graph with random fan-in/fan-out and
+ * occasional in-place updates. Containers live in deques so their
+ * addresses — the IR's interning identity — stay stable as the pool
+ * grows. @p sharedIn, when given, is a read-only input other replicas
+ * also read (the merged-batch shared-arena case).
+ */
+struct RandomEwGraph {
+    std::deque<DenseMatrix> mats;
+    std::deque<ElementwiseKernel> kernels;
+    OpGraph graph;
+};
+
+void
+buildRandomEwGraph(Rng &rng, DenseMatrix *sharedIn, int64_t rows,
+                   int64_t cols, RandomEwGraph &out)
+{
+    const size_t nIn = 1 + rng.nextBelow(3);
+    for (size_t i = 0; i < nIn; ++i) {
+        out.mats.emplace_back(rows, cols);
+        out.mats.back().fillUniform(rng, -1.0f, 1.0f);
+    }
+    std::vector<DenseMatrix *> pool;
+    for (DenseMatrix &m : out.mats)
+        pool.push_back(&m);
+    if (sharedIn)
+        pool.push_back(sharedIn);
+    const size_t nK = 4 + rng.nextBelow(16);
+    for (size_t k = 0; k < nK; ++k) {
+        DenseMatrix &a = *pool[rng.nextBelow(pool.size())];
+        DenseMatrix *dst;
+        if (rng.nextBool(0.2)) {
+            // Overwrite a private mat (possibly one of the reads:
+            // the in-place aliasing edge case). Never the shared
+            // input — merge requires write-disjoint parts.
+            dst = &out.mats[rng.nextBelow(out.mats.size())];
+        } else {
+            out.mats.emplace_back(rows, cols);
+            dst = &out.mats.back();
+            pool.push_back(dst);
+        }
+        if (rng.nextBool(0.5)) {
+            DenseMatrix &b = *pool[rng.nextBelow(pool.size())];
+            out.kernels.emplace_back("mul" + std::to_string(k),
+                                     ElementwiseKernel::EwOp::Mul, a,
+                                     b, *dst);
+        } else {
+            out.kernels.emplace_back("relu" + std::to_string(k),
+                                     ElementwiseKernel::EwOp::Relu,
+                                     a, *dst);
+        }
+    }
+    for (ElementwiseKernel &k : out.kernels)
+        out.graph.addNode(k);
+}
+
+/**
+ * The planner's safety net, checked from first principles: two
+ * windows whose planned regions overlap must never be live at the
+ * same schedule point unless budget waves serialize their parts.
+ */
+void
+checkNoOverlappingLiveIntervals(const MemPlan &plan)
+{
+    const auto &ws = plan.windows();
+    for (size_t i = 0; i < ws.size(); ++i) {
+        for (size_t j = i + 1; j < ws.size(); ++j) {
+            const PlannedWindow &x = ws[i];
+            const PlannedWindow &y = ws[j];
+            if (x.offset + x.bytes <= y.offset ||
+                y.offset + y.bytes <= x.offset)
+                continue; // disjoint regions
+            if (x.part >= 0 && y.part >= 0 && x.part != y.part) {
+                EXPECT_NE(plan.waveOf(x.part), plan.waveOf(y.part))
+                    << "cross-part region overlap within one wave";
+                continue;
+            }
+            EXPECT_TRUE(x.lastNode < y.firstNode ||
+                        y.lastNode < x.firstNode)
+                << "windows " << i << "/" << j
+                << " share a region while both live";
+        }
+    }
+}
+
+} // namespace
+
+TEST_P(FuzzSeeds, RandomOpGraphPlansAreSafeAndNeverWorseThanNaive)
+{
+    Rng rng(GetParam() * 977 + 11);
+    const int64_t rows = 8 * (1 + rng.nextBelow(6));
+    const int64_t cols = 4 * (1 + rng.nextBelow(6));
+    const size_t parts = 1 + rng.nextBelow(3);
+
+    DenseMatrix sharedIn(rows, cols);
+    sharedIn.fillUniform(rng, -1.0f, 1.0f);
+
+    std::vector<std::unique_ptr<RandomEwGraph>> replicas;
+    std::vector<const OpGraph *> ptrs;
+    for (size_t p = 0; p < parts; ++p) {
+        replicas.push_back(std::make_unique<RandomEwGraph>());
+        buildRandomEwGraph(rng, &sharedIn, rows, cols,
+                           *replicas.back());
+        replicas.back()->graph.validate();
+        FunctionalEngine sizer;
+        sizer.run(replicas.back()->graph);
+        ptrs.push_back(&replicas.back()->graph);
+    }
+
+    OpGraph mergedStorage;
+    if (parts > 1)
+        mergedStorage = OpGraph::merge(ptrs);
+    const OpGraph &g =
+        parts > 1 ? mergedStorage : replicas[0]->graph;
+
+    const MemPlan plan = MemPlan::build(g);
+    ASSERT_TRUE(plan.fullSpanCoverage());
+    plan.verify(g);
+    checkNoOverlappingLiveIntervals(plan);
+    EXPECT_LE(plan.peakBytes(), plan.naiveBytes());
+    if (parts > 1) {
+        uint64_t partSum = 0;
+        for (size_t p = 0; p < parts; ++p)
+            partSum += plan.partPeakBytes(p);
+        EXPECT_EQ(plan.peakBytes(),
+                  plan.sharedArenaBytes() + partSum);
+    }
+
+    const uint64_t budget =
+        plan.peakBytes() > 4 ? plan.peakBytes() * 3 / 4 : 1;
+    if (parts > 1) {
+        MemPlan::Options opts;
+        opts.budgetBytes = budget;
+        const MemPlan sliced = MemPlan::build(g, opts);
+        sliced.verify(g);
+        checkNoOverlappingLiveIntervals(sliced);
+        if (sliced.fitsBudget())
+            EXPECT_LE(sliced.peakBytes(), budget);
+        EXPECT_GE(sliced.numWaves(), 1u);
+        EXPECT_LE(sliced.numWaves(), parts);
+    } else {
+        // Snapshot the functional state, slice to the budget, rerun
+        // the spilled graph: identical values everywhere — the
+        // spill/reload round trip is semantically invisible.
+        std::vector<DenseMatrix> snap(replicas[0]->mats.begin(),
+                                      replicas[0]->mats.end());
+        SpilledGraph sp = spillToBudget(g, budget);
+        sp.graph.validate();
+        ASSERT_TRUE(sp.plan.fullSpanCoverage());
+        sp.plan.verify(sp.graph);
+        checkNoOverlappingLiveIntervals(sp.plan);
+        if (sp.plan.fitsBudget())
+            EXPECT_LE(sp.plan.peakBytes(), budget);
+        FunctionalEngine rerun;
+        rerun.run(sp.graph);
+        for (size_t m = 0; m < snap.size(); ++m) {
+            const DenseMatrix &got = replicas[0]->mats[m];
+            for (int64_t r = 0; r < rows; ++r)
+                for (int64_t c = 0; c < cols; ++c)
+                    ASSERT_EQ(got.at(r, c), snap[m].at(r, c))
+                        << "mat " << m << " @" << r << "," << c;
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FuzzSeeds,

@@ -84,6 +84,31 @@ TEST(HwPresets, HopperPresetIsValidatedAndRoundTrips)
     EXPECT_NE(hwPresetTable().find("h100"), std::string::npos);
 }
 
+TEST(HwPresets, IntegratedOrinPresetIsValidatedAndRoundTrips)
+{
+    // The carried ROADMAP item: an integrated (shared-memory budget
+    // class) machine for budget-constrained planning. Pin the
+    // headline numbers, the --list-gpus entry, and the hwdb
+    // serialize->parse round trip.
+    const HwPreset &p = hwPresetByName("jetson-orin");
+    EXPECT_NE(p.description.find("integrated"), std::string::npos);
+    EXPECT_TRUE(p.sweepable);
+    const GpuConfig &c = p.config;
+    c.validate();
+    EXPECT_EQ(c.numSms * c.smSampleFactor, 16); // full GA10B
+    EXPECT_EQ(c.l1d.sizeBytes, 192u * 1024);
+    EXPECT_EQ(c.l2.sizeBytes, 4ull * 1024 * 1024);
+    // Shared LPDDR5 sits well below every discrete preset's
+    // dedicated DRAM in per-SM bandwidth terms except the smallest.
+    EXPECT_LT(c.dramBytesPerCyclePerSm,
+              hwPresetByName("a100").config.dramBytesPerCyclePerSm);
+    const HwConfig reparsed = parseHwConfigText(
+        serializeGpuConfig(c), "<jetson-orin>");
+    EXPECT_TRUE(reparsed.gpu == c);
+    EXPECT_NE(hwPresetTable().find("jetson-orin"),
+              std::string::npos);
+}
+
 TEST(HwPresets, LookupIsCaseInsensitiveAndCanonical)
 {
     EXPECT_EQ(hwPresetByName("A100").name, "a100");

@@ -20,6 +20,7 @@
 #include "hwdb/HwPresets.hpp"
 #include "ir/OpGraph.hpp"
 #include "kernels/Elementwise.hpp"
+#include "memplan/MemPlan.hpp"
 #include "models/GnnModel.hpp"
 #include "util/Random.hpp"
 
@@ -408,4 +409,75 @@ TEST(OpGraphEngine, FunctionalEngineRunsGraphsToo)
     EXPECT_EQ(e1.timeline().size(), p1.numKernels());
     EXPECT_FALSE(e1.lastGraphReport().hasSim);
     EXPECT_EQ(e1.lastGraphReport().nodes, p1.numKernels());
+}
+
+TEST(OpGraphInterning, AliasedContainersShareOneBufferIdentity)
+{
+    // Interning is by host-container address: every mention of the
+    // same container — across kernels, and across the read and write
+    // sides of an in-place update — must resolve to one BufferId,
+    // while distinct containers stay distinct even when their
+    // contents are identical.
+    DenseMatrix x(16, 4), y(16, 4), z(16, 4);
+    Rng rng(5);
+    x.fillUniform(rng, -1.0f, 1.0f);
+    ElementwiseKernel k0("mk-y", ElementwiseKernel::EwOp::Relu, x, y);
+    // In-place: y is both input and output of the same kernel.
+    ElementwiseKernel k1("inplace", ElementwiseKernel::EwOp::Relu, y,
+                         y);
+    ElementwiseKernel k2("use", ElementwiseKernel::EwOp::Mul, y, x,
+                         z);
+
+    OpGraph g;
+    g.addNode(k0);
+    g.addNode(k1);
+    g.addNode(k2);
+    g.validate();
+
+    const OpNode &n0 = g.node(0);
+    const OpNode &n1 = g.node(1);
+    const OpNode &n2 = g.node(2);
+
+    // One identity for y everywhere it appears.
+    ASSERT_EQ(n0.writes.size(), 1u);
+    const BufferId yId = n0.writes[0];
+    EXPECT_EQ(n1.reads[0], yId);
+    EXPECT_EQ(n1.writes[0], yId);
+    EXPECT_EQ(n2.reads[0], yId);
+    // x read by two kernels: same id both times, distinct from y/z.
+    const BufferId xId = n0.reads[0];
+    EXPECT_EQ(n2.reads[1], xId);
+    EXPECT_NE(xId, yId);
+    EXPECT_NE(n2.writes[0], yId);
+    EXPECT_NE(n2.writes[0], xId);
+
+    // The in-place chain is fully ordered: n1 RAW-depends on y's
+    // writer, and n2 RAW-depends on y's *latest* writer n1 (reading
+    // via the stale alias n0 would reorder the update).
+    EXPECT_EQ(n1.deps, (std::vector<size_t>{0}));
+    ASSERT_FALSE(n2.deps.empty());
+    EXPECT_EQ(n2.deps.back(), 1u);
+    EXPECT_EQ(g.buffer(yId).firstWriter, 0u);
+
+    // Aliasing must collapse in the span-level footprint too: the
+    // in-place node mentions y's bytes twice (input and output face)
+    // but the planner counts the container once.
+    FunctionalEngine engine;
+    engine.run(g);
+    const MemPlan plan = MemPlan::build(g);
+    plan.verify(g);
+    ASSERT_TRUE(plan.fullSpanCoverage());
+    EXPECT_EQ(plan.naiveBytes(), 3u * 16 * 4 * 4);
+    size_t yWindows = 0;
+    for (const PlannedWindow &w : plan.windows())
+        yWindows += w.id == yId;
+    EXPECT_EQ(yWindows, 1u);
+    const PlannedWindow *wy = nullptr;
+    for (const PlannedWindow &w : plan.windows())
+        if (w.id == yId)
+            wy = &w;
+    ASSERT_TRUE(wy);
+    EXPECT_EQ(wy->firstNode, 0u);
+    EXPECT_EQ(wy->lastNode, 2u);
+    EXPECT_FALSE(wy->input);
 }
