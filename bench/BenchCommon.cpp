@@ -94,6 +94,7 @@ BenchArgs::parse(int argc, char **argv)
     args.sweepThreads =
         static_cast<int>(opts.getInt("sweep-threads", 1));
     args.gpus = expandGpuSpecs(opts.getString("gpu", "v100-sim"));
+    args.tracePath = opts.getString("trace", "");
     if (opts.getBool("quiet", false))
         setLogLevel(LogLevel::Quiet);
     return args;
@@ -113,6 +114,7 @@ BenchArgs::simBase() const
     // Comma-join so SweepSpec::expand grows a GPU axis from the
     // base params — every sim bench inherits --gpu sweeps for free.
     p.gpu = join(gpus, ',');
+    p.tracePath = tracePath;
     return p;
 }
 

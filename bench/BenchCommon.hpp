@@ -70,14 +70,21 @@ std::string pct(double fraction);
 
 /**
  * Parse common bench flags (--csv FILE, --quick, --layers N,
- * --sweep-threads N, --gpu SPECS, --list-gpus) and build the
- * standard sweep ingredients.
+ * --sweep-threads N, --gpu SPECS, --trace PATH, --list-gpus) and
+ * build the standard sweep ingredients.
  */
 struct BenchArgs {
     std::string csvPath;
     bool quick = false; ///< smaller CTA budget for smoke runs
     int layers = 2;
     int sweepThreads = 1; ///< concurrent sweep points (0 = auto)
+
+    /**
+     * Chrome-trace output path (--trace PATH; "" = off). Forwarded
+     * to every sim point via simBase(); multi-point sweeps derive
+     * per-point ".pN" paths (see src/obs/README.md).
+     */
+    std::string tracePath;
 
     /**
      * Normalized --gpu spec list: hwdb preset names / "file:PATH"

@@ -17,6 +17,9 @@
  *                   unbudgeted (default 1,0.75,0.5)
  *   --dataset NAME  dataset (default cora, sim scale)
  *   --json FILE     output path (default BENCH_memplan.json)
+ *   --trace FILE    Chrome-trace JSON: per-point engine schedule
+ *                   spans + memplan high-water and spill/reload
+ *                   tracks, one pid group per point
  *   plus the standard --csv/--quick/--layers/--sweep-threads.
  */
 
@@ -31,6 +34,7 @@
 #include "engine/ExecutionEngine.hpp"
 #include "hwdb/KeyValueFile.hpp"
 #include "memplan/MemPlan.hpp"
+#include "obs/TraceSink.hpp"
 #include "models/GnnModel.hpp"
 #include "suite/Runner.hpp"
 #include "util/Logging.hpp"
@@ -139,6 +143,16 @@ main(int argc, char **argv)
 
     ResultStore store;
     store.resize(points.size());
+    // One pre-built sink per point (--trace): parallelFor lanes
+    // write only their own slot; merged export keeps point order.
+    const bool tracing = !args.tracePath.empty();
+    TraceSinkOptions sink_opts;
+    sink_opts.enabled = true;
+    std::vector<std::unique_ptr<TraceSink>> point_sinks(
+        points.size());
+    if (tracing)
+        for (auto &s : point_sinks)
+            s = std::make_unique<TraceSink>(sink_opts);
     std::atomic<bool> planned_le_naive{true};
     ThreadPool pool(args.sweepThreads > 0
                         ? args.sweepThreads
@@ -169,6 +183,9 @@ main(int argc, char **argv)
         // report carries the planner's accounting.
         FunctionalEngine engine;
         engine.setMemPlanMode(true, 0);
+        TraceSink *sink =
+            tracing ? point_sinks[pt.index].get() : nullptr;
+        engine.setTraceSink(sink);
         engine.run(ops);
         const GraphRunReport &rep = engine.lastGraphReport();
         panicIf(!rep.planned, "pipeline graph lost span coverage");
@@ -237,6 +254,15 @@ main(int argc, char **argv)
         m["graph_nodes"] = static_cast<double>(rep.nodes);
         m["graph_max_level_width"] =
             static_cast<double>(rep.maxLevelWidth);
+        if (sink) {
+            m["obs_events"] =
+                static_cast<double>(sink->eventCount());
+            m["obs_spans"] = static_cast<double>(sink->spanCount());
+            m["obs_counters"] =
+                static_cast<double>(sink->counterCount());
+            m["trace_dropped_events"] =
+                static_cast<double>(sink->droppedEvents());
+        }
         store.put(std::move(result));
     });
 
@@ -270,6 +296,13 @@ main(int argc, char **argv)
     store.toJson(json_path);
     if (!args.csvPath.empty())
         store.toCsv(args.csvPath);
+    if (tracing) {
+        std::vector<const TraceSink *> sinks;
+        for (const auto &s : point_sinks)
+            sinks.push_back(s.get());
+        TraceSink::writeMergedFile(args.tracePath, sinks);
+        std::printf("wrote %s\n", args.tracePath.c_str());
+    }
     std::printf("\nwrote %s (%zu points)\n", json_path.c_str(),
                 points.size());
     return 0;

@@ -31,6 +31,10 @@
  *   --mem-budget-mb N  device-memory budget, 0 = unlimited (0)
  *   --horizon-mcycles N  arrival horizon (default 20; --quick 5)
  *   --json FILE        output path (default BENCH_serving.json)
+ *   --trace FILE       Chrome-trace JSON: the first GPU's class
+ *                      profiling (engine kernel spans + memplan
+ *                      tracks) merged with every point's serving
+ *                      lifecycle, one pid group per point
  *   plus the standard --csv/--quick/--layers/--gpu/--sweep-threads.
  *
  * Emits BENCH_serving.json via ResultStore::toJson; every serving
@@ -49,6 +53,7 @@
 #include "hwdb/HwConfigFile.hpp"
 #include "hwdb/KeyValueFile.hpp"
 #include "hwdb/HwPresets.hpp"
+#include "obs/TraceSink.hpp"
 #include "serving/RequestStream.hpp"
 #include "serving/ServingScheduler.hpp"
 #include "util/Logging.hpp"
@@ -171,6 +176,13 @@ main(int argc, char **argv)
                " Mcycles | offered load is a fraction of profiled "
                "capacity; goodput = completed within SLO");
 
+    // ---- tracing (--trace): one sink for class profiling plus one
+    // per point, merged into a single Perfetto-loadable file ----
+    const bool tracing = !args.tracePath.empty();
+    TraceSinkOptions sink_opts;
+    sink_opts.enabled = true;
+    TraceSink profile_sink(tracing ? sink_opts : TraceSinkOptions{});
+
     // ---- profile the request classes once per GPU ----
     const Graph graph = loadDatasetFor(base);
     struct GpuContext {
@@ -190,10 +202,16 @@ main(int argc, char **argv)
         const ModelConfig primary_cfg = base.modelConfig();
         ModelConfig fallback_cfg = primary_cfg;
         fallback_cfg.layers = 1; // the smaller degrade variant
+        // Only the first GPU's profiling lands in the trace: the
+        // engine spans of further machines would stack onto the
+        // same lane tracks.
+        TraceSink *psink =
+            tracing && contexts.empty() ? &profile_sink : nullptr;
         ctx.classes.push_back(profileClass(
-            "primary", graph, primary_cfg, ctx.config, sim));
+            "primary", graph, primary_cfg, ctx.config, sim, psink));
         ctx.classes.push_back(profileClass(
-            "fallback", graph, fallback_cfg, ctx.config, sim));
+            "fallback", graph, fallback_cfg, ctx.config, sim,
+            psink));
         ctx.classes[0].fallbackClass = 1;
 
         // Service capacity: requests per Mcycle when the device
@@ -252,6 +270,13 @@ main(int argc, char **argv)
     // ---- run every point (deterministic: order-independent) ----
     ResultStore store;
     store.resize(points.size());
+    // One pre-built sink per point: parallelFor lanes write only
+    // their own slot, and merged export keeps point order.
+    std::vector<std::unique_ptr<TraceSink>> point_sinks(
+        points.size());
+    if (tracing)
+        for (auto &s : point_sinks)
+            s = std::make_unique<TraceSink>(sink_opts);
     std::atomic<bool> determinism_ok{true};
     std::atomic<bool> faults_seen_ok{true};
     ThreadPool pool(args.sweepThreads > 0 ? args.sweepThreads
@@ -277,15 +302,23 @@ main(int argc, char **argv)
             spec, profiles, horizon, kArrivalSeed);
         const FaultPlan plan = resolveFaultPlanSpec(pt.faultSpec);
 
+        TraceSink *sink =
+            tracing ? point_sinks[pt.index].get() : nullptr;
         const ServingStats stats = runServing(
-            policy, ctx.classes, requests, plan, horizon);
+            policy, ctx.classes, requests, plan, horizon, sink);
         // Rerun-determinism gate: the whole pipeline again, from
-        // arrival generation to percentiles, must be bit-identical.
+        // arrival generation to percentiles, must be bit-identical
+        // — and when tracing, so must the rerun's trace JSON.
+        TraceSink rerun_sink(tracing ? sink_opts
+                                     : TraceSinkOptions{});
         const ServingStats again = runServing(
             policy, ctx.classes,
             generateArrivals(spec, profiles, horizon, kArrivalSeed),
-            plan, horizon);
+            plan, horizon, tracing ? &rerun_sink : nullptr);
         if (stats != again)
+            determinism_ok = false;
+        if (tracing &&
+            sink->toChromeJson() != rerun_sink.toChromeJson())
             determinism_ok = false;
         if (plan.empty() &&
             (stats.retries != 0 || stats.failed != 0))
@@ -332,6 +365,17 @@ main(int argc, char **argv)
         m["max_latency_cycles"] =
             static_cast<double>(stats.maxLatencyCycles);
         m["offered_rate_per_mcycle"] = spec.ratePerMcycle;
+        if (sink) {
+            m["obs_events"] =
+                static_cast<double>(sink->eventCount());
+            m["obs_spans"] = static_cast<double>(sink->spanCount());
+            m["obs_instants"] =
+                static_cast<double>(sink->instantCount());
+            m["obs_counters"] =
+                static_cast<double>(sink->counterCount());
+            m["trace_dropped_events"] =
+                static_cast<double>(sink->droppedEvents());
+        }
         store.put(std::move(result));
     });
 
@@ -445,5 +489,17 @@ main(int argc, char **argv)
                    static_cast<double>(horizon / 1'000'000)},
                   {"quick", args.quick ? 1.0 : 0.0}});
     std::printf("wrote %s\n", json_path.c_str());
+    if (tracing) {
+        std::vector<const TraceSink *> sinks;
+        sinks.push_back(&profile_sink);
+        for (const auto &s : point_sinks)
+            sinks.push_back(s.get());
+        TraceSink::writeMergedFile(args.tracePath, sinks);
+        uint64_t dropped = 0;
+        for (const TraceSink *s : sinks)
+            dropped += s->droppedEvents();
+        std::printf("wrote %s%s\n", args.tracePath.c_str(),
+                    dropped ? " (WITH DROPPED EVENTS)" : "");
+    }
     return store.allOk() && determinism_ok && faults_seen_ok ? 0 : 1;
 }

@@ -50,14 +50,20 @@ DETERMINISTIC = ("cycles", "warp_instrs", "graph_levels",
                  # by the _bytes suffix).
                  "plan_waves", "plan_spills", "plan_fits_budget",
                  "plan_sliced", "plan_peak_ratio", "graph_nodes",
-                 "graph_max_level_width")
+                 "graph_max_level_width",
+                 # src/obs tracing: accepted/dropped event counts
+                 # are pure functions of the deterministic run (the
+                 # obs_* prefix catches the per-phase counts); the
+                 # trace's wall write cost (trace_write_ms) stays
+                 # warn-only via the _ms suffix.
+                 "trace_dropped_events")
 DETERMINISTIC_SUFFIXES = ("_cycles", "_bytes")
 WALLCLOCK_SUFFIXES = ("_ms",)
 
 
 def is_deterministic(key):
-    return key in DETERMINISTIC or key.endswith(
-        DETERMINISTIC_SUFFIXES)
+    return (key in DETERMINISTIC or key.startswith("obs_") or
+            key.endswith(DETERMINISTIC_SUFFIXES))
 
 
 def load_points(path):

@@ -4,6 +4,8 @@
 #include <exception>
 
 #include "memplan/MemPlan.hpp"
+#include "obs/GraphTrace.hpp"
+#include "obs/TraceSink.hpp"
 #include "util/Logging.hpp"
 #include "util/Timer.hpp"
 
@@ -237,6 +239,13 @@ ExecutionEngine::run(const OpGraph &graph)
             graph.makespan(costs, report.lanes);
     }
     graphReport = report;
+
+    // Observation only — emitted from the deterministic schedule
+    // replay and the already-final records, after every counter
+    // above is computed.
+    if (trace && trace->enabled())
+        emitGraphTrace(*trace, graph, plan, records, firstRecord,
+                       report.lanes);
 }
 
 FunctionalEngine::FunctionalEngine(Options opts) : opts(opts)
@@ -269,6 +278,16 @@ SimEngine::effectiveParallel() const
 }
 
 void
+SimEngine::applySmSampling(SimOptions &runOpts) const
+{
+    if (!trace || !trace->enabled(TraceSm))
+        return;
+    runOpts.smSampleEnabled = true;
+    runOpts.smSampleCore = std::clamp(trace->samplingCore(), 0,
+                                      opts.gpu.numSms - 1);
+}
+
+void
 SimEngine::measureKernel(size_t recordIndex, Kernel &kernel,
                          DeviceAllocator &kernelAlloc)
 {
@@ -286,7 +305,9 @@ SimEngine::measureKernel(size_t recordIndex, Kernel &kernel,
     const uint64_t devPeak = kernelAlloc.bytesPeak();
 
     if (effectiveParallel() <= 1) {
-        rec.sim = sim.run(launch, opts.sim);
+        SimOptions run_opts = opts.sim;
+        applySmSampling(run_opts);
+        rec.sim = sim.run(launch, run_opts);
         rec.sim.deviceBytesPeak = devPeak;
         rec.hasSim = true;
         return;
@@ -318,6 +339,7 @@ SimEngine::sync()
         laneSims.push_back(std::make_unique<GpuSimulator>(opts.gpu));
     SimOptions lane_opts = opts.sim;
     lane_opts.numThreads = 1;
+    applySmSampling(lane_opts);
     // ThreadPool workers must not unwind; capture per-launch errors
     // and rethrow the lowest launch index on the calling thread so
     // the reported failure is independent of lane scheduling.

@@ -27,6 +27,8 @@
 
 namespace gsuite {
 
+class TraceSink;
+
 /** One executed kernel in an engine's timeline. */
 struct KernelRecord {
     std::string name;
@@ -140,6 +142,20 @@ class ExecutionEngine
     }
     bool memPlanMode() const { return planMode; }
 
+    /**
+     * Attach a trace sink (src/obs; nullptr detaches). Each
+     * run(OpGraph&) call then appends its engine/sm/memplan tracks
+     * (per-lane node spans, sampled warp-scheduler counters on the
+     * sim engine, memory high-water + spill/reload spans) to the
+     * sink, and the sim engine turns on SM warp-scheduler sampling
+     * for its launches. Observation only: every deterministic
+     * counter is bit-identical with a sink attached or not (pinned
+     * by golden_stats_test). The sink must outlive the engine's last
+     * run; the caller owns export.
+     */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+    TraceSink *traceSink() const { return trace; }
+
     /** Summary of the most recent run(OpGraph&) call. */
     const GraphRunReport &lastGraphReport() const
     {
@@ -203,6 +219,7 @@ class ExecutionEngine
     DeviceAllocator alloc;
     GraphRunReport graphReport;
     std::function<void(size_t, const Kernel &)> faultHook;
+    TraceSink *trace = nullptr;
     bool planMode = false;
     int planThreads = 0;
 
@@ -282,6 +299,9 @@ class SimEngine : public ExecutionEngine
     std::vector<std::unique_ptr<GpuSimulator>> laneSims;
 
     int effectiveParallel() const;
+    /** Turn on SM warp-scheduler sampling when the attached sink
+     *  selects the sm component. */
+    void applySmSampling(SimOptions &runOpts) const;
 };
 
 } // namespace gsuite

@@ -8,6 +8,7 @@
 #include "frameworks/FrameworkAdapter.hpp"
 #include "hwdb/HwPresets.hpp"
 #include "hwdb/KeyValueFile.hpp"
+#include "obs/TraceSink.hpp"
 #include "util/Logging.hpp"
 #include "util/StringUtils.hpp"
 
@@ -288,6 +289,33 @@ keySchema()
                                     &GpuConfig::l2,
                                     &CacheGeometry::allocateOnWrite));
         keys.push_back(cacheSetsKey("l2.sets", l2, &GpuConfig::l2));
+
+        // gpgpusim's -trace_enabled / -trace_components /
+        // -trace_sampling_core vocabulary, feeding src/obs.
+        const char *trace = "trace";
+        keys.push_back(boolKey("trace.enabled", trace,
+                               &GpuConfig::traceEnabled));
+        keys.push_back(
+            {"trace.components", trace,
+             [](const GpuConfig &c) {
+                 // Canonicalize so serialize/parse round-trips.
+                 unsigned mask = 0;
+                 if (tryParseTraceComponents(c.traceComponents, mask))
+                     return traceComponentNames(mask);
+                 return c.traceComponents;
+             },
+             [](GpuConfig &c, const std::string &v,
+                const std::string &origin) {
+                 unsigned mask = 0;
+                 if (!tryParseTraceComponents(v, mask))
+                     fatal("%s: key 'trace.components' expects a "
+                           "comma list of all/none/engine/sm/"
+                           "serving/memplan, got '%s'",
+                           origin.c_str(), v.c_str());
+                 c.traceComponents = traceComponentNames(mask);
+             }});
+        keys.push_back(intKey("trace.sampling_core", trace,
+                              &GpuConfig::traceSamplingCore));
 
         const char *debug = "debug";
         keys.push_back(boolKey("debug.reference_issue", debug,

@@ -1,0 +1,155 @@
+#include "obs/MetricRegistry.hpp"
+
+#include <cctype>
+
+#include "memplan/MemPlan.hpp"
+#include "obs/TraceSink.hpp"
+#include "serving/ServingScheduler.hpp"
+#include "simgpu/KernelStats.hpp"
+
+namespace gsuite {
+
+std::string
+metricSlug(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    bool pendingSep = false;
+    for (const char c : label) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            if (pendingSep && !out.empty())
+                out += '_';
+            pendingSep = false;
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        } else {
+            pendingSep = true;
+        }
+    }
+    return out;
+}
+
+void
+MetricRegistry::set(const std::string &name, uint64_t value)
+{
+    values[name] = value;
+}
+
+void
+MetricRegistry::add(const std::string &name, uint64_t value)
+{
+    values[name] += value;
+}
+
+uint64_t
+MetricRegistry::get(const std::string &name) const
+{
+    const auto it = values.find(name);
+    return it == values.end() ? 0 : it->second;
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return values.count(name) != 0;
+}
+
+std::map<std::string, int64_t>
+MetricRegistry::delta(const Snapshot &before, const Snapshot &after)
+{
+    std::map<std::string, int64_t> out;
+    for (const auto &[name, value] : after) {
+        const auto it = before.find(name);
+        const uint64_t base = it == before.end() ? 0 : it->second;
+        out[name] = static_cast<int64_t>(value) -
+                    static_cast<int64_t>(base);
+    }
+    for (const auto &[name, value] : before)
+        if (!after.count(name))
+            out[name] = -static_cast<int64_t>(value);
+    return out;
+}
+
+void
+MetricRegistry::recordKernelStats(const std::string &prefix,
+                                  const KernelStats &ks)
+{
+    set(prefix + ".cycles", ks.cycles);
+    set(prefix + ".warp_instrs", ks.warpInstrs);
+    set(prefix + ".thread_instrs", ks.threadInstrs);
+    set(prefix + ".warps_simulated",
+        static_cast<uint64_t>(ks.warpsSimulated));
+    set(prefix + ".ctas_simulated",
+        static_cast<uint64_t>(ks.ctasSimulated));
+    for (int r = 0; r < kNumStallReasons; ++r)
+        set(prefix + ".stall." +
+                metricSlug(stallReasonName(
+                    static_cast<StallReason>(r))),
+            ks.stallCycles[static_cast<size_t>(r)]);
+    for (int b = 0; b < kNumOccBuckets; ++b)
+        set(prefix + ".occ." +
+                metricSlug(occBucketName(static_cast<OccBucket>(b))),
+            ks.occCycles[static_cast<size_t>(b)]);
+    set(prefix + ".l1.hits", ks.l1Hits);
+    set(prefix + ".l1.misses", ks.l1Misses);
+    set(prefix + ".l2.hits", ks.l2Hits);
+    set(prefix + ".l2.misses", ks.l2Misses);
+    set(prefix + ".mem.instrs", ks.memInstrs);
+    set(prefix + ".mem.sectors", ks.memSectors);
+    set(prefix + ".mem.dram_bytes", ks.dramBytes);
+    set(prefix + ".mem.dram_busy_cycles", ks.dramBusyCycles);
+    set(prefix + ".alu_busy_cycles", ks.aluBusyCycles);
+    set(prefix + ".scheduler_slots", ks.schedulerSlots);
+    set(prefix + ".trace_bytes_peak", ks.traceBytesPeak);
+    set(prefix + ".device_bytes_peak", ks.deviceBytesPeak);
+}
+
+void
+MetricRegistry::recordServing(const std::string &prefix,
+                              const ServingStats &ss)
+{
+    set(prefix + ".offered", ss.offered);
+    set(prefix + ".completed", ss.completed);
+    set(prefix + ".goodput", ss.goodput());
+    set(prefix + ".shed.overflow", ss.shedOverflow);
+    set(prefix + ".shed.deadline", ss.shedDeadline);
+    set(prefix + ".shed.oversize", ss.shedOversize);
+    set(prefix + ".failed", ss.failed);
+    set(prefix + ".retries", ss.retries);
+    set(prefix + ".slo_violations", ss.sloViolations);
+    set(prefix + ".batches", ss.batches);
+    set(prefix + ".fallback_dispatches", ss.fallbackDispatches);
+    set(prefix + ".shrinked_batches", ss.shrinkedBatches);
+    set(prefix + ".queue_depth_peak", ss.queueDepthPeak);
+    set(prefix + ".busy_cycles", ss.busyCycles);
+    set(prefix + ".end_cycle", ss.endCycle);
+    set(prefix + ".latency.p50_cycles", ss.p50LatencyCycles);
+    set(prefix + ".latency.p95_cycles", ss.p95LatencyCycles);
+    set(prefix + ".latency.p99_cycles", ss.p99LatencyCycles);
+    set(prefix + ".latency.max_cycles", ss.maxLatencyCycles);
+}
+
+void
+MetricRegistry::recordMemPlan(const std::string &prefix,
+                              const MemPlan &plan)
+{
+    set(prefix + ".peak_bytes", plan.peakBytes());
+    set(prefix + ".naive_bytes", plan.naiveBytes());
+    set(prefix + ".shared_arena_bytes", plan.sharedArenaBytes());
+    set(prefix + ".waves", plan.numWaves());
+    set(prefix + ".windows", plan.windows().size());
+    set(prefix + ".fits_budget", plan.fitsBudget() ? 1 : 0);
+}
+
+void
+MetricRegistry::recordTrace(const std::string &prefix,
+                            const TraceSink &sink)
+{
+    set(prefix + ".events", sink.eventCount());
+    set(prefix + ".spans", sink.spanCount());
+    set(prefix + ".instants", sink.instantCount());
+    set(prefix + ".counters", sink.counterCount());
+    set(prefix + ".dropped_events", sink.droppedEvents());
+}
+
+} // namespace gsuite

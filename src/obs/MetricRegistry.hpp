@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hierarchical metric registry: one namespace of stable dotted names
+ * (e.g. "engine.spmm.cycles", "serving.shed.deadline",
+ * "memplan.peak_bytes") unifying the per-subsystem counter structs —
+ * KernelStats, ServingStats, MemPlan byte accounting, TraceSink
+ * bookkeeping — so benches and tests can diff runs without knowing
+ * each struct's shape.
+ *
+ * All values are exact uint64 counters in deterministic domains
+ * (cycles, bytes, counts) — never wall clock — so snapshot() of the
+ * same run is bit-identical everywhere, and delta(before, after) is
+ * the exact cost of whatever happened in between.
+ */
+
+#ifndef GSUITE_OBS_METRICREGISTRY_HPP
+#define GSUITE_OBS_METRICREGISTRY_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gsuite {
+
+struct KernelStats;
+struct ServingStats;
+class MemPlan;
+class TraceSink;
+
+class MetricRegistry {
+  public:
+    using Snapshot = std::map<std::string, uint64_t>;
+
+    void set(const std::string &name, uint64_t value);
+    void add(const std::string &name, uint64_t value);
+    /** 0 when the name was never recorded. */
+    uint64_t get(const std::string &name) const;
+    bool has(const std::string &name) const;
+    size_t size() const { return values.size(); }
+
+    Snapshot snapshot() const { return values; }
+
+    /**
+     * after - before over the union of names; a name missing on one
+     * side counts as 0, so new counters show up as their full value
+     * and removed ones as a negative delta.
+     */
+    static std::map<std::string, int64_t>
+    delta(const Snapshot &before, const Snapshot &after);
+
+    // --- ingestion: subsystem structs -> stable dotted names --------
+    void recordKernelStats(const std::string &prefix,
+                           const KernelStats &ks);
+    void recordServing(const std::string &prefix,
+                       const ServingStats &ss);
+    void recordMemPlan(const std::string &prefix, const MemPlan &plan);
+    void recordTrace(const std::string &prefix, const TraceSink &sink);
+
+  private:
+    Snapshot values;
+};
+
+/** Dotted-name segment from a display label: lowercase, spaces and
+ *  punctuation collapsed to '_' ("Memory Dependency" -> from
+ *  stallReasonName -> "memory_dependency"). */
+std::string metricSlug(const std::string &label);
+
+} // namespace gsuite
+
+#endif // GSUITE_OBS_METRICREGISTRY_HPP

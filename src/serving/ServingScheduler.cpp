@@ -10,6 +10,7 @@
 #include "hwdb/KeyValueFile.hpp"
 #include "memplan/MemPlan.hpp"
 #include "models/GnnModel.hpp"
+#include "obs/TraceSink.hpp"
 #include "util/Logging.hpp"
 #include "util/StringUtils.hpp"
 
@@ -41,7 +42,7 @@ classCostFromGraph(const OpGraph &graph,
 ClassCost
 profileClass(std::string name, const Graph &graph,
              const ModelConfig &cfg, const GpuConfig &gpu,
-             const SimOptions &sim)
+             const SimOptions &sim, TraceSink *sink)
 {
     GnnPipeline pipeline(graph, cfg);
     SimEngine::Options opts;
@@ -49,6 +50,7 @@ profileClass(std::string name, const Graph &graph,
     opts.sim = sim;
     opts.parallelLaunches = 1;
     SimEngine engine(opts);
+    engine.setTraceSink(sink);
     engine.run(pipeline.opGraph());
     const std::vector<KernelRecord> &timeline = engine.timeline();
     panicIf(timeline.size() != pipeline.opGraph().numNodes(),
@@ -437,7 +439,8 @@ ServingStats
 runServing(const ServingPolicy &policy,
            const std::vector<ClassCost> &classes,
            const std::vector<Request> &requests,
-           const FaultPlan &faults, uint64_t horizonCycles)
+           const FaultPlan &faults, uint64_t horizonCycles,
+           TraceSink *sink)
 {
     policy.validate();
     panicIf(classes.empty(), "runServing needs at least one class");
@@ -458,6 +461,33 @@ runServing(const ServingPolicy &policy,
 
     const uint64_t baseBudget =
         policy.memBudgetBytes == 0 ? kNever : policy.memBudgetBytes;
+
+    // Lifecycle tracing. Every timestamp below is a cycle value the
+    // loop computes anyway, so the emitted events are a pure function
+    // of the inputs; the exporter's per-track sort handles admission
+    // instants landing before already-emitted completion times.
+    const bool tracing = sink && sink->enabled(TraceServing);
+    int schedTrack = -1, batchTrack = -1, queueTrack = -1;
+    if (tracing) {
+        schedTrack = sink->addTrack("serving", "scheduler");
+        batchTrack = sink->addTrack("serving", "batches");
+        queueTrack = sink->addTrack("serving", "queue");
+        const int faultTrack = sink->addTrack("serving", "faults");
+        for (const StallWindow &w : stalls)
+            sink->span(faultTrack, w.begin, w.end - w.begin,
+                       "device_stall");
+    }
+    const auto traceRequest = [&](uint64_t cycle, const char *what,
+                                  uint64_t id) {
+        if (tracing)
+            sink->instant(schedTrack, cycle, what,
+                          "\"id\":" + std::to_string(id));
+    };
+    const auto traceQueueDepth = [&](uint64_t cycle, size_t depth) {
+        if (tracing)
+            sink->counter(queueTrack, cycle, "queue_depth",
+                          "\"depth\":" + std::to_string(depth));
+    };
 
     ServingStats stats;
     stats.offered = requests.size();
@@ -497,6 +527,8 @@ runServing(const ServingPolicy &policy,
             if (arrival.req.deadlineCycle <= arrival.readyCycle) {
                 ++stats.shedDeadline;
                 shedAt(arrival.readyCycle);
+                traceRequest(arrival.readyCycle, "shed_deadline",
+                             arrival.req.id);
                 continue;
             }
             if (queue.size() >=
@@ -515,18 +547,27 @@ runServing(const ServingPolicy &policy,
                         arrival.req.priority > victim->priority) {
                         ++stats.shedOverflow;
                         shedAt(arrival.readyCycle);
+                        traceRequest(arrival.readyCycle,
+                                     "shed_overflow", victim->id);
+                        traceRequest(arrival.readyCycle, "admit",
+                                     arrival.req.id);
                         *victim = arrival.req;
                         continue;
                     }
                 }
                 ++stats.shedOverflow;
                 shedAt(arrival.readyCycle);
+                traceRequest(arrival.readyCycle, "shed_overflow",
+                             arrival.req.id);
                 continue;
             }
             queue.push_back(arrival.req);
             stats.queueDepthPeak =
                 std::max(stats.queueDepthPeak,
                          static_cast<uint64_t>(queue.size()));
+            traceRequest(arrival.readyCycle, "admit",
+                         arrival.req.id);
+            traceQueueDepth(arrival.readyCycle, queue.size());
         }
         if (queue.empty())
             continue; // all admitted arrivals were shed
@@ -543,6 +584,7 @@ runServing(const ServingPolicy &policy,
                 if (r.deadlineCycle <= now) {
                     ++stats.shedDeadline;
                     shedAt(now);
+                    traceRequest(now, "shed_deadline", r.id);
                 } else {
                     alive.push_back(r);
                 }
@@ -637,6 +679,7 @@ runServing(const ServingPolicy &policy,
             }
             ++stats.shedOversize;
             shedAt(now);
+            traceRequest(now, "shed_oversize", queue.front().id);
             queue.erase(queue.begin());
             continue;
         }
@@ -658,6 +701,16 @@ runServing(const ServingPolicy &policy,
         const uint64_t batchEnd =
             wallAfterWork(dispatchWall, maxOffset, stalls);
         stats.busyCycles += batchEnd - dispatchWall;
+        if (tracing) {
+            sink->span(
+                batchTrack, dispatchWall, batchEnd - dispatchWall,
+                "batch",
+                "\"size\":" + std::to_string(batch.size()) +
+                    ",\"fallbacks\":" +
+                    std::to_string(fallbacksInBatch) +
+                    ",\"shrunk\":" + (shrunk ? "true" : "false"));
+            traceQueueDepth(dispatchWall, queue.size());
+        }
 
         // Kernel-failure events landing inside the busy window pick
         // a deterministic victim among the batch's requests.
@@ -705,9 +758,16 @@ runServing(const ServingPolicy &policy,
                             ? kNever
                             : failWall + backoff;
                     pending.push(PendingArrival{ready, r});
+                    if (tracing)
+                        sink->instant(
+                            schedTrack, failWall, "retry",
+                            "\"id\":" + std::to_string(r.id) +
+                                ",\"attempt\":" +
+                                std::to_string(r.attempts));
                 } else {
                     ++stats.failed;
                     shedAt(failWall);
+                    traceRequest(failWall, "fail", r.id);
                 }
                 continue;
             }
@@ -716,6 +776,12 @@ runServing(const ServingPolicy &policy,
             ++stats.completed;
             const uint64_t latency = done - r.arrivalCycle;
             latencies.push_back(latency);
+            if (tracing)
+                sink->instant(
+                    schedTrack, done, "complete",
+                    "\"id\":" + std::to_string(r.id) +
+                        ",\"latency_cycles\":" +
+                        std::to_string(latency));
             if (r.deadlineCycle != kNever && done > r.deadlineCycle)
                 ++stats.sloViolations;
             stats.endCycle = std::max(stats.endCycle, done);

@@ -35,6 +35,7 @@ namespace gsuite {
 
 class Graph;
 struct ModelConfig;
+class TraceSink;
 
 /**
  * The profiled cost of one request class: per-node simulated cycles
@@ -78,10 +79,15 @@ ClassCost classCostFromGraph(const OpGraph &graph,
  * engine's allocator footprint — plus the planned admission model
  * (plannedSharedBytes / plannedPerReplicaBytes) from a MemPlan of a
  * two-replica merged graph. Deterministic.
+ *
+ * When @p sink is non-null it is attached to the profiling engine,
+ * so the class's op-graph kernel spans (and SM samples, when the sm
+ * component is on) land in the trace. Observation only.
  */
 ClassCost profileClass(std::string name, const Graph &graph,
                        const ModelConfig &cfg, const GpuConfig &gpu,
-                       const SimOptions &sim);
+                       const SimOptions &sim,
+                       TraceSink *sink = nullptr);
 
 /** Declarative graceful-degradation switches. */
 struct DegradePolicy {
@@ -189,12 +195,21 @@ struct ServingStats {
  * Run the serving simulation: admit @p requests (sorted by arrival)
  * under @p policy over the classes in @p classes, with the fault
  * events of @p faults expanded over @p horizonCycles. Pure.
+ *
+ * When @p sink is non-null (and its serving component is on), the
+ * run emits its lifecycle into the sink: admit/shed/retry/fail/
+ * complete instants plus a queue-depth counter on the scheduler
+ * tracks, one span per dispatched batch, and one span per merged
+ * device-stall window. Timestamps are the loop's own cycle values,
+ * so the trace is bit-identical across reruns — and ServingStats
+ * are bit-identical with tracing on or off.
  */
 ServingStats runServing(const ServingPolicy &policy,
                         const std::vector<ClassCost> &classes,
                         const std::vector<Request> &requests,
                         const FaultPlan &faults,
-                        uint64_t horizonCycles);
+                        uint64_t horizonCycles,
+                        TraceSink *sink = nullptr);
 
 /**
  * The batch-dispatch cost model: per-request completion offsets of

@@ -1,7 +1,7 @@
 #include "simgpu/GpuConfig.hpp"
 
+#include "obs/TraceSink.hpp"
 #include "util/Logging.hpp"
-
 #include "util/StringUtils.hpp"
 
 namespace gsuite {
@@ -94,6 +94,13 @@ GpuConfig::validate() const
     CacheGeometry slice = l2;
     slice.sizeBytes = l2.sizeBytes / static_cast<uint64_t>(numL2Slices);
     check_cache(slice, "L2 slice");
+    if (traceSamplingCore < 0 || traceSamplingCore >= numSms)
+        fatal("GpuConfig: trace.sampling_core must be in [0,%d)",
+              numSms);
+    unsigned mask = 0;
+    if (!tryParseTraceComponents(traceComponents, mask))
+        fatal("GpuConfig: bad trace.components '%s'",
+              traceComponents.c_str());
 }
 
 } // namespace gsuite

@@ -113,6 +113,21 @@ struct GpuConfig {
 
     double coreClockGhz = 1.38;
 
+    // --- tracing (src/obs) ----------------------------------------------
+    /**
+     * gpgpusim-style trace knobs (-trace_enabled, -trace_components,
+     * -trace_sampling_core), exposed as the hwdb keys trace.enabled /
+     * trace.components / trace.sampling_core. Tracing is observation
+     * only: enabling it changes no deterministic counter (pinned by
+     * golden_stats_test). traceComponents is the canonical comma list
+     * accepted by parseTraceComponents ("all", "engine,sm", ...);
+     * traceSamplingCore picks the SM whose warp-scheduler state the
+     * "sm" component samples.
+     */
+    bool traceEnabled = false;
+    std::string traceComponents = "all";
+    int traceSamplingCore = 0;
+
     /** Total DRAM bytes/cycle for the simulated subset. */
     double
     dramBytesPerCycle() const

@@ -91,6 +91,20 @@ GpuSimulator::controlPhase(RunControl &ctl)
         ctl.cycle = target;
     }
 
+    // Trace sampling: snapshot the sampling core's cumulative
+    // scheduler counters at the first stepped cycle at or past each
+    // interval boundary. Runs on worker 0 after the resolve barrier
+    // (every stepCycle write ordered before), reads only — every
+    // deterministic counter is invariant to sampling.
+    if (ctl.sampleEnabled && ctl.cycle >= ctl.nextSampleCycle) {
+        ctl.samples.push_back(
+            sms[static_cast<size_t>(ctl.sampleCore)]
+                ->sampleSchedState(ctl.cycle));
+        ctl.nextSampleCycle =
+            (ctl.cycle / ctl.sampleInterval + 1) *
+            ctl.sampleInterval;
+    }
+
     if (ctl.cycle >= hard_stop) {
         ctl.done = true;
         if (ctl.cycleCeiling && ctl.cycle >= ctl.cycleCeiling)
@@ -158,6 +172,14 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
     ctl.cancel = opts.cancel;
     ctl.issuedBy.assign(static_cast<size_t>(threads), 0);
     ctl.eventBy.assign(static_cast<size_t>(threads), ~uint64_t{0});
+    if (opts.smSampleEnabled) {
+        ctl.sampleEnabled = true;
+        ctl.sampleCore = std::clamp(opts.smSampleCore, 0,
+                                    cfg.numSms - 1);
+        ctl.sampleInterval =
+            std::max<uint64_t>(1, opts.smSampleIntervalCycles);
+        ctl.nextSampleCycle = ctl.sampleInterval;
+    }
 
     // Initial CTA wave at cycle 0.
     for (auto &sm : sms) {
@@ -220,6 +242,15 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
     for (auto &sm : sms)
         sm->drainParkedMem();
 
+    // Closing sample so the trace covers the tail of the run (after
+    // the parked-memory drain, whose counters belong to the launch).
+    if (ctl.sampleEnabled &&
+        (ctl.samples.empty() ||
+         ctl.samples.back().cycle < ctl.cycle))
+        ctl.samples.push_back(
+            sms[static_cast<size_t>(ctl.sampleCore)]
+                ->sampleSchedState(ctl.cycle));
+
     // Deterministic reduction: per-SM stats merge in SM-index order,
     // then the launch-global fields overwrite the zero-initialized
     // slots the per-SM stats never touch.
@@ -240,6 +271,7 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
     stats.cycles = ctl.cycle;
     stats.dramBusyCycles =
         static_cast<uint64_t>(mem.dramBusyCycles());
+    stats.smSamples = std::move(ctl.samples);
 
     if (ctl.hitLimit) {
         warn("kernel '%s' hit the %" PRIu64

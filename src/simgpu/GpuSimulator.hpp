@@ -84,6 +84,20 @@ struct SimOptions {
      * reports no stats, so determinism of successful runs holds.
      */
     const std::atomic<bool> *cancel = nullptr;
+
+    /**
+     * Warp-scheduler trace sampling (src/obs, hwdb trace.* keys):
+     * when enabled, the control phase snapshots the cumulative
+     * stall/occupancy counters of SM smSampleCore at the first
+     * stepped cycle at or past each smSampleIntervalCycles boundary,
+     * into KernelStats::smSamples. Pure observation — the samples
+     * are read under the phase barrier and no simulated state is
+     * touched, so every deterministic counter is bit-identical with
+     * sampling on or off, and across thread counts.
+     */
+    bool smSampleEnabled = false;
+    int smSampleCore = 0;
+    uint64_t smSampleIntervalCycles = 1024;
 };
 
 /** Timing-detailed GPU simulator. */
@@ -113,6 +127,12 @@ class GpuSimulator
         bool cancelled = false;
         std::vector<uint8_t> issuedBy; ///< per-worker issue flags
         std::vector<uint64_t> eventBy; ///< per-worker event minima
+        // Trace sampling (worker 0 only, under the phase barrier).
+        bool sampleEnabled = false;
+        int sampleCore = 0;
+        uint64_t sampleInterval = 0;
+        uint64_t nextSampleCycle = 0;
+        std::vector<SmSchedSample> samples;
     };
 
     GpuConfig cfg;

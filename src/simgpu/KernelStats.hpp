@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "simgpu/Isa.hpp"
 #include "simgpu/KernelLaunch.hpp"
@@ -51,6 +52,21 @@ constexpr int kNumOccBuckets = 5;
 
 /** Paper-facing label for an occupancy bucket (Fig. 7 legend). */
 const char *occBucketName(OccBucket b);
+
+/**
+ * One sampled warp-scheduler snapshot of the trace sampling core
+ * (hwdb `trace.sampling_core`): that SM's *cumulative* stall and
+ * occupancy counters as of `cycle`. Collected read-only by the
+ * simulator's control phase at a fixed stepped-cycle interval when
+ * SM tracing is enabled, so sampling can never perturb a
+ * deterministic counter; rides along in KernelStats but is excluded
+ * from merge() and from every golden/stat rendering.
+ */
+struct SmSchedSample {
+    uint64_t cycle = 0;
+    std::array<uint64_t, kNumStallReasons> stallCycles{};
+    std::array<uint64_t, kNumOccBuckets> occCycles{};
+};
 
 /** All statistics collected for one kernel launch. */
 struct KernelStats {
@@ -127,6 +143,16 @@ struct KernelStats {
      * peak. Filled by the engines, not the simulator.
      */
     uint64_t deviceBytesPeak = 0;
+
+    // --- trace sampling ------------------------------------------------------
+    /**
+     * Warp-scheduler samples of the trace sampling core; empty
+     * unless SM tracing is enabled (hwdb `trace.enabled` +
+     * `trace.components` containing "sm"). Deterministic across
+     * sim-thread counts (sampled in the control phase), untouched by
+     * merge(), absent from goldens.
+     */
+    std::vector<SmSchedSample> smSamples;
 
     // --- derived metrics ----------------------------------------------------
     double l1HitRate() const;

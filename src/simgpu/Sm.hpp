@@ -118,6 +118,25 @@ class Sm
      */
     void drainParkedMem();
 
+    /**
+     * Read-only snapshot of this SM's cumulative warp-scheduler
+     * counters as of @p cycle, for trace sampling (hwdb
+     * `trace.sampling_core`). Called from the control phase — the
+     * phase barrier orders it after every stepCycle() write — and
+     * touches no mutable state, so sampling cannot perturb any
+     * deterministic counter.
+     */
+    SmSchedSample sampleSchedState(uint64_t cycle) const
+    {
+        SmSchedSample s;
+        s.cycle = cycle;
+        if (stats) {
+            s.stallCycles = stats->stallCycles;
+            s.occCycles = stats->occCycles;
+        }
+        return s;
+    }
+
   private:
     /** Cold per-warp state (touched on issue / refill, not per cycle). */
     struct WarpCtx {

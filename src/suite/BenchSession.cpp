@@ -13,6 +13,7 @@
 
 #include "frameworks/FrameworkAdapter.hpp"
 #include "hwdb/HwConfigFile.hpp"
+#include "obs/TraceSink.hpp"
 #include "util/Logging.hpp"
 #include "util/ThreadPool.hpp"
 
@@ -260,6 +261,8 @@ BenchSession::runPoint(const UserParams &params, const Graph &graph)
 
     const FrameworkAdapter adapter(params.framework);
     std::unique_ptr<ExecutionEngine> engine;
+    std::unique_ptr<TraceSink> sink;
+    std::string tracePath = params.tracePath;
     if (params.engine == EngineKind::Sim) {
         // Resolve the machine once: the engine and the provenance
         // snapshot must describe the same config even if a file:
@@ -267,7 +270,26 @@ BenchSession::runPoint(const UserParams &params, const Graph &graph)
         const GpuConfig gpu = params.resolveGpuConfig();
         outcome.gpuConfigSnapshot = gpuConfigKeyValues(gpu);
         engine = AbstractionModule::makeEngine(params, gpu);
+        // Tracing: --trace PATH forces it on; otherwise the resolved
+        // machine's trace.enabled hwdb key does, with a default path.
+        // Component selection and the sampled SM always come from
+        // the machine (trace.components / trace.sampling_core).
+        if (!tracePath.empty() || gpu.traceEnabled) {
+            if (tracePath.empty())
+                tracePath = "trace.json";
+            TraceSinkOptions topts;
+            topts.enabled = true;
+            topts.components =
+                parseTraceComponents(gpu.traceComponents);
+            topts.samplingCore = gpu.traceSamplingCore;
+            sink = std::make_unique<TraceSink>(topts);
+        }
     } else {
+        if (!tracePath.empty()) {
+            warn("--trace needs the sim engine; no trace written "
+                 "for this point");
+            tracePath.clear();
+        }
         engine = AbstractionModule::makeEngine(params);
     }
 
@@ -277,6 +299,10 @@ BenchSession::runPoint(const UserParams &params, const Graph &graph)
         static_cast<size_t>(params.runs));
     outcome.kernelSamplesUs.reserve(static_cast<size_t>(params.runs));
     for (int r = 0; r < params.runs; ++r) {
+        // Only the final (recorded) run is traced: earlier warm-up
+        // runs would duplicate every span.
+        if (sink && r == params.runs - 1)
+            engine->setTraceSink(sink.get());
         const FrameworkRunResult res = adapter.run(
             graph, params.modelConfig(), *engine, params.batch);
         sum += res.endToEndUs;
@@ -334,6 +360,34 @@ BenchSession::runPoint(const UserParams &params, const Graph &graph)
     }
     outcome.meanEndToEndUs = sum / params.runs;
     outcome.meanKernelUs = kernel_sum / params.runs;
+    if (sink) {
+        const auto t0 = std::chrono::steady_clock::now();
+        sink->writeFile(tracePath);
+        const auto t1 = std::chrono::steady_clock::now();
+        outcome.tracePath = tracePath;
+        // Exact-integer observability counters (CI diffs them as
+        // blocking-deterministic); the write cost is wall clock and
+        // stays warn-only.
+        outcome.metrics["obs_events"] =
+            static_cast<double>(sink->eventCount());
+        outcome.metrics["obs_spans"] =
+            static_cast<double>(sink->spanCount());
+        outcome.metrics["obs_instants"] =
+            static_cast<double>(sink->instantCount());
+        outcome.metrics["obs_counters"] =
+            static_cast<double>(sink->counterCount());
+        outcome.metrics["trace_dropped_events"] =
+            static_cast<double>(sink->droppedEvents());
+        outcome.metrics["trace_write_ms"] =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+        if (sink->droppedEvents() > 0)
+            warn("trace %s dropped %llu events (raise "
+                 "trackCapacity or narrow trace.components)",
+                 tracePath.c_str(),
+                 static_cast<unsigned long long>(
+                     sink->droppedEvents()));
+    }
     return outcome;
 }
 
@@ -371,6 +425,24 @@ BenchSession::run(const SweepSpec &spec,
     size_t done = 0;
     auto runOne = [&](size_t i, int /*lane*/) {
         SweepPoint pt = points[i];
+        // Every log line of this point (including from concurrent
+        // lanes) carries its label.
+        ScopedLogPrefix logScope(pt.label);
+        // Multi-point sweeps write one trace per point: ".pN" goes
+        // before the extension so trace.json -> trace.p3.json.
+        if (!pt.params.tracePath.empty() && points.size() > 1) {
+            std::string path = pt.params.tracePath;
+            const size_t dot = path.find_last_of('.');
+            const size_t slash = path.find_last_of('/');
+            const std::string suffix =
+                ".p" + std::to_string(i);
+            if (dot != std::string::npos &&
+                (slash == std::string::npos || dot > slash))
+                path.insert(dot, suffix);
+            else
+                path += suffix;
+            pt.params.tracePath = path;
+        }
         if (lanes > 1) {
             // Compose budgets: sweep lanes share the worker budget,
             // so "auto" per-launch parallelism shrinks accordingly.
@@ -408,6 +480,15 @@ BenchSession::run(const SweepSpec &spec,
         }
         if (armedId)
             watchdog.disarm(armedId);
+        // Custom runners may not implement tracing; never let a
+        // requested --trace vanish silently. (Functional points get
+        // their own warn from runPoint.)
+        if (result.ok && !pt.params.tracePath.empty() &&
+            pt.params.engine == EngineKind::Sim &&
+            result.outcome.tracePath.empty())
+            warn("point '%s': --trace requested but this bench's "
+                 "runner wrote no trace",
+                 pt.label.c_str());
         // The flag dies with this frame; the stored point must not
         // carry a dangling pointer.
         result.point.params.cancel = nullptr;

@@ -158,7 +158,7 @@ ResultStore::toCsv(const std::string &path) const
                 "comp", "dataset", "engine", "scale", "ok", "error",
                 "error_kind", "runs", "end_to_end_us_mean",
                 "end_to_end_us_min", "end_to_end_us_max",
-                "kernel_us_mean"});
+                "kernel_us_mean", "trace_path"});
     for (const auto &r : results) {
         const UserParams &p = r.point.params;
         csv.row({r.point.label, r.point.variant, p.gpu,
@@ -171,7 +171,8 @@ ResultStore::toCsv(const std::string &path) const
                  fmtDouble(r.outcome.meanEndToEndUs, 3),
                  fmtDouble(r.outcome.minEndToEndUs, 3),
                  fmtDouble(r.outcome.maxEndToEndUs, 3),
-                 fmtDouble(r.outcome.meanKernelUs, 3)});
+                 fmtDouble(r.outcome.meanKernelUs, 3),
+                 r.outcome.tracePath});
     }
 }
 
@@ -313,6 +314,9 @@ ResultStore::toJson(const std::string &path,
                          o.meanKernelUs);
             samples(o.kernelSamplesUs);
             std::fprintf(f, "}");
+            if (!o.tracePath.empty())
+                std::fprintf(f, ",\n     \"trace_path\": \"%s\"",
+                             jsonEscape(o.tracePath).c_str());
             if (!o.metrics.empty()) {
                 std::fprintf(f, ",\n     \"metrics\": {");
                 bool first = true;

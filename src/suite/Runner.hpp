@@ -58,6 +58,14 @@ struct RunOutcome {
     std::vector<std::pair<std::string, std::string>>
         gpuConfigSnapshot;
 
+    /**
+     * Chrome-trace file this point wrote ("" when tracing was off).
+     * Multi-point sessions derive per-point paths from
+     * UserParams::tracePath; the path also lands in the results CSV
+     * and JSON as trace_path.
+     */
+    std::string tracePath;
+
     /** Per-kernel timeline of the final run. */
     std::vector<KernelRecord> timeline;
 };

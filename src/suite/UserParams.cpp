@@ -44,7 +44,7 @@ UserParams::fromOptions(const OptionSet &opts)
         "outdim",     "gineps",    "runs",        "seed",
         "batch",      "mem-plan",
         "profile-caches", "node-div", "edge-div", "feature-cap",
-        "csv",        "verbose",   "quiet",
+        "csv",        "verbose",   "quiet",       "trace",
         "sim-threads", "sim-parallel", "sweep-threads",
         "max-ctas",   "cycle-ceiling", "scheduler", "l1-bypass",
         "gpu",        "list-gpus",
@@ -124,6 +124,7 @@ UserParams::fromOptions(const OptionSet &opts)
     p.edgeDivisor = opts.getInt("edge-div", -1);
     p.featureCap = opts.getInt("feature-cap", -1);
     p.csvOut = opts.getString("csv", "");
+    p.tracePath = opts.getString("trace", "");
 
     if (opts.getBool("verbose", false))
         setLogLevel(LogLevel::Verbose);

@@ -141,6 +141,16 @@ struct UserParams {
     std::string csvOut; ///< optional CSV path for results
 
     /**
+     * Chrome-trace output (--trace PATH): each executed point writes
+     * a Perfetto-loadable trace of its final measurement run (see
+     * src/obs/README.md). Multi-point sessions derive per-point
+     * paths by suffixing ".pN" before the extension. Empty = no
+     * trace unless the resolved gpu config sets trace.enabled, in
+     * which case "trace.json" is used.
+     */
+    std::string tracePath;
+
+    /**
      * Build params from an option set (config file + CLI merged).
      * Unknown keys are rejected with fatal() so typos surface.
      */

@@ -6,6 +6,15 @@
  * configuration, invalid arguments) and performs a normal exit with an
  * error code; panic() is for internal invariant violations (a gsuite
  * bug) and aborts. inform()/warn() report status without stopping.
+ *
+ * Verbosity is leveled. The initial level comes from the
+ * SUITE_LOG_LEVEL environment variable ("quiet", "normal",
+ * "verbose", "debug", or the matching integer 0-3; unset/unknown =
+ * normal) and can be overridden programmatically with setLogLevel().
+ * Every message is written to stderr with a single fwrite so lines
+ * from concurrent sweep threads never interleave mid-line, and each
+ * line carries the calling thread's log prefix (ScopedLogPrefix) so
+ * suite sessions can label output per bench point.
  */
 
 #ifndef GSUITE_UTIL_LOGGING_HPP
@@ -21,12 +30,13 @@ enum class LogLevel {
     Quiet = 0,
     Normal = 1,
     Verbose = 2,
+    Debug = 3,
 };
 
 /** Set the global verbosity; messages above the level are suppressed. */
 void setLogLevel(LogLevel level);
 
-/** Current global verbosity. */
+/** Current global verbosity (initialized from SUITE_LOG_LEVEL). */
 LogLevel logLevel();
 
 /** Print an informative status message (printf-style). */
@@ -34,6 +44,10 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print a verbose-only status message (printf-style). */
 void informVerbose(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a debug-only status message (printf-style). */
+void logDebug(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /** Warn about suspicious but non-fatal conditions (printf-style). */
@@ -60,6 +74,29 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  * @param what Description used in the panic message.
  */
 void panicIf(bool cond, const std::string &what);
+
+/** The calling thread's current log prefix ("" when none). */
+const std::string &logPrefix();
+
+/**
+ * RAII log prefix for the calling thread: every message the thread
+ * reports while the scope is alive is prefixed "[label] ". Scopes
+ * nest (inner label wins, outer restored on destruction). The suite
+ * uses this to tag all output of one bench point with its point
+ * label.
+ */
+class ScopedLogPrefix
+{
+  public:
+    explicit ScopedLogPrefix(std::string label);
+    ~ScopedLogPrefix();
+
+    ScopedLogPrefix(const ScopedLogPrefix &) = delete;
+    ScopedLogPrefix &operator=(const ScopedLogPrefix &) = delete;
+
+  private:
+    std::string saved;
+};
 
 } // namespace gsuite
 

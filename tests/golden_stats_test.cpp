@@ -26,6 +26,7 @@
 #include "graph/Generators.hpp"
 #include "hwdb/HwPresets.hpp"
 #include "models/GnnModel.hpp"
+#include "obs/TraceSink.hpp"
 #include "util/Random.hpp"
 
 using namespace gsuite;
@@ -122,7 +123,8 @@ struct GoldenCase {
 };
 
 std::string
-runPipeline(const GoldenCase &gc, int sim_threads)
+runPipeline(const GoldenCase &gc, int sim_threads,
+            TraceSink *sink = nullptr)
 {
     SimEngine::Options opts;
     opts.gpu = hwPresetByName(gc.gpu).config;
@@ -130,6 +132,7 @@ runPipeline(const GoldenCase &gc, int sim_threads)
     opts.sim.numThreads = sim_threads;
 
     SimEngine engine(opts);
+    engine.setTraceSink(sink);
     ModelConfig cfg;
     cfg.model = gc.model;
     cfg.comp = gc.comp;
@@ -243,6 +246,19 @@ TEST_P(GoldenStats, CountersMatchGoldenAndThreadCount)
     const std::string threaded = runPipeline(gc, /*sim_threads=*/4);
     expectSameRendering(serial, threaded,
                         "(sim-threads 1 vs 4 rendering)");
+
+    // Neither may tracing (src/obs): a full-component sink with SM
+    // sampling on is observation-only, so the golden rendering stays
+    // byte-identical with it attached.
+    TraceSinkOptions topts;
+    topts.enabled = true;
+    TraceSink sink(topts);
+    const std::string traced =
+        runPipeline(gc, /*sim_threads=*/1, &sink);
+    expectSameRendering(serial, traced,
+                        "(tracing on vs off rendering)");
+    EXPECT_GT(sink.eventCount(), 0u);
+    EXPECT_EQ(sink.droppedEvents(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
