@@ -51,6 +51,12 @@ DETERMINISTIC = ("cycles", "warp_instrs", "graph_levels",
                  "plan_waves", "plan_spills", "plan_fits_budget",
                  "plan_sliced", "plan_peak_ratio", "graph_nodes",
                  "graph_max_level_width",
+                 # Memory-hierarchy counters: MSHR occupancy and the
+                 # banked DRAM model are pure functions of the access
+                 # stream (mshr_stall_cycles is caught by the _cycles
+                 # suffix).
+                 "dram_row_hits", "dram_row_misses",
+                 "dram_queue_peak",
                  # src/obs tracing: accepted/dropped event counts
                  # are pure functions of the deterministic run (the
                  # obs_* prefix catches the per-phase counts); the

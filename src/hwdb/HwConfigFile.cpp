@@ -148,6 +148,42 @@ cacheBoolKey(const char *key, const char *section,
             }};
 }
 
+KeyDef
+mshrIntKey(const char *key, const char *section,
+           MshrConfig GpuConfig::*mshr, int MshrConfig::*field)
+{
+    return {key, section,
+            [mshr, field](const GpuConfig &c) {
+                return std::to_string(c.*mshr.*field);
+            },
+            [key, mshr, field](GpuConfig &c, const std::string &v,
+                               const std::string &origin) {
+                const int64_t parsed = parseIntOrDie(key, v, origin);
+                if (parsed <= 0)
+                    fatal("%s: key '%s' must be positive",
+                          origin.c_str(), key);
+                c.*mshr.*field = static_cast<int>(parsed);
+            }};
+}
+
+KeyDef
+dramIntKey(const char *key, const char *section,
+           int DramConfig::*field)
+{
+    return {key, section,
+            [field](const GpuConfig &c) {
+                return std::to_string(c.dram.*field);
+            },
+            [key, field](GpuConfig &c, const std::string &v,
+                         const std::string &origin) {
+                const int64_t parsed = parseIntOrDie(key, v, origin);
+                if (parsed <= 0)
+                    fatal("%s: key '%s' must be positive",
+                          origin.c_str(), key);
+                c.dram.*field = static_cast<int>(parsed);
+            }};
+}
+
 /**
  * Derived check key: serialized for readability, and when present
  * in a parsed file it must agree with the geometry keys (the
@@ -256,6 +292,56 @@ keySchema()
                       &GpuConfig::dramBytesPerCyclePerSm));
         keys.push_back(intKey("mem.num_l2_slices", mem,
                               &GpuConfig::numL2Slices));
+        keys.push_back(mshrIntKey("mem.l1_mshr_entries", mem,
+                                  &GpuConfig::l1Mshr,
+                                  &MshrConfig::entries));
+        keys.push_back(mshrIntKey("mem.l1_mshr_merges", mem,
+                                  &GpuConfig::l1Mshr,
+                                  &MshrConfig::maxMerges));
+        keys.push_back(mshrIntKey("mem.l1_mshr_hit_under_miss", mem,
+                                  &GpuConfig::l1Mshr,
+                                  &MshrConfig::hitUnderMiss));
+        keys.push_back(mshrIntKey("mem.l2_mshr_entries", mem,
+                                  &GpuConfig::l2Mshr,
+                                  &MshrConfig::entries));
+        keys.push_back(mshrIntKey("mem.l2_mshr_merges", mem,
+                                  &GpuConfig::l2Mshr,
+                                  &MshrConfig::maxMerges));
+        keys.push_back(mshrIntKey("mem.l2_mshr_hit_under_miss", mem,
+                                  &GpuConfig::l2Mshr,
+                                  &MshrConfig::hitUnderMiss));
+        keys.push_back(dramIntKey("mem.dram_banks", mem,
+                                  &DramConfig::numBanks));
+        keys.push_back(dramIntKey("mem.dram_row_bytes", mem,
+                                  &DramConfig::rowBytes));
+        keys.push_back(
+            dramIntKey("mem.dram_trcd", mem, &DramConfig::tRcd));
+        keys.push_back(
+            dramIntKey("mem.dram_tras", mem, &DramConfig::tRas));
+        keys.push_back(
+            dramIntKey("mem.dram_trp", mem, &DramConfig::tRp));
+        keys.push_back(
+            dramIntKey("mem.dram_tccd", mem, &DramConfig::tCcd));
+        keys.push_back(
+            {"mem.dram_scheduler", mem,
+             [](const GpuConfig &c) {
+                 return std::string(
+                     dramSchedPolicyName(c.dram.scheduler));
+             },
+             [](GpuConfig &c, const std::string &v,
+                const std::string &origin) {
+                 const std::string n = toLower(trim(v));
+                 if (n == "frfcfs")
+                     c.dram.scheduler = DramSchedPolicy::Frfcfs;
+                 else if (n == "fcfs")
+                     c.dram.scheduler = DramSchedPolicy::Fcfs;
+                 else
+                     fatal("%s: key 'mem.dram_scheduler' expects "
+                           "frfcfs or fcfs, got '%s'",
+                           origin.c_str(), v.c_str());
+             }});
+        keys.push_back(dramIntKey("mem.dram_sched_queue_size", mem,
+                                  &DramConfig::schedQueueSize));
 
         const char *l1d = "L1 data cache";
         keys.push_back(

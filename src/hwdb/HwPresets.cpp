@@ -57,6 +57,10 @@ rtx2060sSim()
     cfg.dramBytesPerCyclePerSm = 7.99;
     cfg.l1d = {64 * 1024, 128, 32, 32, false};
     cfg.l2 = {4 * 1024 * 1024, 128, 32, 32, true};
+    // GDDR6: longer core-clock row timings than the HBM parts and a
+    // 2 KiB row buffer over 16 banks per channel slice.
+    cfg.dram = {16, 2048, 20, 46, 20, 3, DramSchedPolicy::Frfcfs,
+                64};
     cfg.coreClockGhz = 1.65;
     return cfg;
 }
@@ -82,6 +86,11 @@ p100Sim()
     cfg.dramBytesPerCyclePerSm = 9.84;
     cfg.l1d = {24 * 1024, 128, 32, 6, false};
     cfg.l2 = {4 * 1024 * 1024, 128, 32, 16, true};
+    // Pascal's small non-adaptive L1 tracks fewer outstanding
+    // misses; HBM2 rows over 16 banks with a shallower queue.
+    cfg.l1Mshr = {16, 8, 16};
+    cfg.dram = {16, 2048, 14, 33, 14, 2, DramSchedPolicy::Frfcfs,
+                32};
     cfg.coreClockGhz = 1.33;
     return cfg;
 }
@@ -105,6 +114,12 @@ a100Sim()
     cfg.l1d = {192 * 1024, 128, 32, 24, false};
     cfg.l2 = {40ull * 1024 * 1024, 128, 32, 20, true};
     cfg.numL2Slices = 8;
+    // HBM2e: twice the banks of the HBM2 parts, deeper L2 miss
+    // tracking behind the large cache.
+    cfg.l1Mshr = {48, 8, 48};
+    cfg.l2Mshr = {128, 8, 128};
+    cfg.dram = {32, 2048, 14, 33, 14, 2, DramSchedPolicy::Frfcfs,
+                64};
     cfg.coreClockGhz = 1.41;
     return cfg;
 }
@@ -133,6 +148,12 @@ h100Sim()
     // 50 MiB / (128 B lines x 25-way) = 16384 sets (power of two).
     cfg.l2 = {50ull * 1024 * 1024, 128, 32, 25, true};
     cfg.numL2Slices = 8;
+    // HBM3 at the higher core clock: more cycles per row command,
+    // 32 banks, and the deepest scheduler queue of the family.
+    cfg.l1Mshr = {64, 8, 64};
+    cfg.l2Mshr = {128, 8, 128};
+    cfg.dram = {32, 2048, 18, 42, 18, 2, DramSchedPolicy::Frfcfs,
+                128};
     cfg.coreClockGhz = 1.83;
     return cfg;
 }
@@ -159,6 +180,10 @@ jetsonOrinSim()
     cfg.dramBytesPerCyclePerSm = 9.84;
     cfg.l1d = {192 * 1024, 128, 32, 24, false};
     cfg.l2 = {4ull * 1024 * 1024, 128, 32, 32, true};
+    // LPDDR5 shared with the CPU: few banks, slow row cycles, a
+    // shallow queue, and a simple in-order (FCFS) controller.
+    cfg.l2Mshr = {32, 8, 32};
+    cfg.dram = {8, 1024, 36, 84, 36, 4, DramSchedPolicy::Fcfs, 16};
     cfg.coreClockGhz = 1.3;
     return cfg;
 }

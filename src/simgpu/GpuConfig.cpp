@@ -27,6 +27,28 @@ schedulerPolicyName(SchedulerPolicy p)
     panic("unknown SchedulerPolicy");
 }
 
+DramSchedPolicy
+dramSchedPolicyFromName(const std::string &name)
+{
+    const std::string n = toLower(trim(name));
+    if (n == "frfcfs" || n == "fr-fcfs")
+        return DramSchedPolicy::Frfcfs;
+    if (n == "fcfs" || n == "fifo")
+        return DramSchedPolicy::Fcfs;
+    fatal("unknown DRAM scheduler '%s' (known: frfcfs, fcfs)",
+          name.c_str());
+}
+
+const char *
+dramSchedPolicyName(DramSchedPolicy p)
+{
+    switch (p) {
+      case DramSchedPolicy::Frfcfs: return "frfcfs";
+      case DramSchedPolicy::Fcfs: return "fcfs";
+    }
+    panic("unknown DramSchedPolicy");
+}
+
 GpuConfig
 GpuConfig::v100Sim()
 {
@@ -46,6 +68,11 @@ GpuConfig::testTiny()
     cfg.numSchedulers = 2;
     cfg.l1d = {4 * 1024, 128, 32, 4, false};
     cfg.l2 = {16 * 1024, 128, 32, 8, true};
+    // Small enough that unit tests can drive the machine into MSHR
+    // back-pressure and queue rejection with modest footprints.
+    cfg.l1Mshr = {8, 4, 8};
+    cfg.l2Mshr = {16, 4, 16};
+    cfg.dram = {4, 512, 12, 28, 12, 2, DramSchedPolicy::Frfcfs, 8};
     return cfg;
 }
 
@@ -83,6 +110,41 @@ GpuConfig::validate() const
     };
     check_cache(l1d, "L1D");
     check_cache(l2, "L2");
+    // The coalescer forms sectors at L1 granularity and the L2/DRAM
+    // accounting reuses those same addresses at L2 granularity; a
+    // mismatch would silently skew every L2 hit-rate and dramBytes
+    // counter, so it is fatal rather than a warning.
+    if (l1d.sectorBytes != l2.sectorBytes)
+        fatal("GpuConfig: l1d.sector_bytes (%d) must equal "
+              "l2.sector_bytes (%d): coalescing happens at L1 sector "
+              "granularity and L2/DRAM accounting reuses it",
+              l1d.sectorBytes, l2.sectorBytes);
+    auto check_mshr = [](const MshrConfig &m, const char *label) {
+        if (m.entries <= 0 || m.maxMerges <= 0)
+            fatal("GpuConfig: %s MSHR entries/merges must be "
+                  "positive", label);
+        if (m.hitUnderMiss <= 0 || m.hitUnderMiss > m.entries)
+            fatal("GpuConfig: %s MSHR hit-under-miss must be in "
+                  "[1, entries]", label);
+    };
+    check_mshr(l1Mshr, "L1");
+    check_mshr(l2Mshr, "L2");
+    if (dram.numBanks < 1 ||
+        (dram.numBanks & (dram.numBanks - 1)) != 0)
+        fatal("GpuConfig: mem.dram_banks must be a positive power "
+              "of two");
+    if (dram.rowBytes < l2.sectorBytes ||
+        dram.rowBytes % l2.sectorBytes != 0 ||
+        (dram.rowBytes & (dram.rowBytes - 1)) != 0)
+        fatal("GpuConfig: mem.dram_row_bytes must be a power of two "
+              "multiple of the L2 sector size");
+    if (dram.tRcd <= 0 || dram.tRas <= 0 || dram.tRp <= 0 ||
+        dram.tCcd <= 0)
+        fatal("GpuConfig: DRAM timing parameters must be positive "
+              "cycles");
+    if (dram.schedQueueSize <= 0)
+        fatal("GpuConfig: mem.dram_sched_queue_size must be "
+              "positive");
     if (dramBytesPerCyclePerSm <= 0)
         fatal("GpuConfig: DRAM bandwidth must be positive");
     if (numL2Slices < 1 ||

@@ -29,6 +29,59 @@ SchedulerPolicy schedulerPolicyFromName(const std::string &name);
 /** Canonical lowercase name. */
 const char *schedulerPolicyName(SchedulerPolicy p);
 
+/** DRAM request-scheduler arbitration per slice channel. */
+enum class DramSchedPolicy {
+    Frfcfs, ///< first-ready (open-row hits first), then oldest
+    Fcfs,   ///< strictly oldest-first
+};
+
+/** Parse "frfcfs"/"fcfs"; fatal() on unknown names. */
+DramSchedPolicy dramSchedPolicyFromName(const std::string &name);
+
+/** Canonical lowercase name. */
+const char *dramSchedPolicyName(DramSchedPolicy p);
+
+/**
+ * Finite miss-status-holding-register table of one cache level
+ * (gpgpusim's -gpgpu_cache:dl1 ...,A:<entries>:<merges> vocabulary).
+ */
+struct MshrConfig {
+    int entries = 32;  ///< outstanding-miss table entries
+    int maxMerges = 8; ///< same-line accesses merged into one entry
+    /**
+     * Busy entries tolerated before the level stops accepting new
+     * accesses (<= entries; equal means "stall only when full").
+     * At the L1 this is the SM back-pressure point, surfaced as the
+     * MshrFull stall class.
+     */
+    int hitUnderMiss = 32;
+
+    bool operator==(const MshrConfig &) const = default;
+};
+
+/**
+ * Banked DRAM timing and scheduling of one L2-slice channel
+ * (gpgpusim's -gpgpu_dram_timing_opt nbk=..:CCD=..:RCD=..:RAS=..:RP=..
+ * and -gpgpu_frfcfs_dram_sched_queue_size vocabulary).
+ */
+struct DramConfig {
+    int numBanks = 16;  ///< nbk: banks per channel (power of two)
+    int rowBytes = 2048; ///< row-buffer footprint per bank
+    int tRcd = 14; ///< activate -> column command (cycles)
+    int tRas = 33; ///< activate -> precharge minimum
+    int tRp = 14;  ///< precharge -> activate
+    int tCcd = 2;  ///< column -> column on one bank
+    DramSchedPolicy scheduler = DramSchedPolicy::Frfcfs;
+    /**
+     * Bounded request queue: sectors a slice admits per cycle. A
+     * full queue rejects the sector, which keeps its SM's access
+     * parked (multi-cycle back-pressure all the way to the LSU).
+     */
+    int schedQueueSize = 64;
+
+    bool operator==(const DramConfig &) const = default;
+};
+
 /** Geometry of one cache level. */
 struct CacheGeometry {
     uint64_t sizeBytes = 0;
@@ -100,6 +153,19 @@ struct GpuConfig {
 
     CacheGeometry l1d{128 * 1024, 128, 32, 64, false};
     CacheGeometry l2{3 * 1024 * 1024, 128, 32, 24, true};
+
+    /**
+     * Finite MSHR tables. The L1 table tracks every in-flight sector
+     * an SM has outstanding toward its slice (loads, stores and
+     * atomics alike — the miss path is one queue); the L2 table is
+     * per slice. A full L1 table back-pressures the SM's LSU
+     * (StallReason::MshrFull).
+     */
+    MshrConfig l1Mshr{32, 8, 32};
+    MshrConfig l2Mshr{64, 8, 64};
+
+    /** Banked DRAM model behind each L2 slice. */
+    DramConfig dram{};
 
     /**
      * Address-sliced L2/DRAM banking: line addresses are distributed

@@ -238,6 +238,17 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
                 std::to_string(ctl.cycleCeiling) +
                 "-cycle watchdog ceiling");
 
+    // A truncated run (cycle limit) can stop the clock while a parked
+    // access is still back-pressured mid-resolution; give the slices
+    // as many further service rounds as they need first, so the drain
+    // below only ever folds complete results.
+    uint64_t drain_rounds = 0;
+    while (mem.anyParkedIncomplete()) {
+        for (int s = 0; s < num_slices; ++s)
+            mem.resolveSlice(s);
+        panicIf(++drain_rounds > 1000000,
+                "parked memory accesses failed to drain (livelock?)");
+    }
     // Flush any still-parked memory access so its counters land.
     for (auto &sm : sms)
         sm->drainParkedMem();
@@ -271,6 +282,7 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
     stats.cycles = ctl.cycle;
     stats.dramBusyCycles =
         static_cast<uint64_t>(mem.dramBusyCycles());
+    stats.dramQueuePeak = mem.dramQueuePeak();
     stats.smSamples = std::move(ctl.samples);
 
     if (ctl.hitLimit) {

@@ -16,6 +16,7 @@ stallReasonName(StallReason r)
         return "ExecutionDependency";
       case StallReason::InstructionFetch: return "InstructionFetch";
       case StallReason::Synchronization: return "Synchronization";
+      case StallReason::MshrFull: return "MshrFull";
       case StallReason::NotSelected: return "NotSelected";
     }
     panic("unknown StallReason");
@@ -146,6 +147,10 @@ KernelStats::merge(const KernelStats &other)
     memSectors += other.memSectors;
     dramBytes += other.dramBytes;
     dramBusyCycles += other.dramBusyCycles;
+    dramRowHits += other.dramRowHits;
+    dramRowMisses += other.dramRowMisses;
+    // Queue depth does not accumulate across sequential launches.
+    dramQueuePeak = std::max(dramQueuePeak, other.dramQueuePeak);
     aluBusyCycles += other.aluBusyCycles;
     schedulerSlots += other.schedulerSlots;
     classifyEvals += other.classifyEvals;
@@ -194,6 +199,14 @@ KernelStats::toStatSet() const
     s.set("mem_sectors", static_cast<double>(memSectors));
     s.set("dram_bytes", static_cast<double>(dramBytes));
     s.set("dram_busy_cycles", static_cast<double>(dramBusyCycles));
+    s.set("dram_row_hits", static_cast<double>(dramRowHits));
+    s.set("dram_row_misses", static_cast<double>(dramRowMisses));
+    s.set("dram_queue_peak", static_cast<double>(dramQueuePeak));
+    // Alias of stall_MshrFull under the deterministic *_cycles
+    // naming so bench comparisons treat it as blocking-exact.
+    s.set("mshr_stall_cycles",
+          static_cast<double>(stallCycles[static_cast<size_t>(
+              StallReason::MshrFull)]));
     s.set("compute_util", computeUtilization());
     s.set("memory_util", memoryUtilization());
     s.set("divergence", divergence());

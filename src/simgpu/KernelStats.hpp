@@ -28,9 +28,10 @@ enum class StallReason : int {
     ExecutionDependency,
     InstructionFetch,
     Synchronization,
+    MshrFull, ///< L1 MSHR table full: LSU back-pressure
     NotSelected,
 };
-constexpr int kNumStallReasons = 6;
+constexpr int kNumStallReasons = 7;
 
 /** Paper-facing label for a stall reason (Fig. 6 legend). */
 const char *stallReasonName(StallReason r);
@@ -104,6 +105,13 @@ struct KernelStats {
     uint64_t memSectors = 0;
     uint64_t dramBytes = 0;
     uint64_t dramBusyCycles = 0;
+    uint64_t dramRowHits = 0;   ///< DRAM reads hitting an open row
+    uint64_t dramRowMisses = 0; ///< activates (closed bank/conflict)
+    /**
+     * High-water mark of any slice's DRAM scheduler queue (max-merged
+     * across launches, filled once per run by the simulator).
+     */
+    uint64_t dramQueuePeak = 0;
 
     // --- pipe utilization --------------------------------------------------
     uint64_t aluBusyCycles = 0;   ///< scheduler ALU port busy cycles

@@ -1,26 +1,32 @@
 /**
  * @file
- * The GPU memory hierarchy: per-SM sectored L1D caches, an
- * address-sliced L2, and bandwidth-limited per-slice DRAM channels,
- * fed through a memory-access coalescer.
+ * The GPU memory hierarchy: per-SM sectored L1D caches with finite
+ * MSHR tables, an address-sliced L2 (one CacheLevel per slice,
+ * chained to a banked DRAM channel via MemLevel::setNextLevel), fed
+ * through a memory-access coalescer.
  *
  * The interface is split into three phases so the simulator can step
  * SMs concurrently while staying bit-identical across worker-thread
  * counts:
  *
  *  1. beginAccess() — called from the issuing SM's worker. Coalesces
- *     lanes into sectors and probes that SM's L1 (state only ever
- *     touched by its owner). Pure L1-hit loads complete immediately;
- *     anything that needs L2/DRAM is parked (at most one request per
- *     SM per cycle, enforced by the LSU port).
+ *     lanes into sectors, probes that SM's L1 (state only ever
+ *     touched by its owner) and claims L1 MSHR entries for every
+ *     sector headed past the L1. Pure L1-hit loads complete
+ *     immediately; anything that needs L2/DRAM is parked (at most one
+ *     request per SM, enforced by the LSU port).
  *  2. resolveSlice() — called once per slice per cycle, each slice by
  *     exactly one worker. Walks the parked requests in SM-index order
- *     and services the sectors this slice owns, so the L2/DRAM
- *     ordering is a deterministic function of (cycle, slice, sm) and
- *     never of thread scheduling.
- *  3. finishAccess() — called from the owning SM's worker on the next
- *     cycle. Merges per-sector completions, applies L1 fills, and
- *     folds the slice-side counters into the SM's stats.
+ *     and services the sectors this slice owns through the slice's
+ *     CacheLevel -> DramChannel chain, so the L2/DRAM ordering is a
+ *     deterministic function of (cycle, slice, sm) and never of
+ *     thread scheduling. A sector can be back-pressured (L2 MSHRs
+ *     exhausted or the DRAM queue full); it then retries on the next
+ *     resolveSlice() call, which keeps its SM parked across cycles.
+ *  3. finishAccess() — called from the owning SM's worker once
+ *     parkedComplete(). Merges per-sector completions, applies L1
+ *     fills, releases L1 MSHR entries, and folds the slice-side
+ *     counters into the SM's stats.
  *
  * warpAccess() bundles the three phases for serial callers (unit
  * tests, offline tools); the simulator drives the phases directly.
@@ -30,12 +36,13 @@
 #define GSUITE_SIMGPU_MEMORYSYSTEM_HPP
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
-#include "simgpu/Cache.hpp"
 #include "simgpu/GpuConfig.hpp"
 #include "simgpu/KernelStats.hpp"
+#include "simgpu/MemLevel.hpp"
 
 namespace gsuite {
 
@@ -54,13 +61,20 @@ struct MemAccessResult {
 };
 
 /**
- * Orchestrates coalescing and the cache/DRAM stack. All per-launch
- * counters are written into per-SM KernelStats passed by the caller,
- * so concurrent SMs never share a counter.
+ * Orchestrates coalescing and the chained cache/DRAM levels. All
+ * per-launch counters are written into per-SM KernelStats passed by
+ * the caller, so concurrent SMs never share a counter.
  */
 class MemorySystem
 {
   public:
+    /**
+     * Sentinel returned by l1MshrNextRelease() when a release cycle
+     * is not yet known (same bit pattern as the SM's kNoEvent).
+     */
+    static constexpr uint64_t kReleaseUnknown =
+        MshrTable::kPendingRelease;
+
     explicit MemorySystem(const GpuConfig &cfg);
 
     /**
@@ -83,16 +97,17 @@ class MemorySystem
 
     /**
      * Phase 2: service every parked sector owned by @p slice, in
-     * SM-index order. Each slice must be resolved by exactly one
-     * caller per cycle.
+     * SM-index order, through the slice's CacheLevel -> DramChannel
+     * chain. Each slice must be resolved by exactly one caller per
+     * cycle. Back-pressured sectors stay pending for the next call.
      */
     void resolveSlice(int slice);
 
     /**
      * Phase 3: complete the SM's parked request — apply L1 fills,
-     * fold L2/DRAM counters into @p stats — and return the
-     * warp-level completion cycle. Must only be called when
-     * hasParked(sm).
+     * release L1 MSHR entries, fold L2/DRAM counters into @p stats —
+     * and return the warp-level completion cycle. Must only be
+     * called when parkedComplete(sm).
      */
     uint64_t finishAccess(int sm, KernelStats &stats);
 
@@ -104,14 +119,45 @@ class MemorySystem
     }
 
     /**
-     * Serial convenience wrapper running all three phases (unit
-     * tests / non-simulator callers).
+     * True when every sector of @p sm's parked request has been
+     * resolved by its slice (finishAccess may run). Also true when
+     * nothing is parked.
+     */
+    bool parkedComplete(int sm) const;
+
+    /**
+     * True while any SM's parked request still has unresolved
+     * sectors — the simulator must keep calling resolveSlice() every
+     * cycle (no fast-forward) until this clears.
+     */
+    bool anyParkedIncomplete() const;
+
+    /**
+     * True when @p sm's L1 MSHR table can admit a new memory
+     * instruction at @p cycle (busy entries below the hit-under-miss
+     * limit). The SM's issue stage gates memory instructions on this
+     * and reports StallReason::MshrFull otherwise.
+     */
+    bool l1MshrReady(int sm, uint64_t cycle) const;
+
+    /**
+     * Earliest cycle after @p cycle at which a busy L1 MSHR entry of
+     * @p sm releases, for stall-event scheduling. kReleaseUnknown
+     * when some busy entry's release is not yet known (its request
+     * is still in flight) — the SM must then re-poll next cycle.
+     */
+    uint64_t l1MshrNextRelease(int sm, uint64_t cycle) const;
+
+    /**
+     * Serial convenience wrapper running all three phases, looping
+     * resolveSlice() until back-pressure drains (unit tests /
+     * non-simulator callers).
      */
     MemAccessResult warpAccess(int sm, uint64_t cycle,
                                std::span<const uint64_t> lane_addrs,
                                MemAccessKind kind, KernelStats &stats);
 
-    /** Flush all caches and reset DRAM queueing (between launches). */
+    /** Flush all caches and reset MSHR/DRAM state (between launches). */
     void reset();
 
     /** Number of independent L2/DRAM slices. */
@@ -124,16 +170,25 @@ class MemorySystem
     /** DRAM busy cycles (sum over slices) since the last reset(). */
     double dramBusyCycles() const;
 
+    /** High-water mark of any slice's DRAM queue since reset(). */
+    uint64_t dramQueuePeak() const;
+
   private:
     /** One coalesced sector of a parked request. */
     struct SectorReq {
         uint64_t addr = 0;    ///< sector base address
-        uint64_t issueAt = 0; ///< LSU pump cycle for this sector
+        uint64_t issueAt = 0; ///< cycle the sector enters its slice
         uint64_t done = 0;    ///< completion (filled by its slice)
         uint8_t slice = 0;
         bool needsL2 = false; ///< false: satisfied by L1 in phase 1
         bool fillL1 = false;  ///< load that missed L1: fill on finish
         bool l2Hit = false;   ///< slice-side outcome, for stats
+        bool resolved = false; ///< slice produced `done`
+        bool dramServed = false; ///< went all the way to DRAM
+        bool rowHit = false;   ///< DRAM open-row hit, for stats
+        int l1Entry = -1;      ///< L1 MSHR entry (-1: spilled/none)
+        int l2Entry = -1;      ///< L2 MSHR entry while in flight
+        int ticket = -1;       ///< DRAM ticket within this cycle
     };
 
     /** At most one parked request per SM (LSU-port invariant). */
@@ -146,18 +201,31 @@ class MemorySystem
         SectorReq sectors[32];
     };
 
-    /** One address slice: an L2 bank plus its DRAM channel. */
-    struct L2Slice {
-        Cache cache;
-        double dramNextFree = 0.0;
-        double dramBusy = 0.0;
+    /** One address slice: an L2 cache level chained to its DRAM. */
+    struct Slice {
+        CacheLevel l2;
+        DramChannel dram;
 
-        explicit L2Slice(const CacheGeometry &g) : cache(g) {}
+        Slice(const CacheGeometry &g, const MshrConfig &mshr,
+              int hit_latency, const DramConfig &dram_cfg,
+              int dram_latency, double cycles_per_sector)
+            : l2(g, mshr, hit_latency),
+              dram(dram_cfg, dram_latency, cycles_per_sector)
+        {
+            l2.setNextLevel(&dram);
+        }
     };
 
     const GpuConfig &cfg;
-    std::vector<Cache> l1;
-    std::vector<L2Slice> slices;
+    /**
+     * Per-SM L1 levels. They stay un-chained (next == nullptr): the
+     * L1-miss hop to the slices crosses the phase barrier, so it is
+     * routed by this class rather than by the level itself. Heap
+     * allocation keeps the addresses stable for setNextLevel-style
+     * wiring elsewhere.
+     */
+    std::vector<std::unique_ptr<CacheLevel>> l1;
+    std::vector<std::unique_ptr<Slice>> slices;
     std::vector<ParkedReq> parked; ///< one slot per SM
     /** Fractional cycle bookkeeping: DRAM service is sub-cycle. */
     double dramCyclesPerSector; ///< per slice

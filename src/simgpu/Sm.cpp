@@ -296,6 +296,8 @@ Sm::finalizeParkedMem()
 {
     if (parkedWarp < 0)
         return;
+    if (!mem.parkedComplete(smId))
+        return; // slices still back-pressured: stay parked
     const uint64_t completion = mem.finishAccess(smId, *stats);
     WarpCtx &w = warps[static_cast<size_t>(parkedWarp)];
     switch (parkedKind) {
@@ -310,18 +312,31 @@ Sm::finalizeParkedMem()
         break; // stores have no consumer-visible completion
     }
     markDirty(parkedWarp, 0); // completion can change the class now
+    // finishAccess released L1 MSHR entries: a cached MshrFull class
+    // may now clear earlier than its recorded unblock cycle.
+    for (int i = 0; i < cfg.maxWarpsPerSm; ++i) {
+        const size_t si = static_cast<size_t>(i);
+        if (slotActive[si] &&
+            slotReason[si] ==
+                static_cast<uint8_t>(StallReason::MshrFull))
+            markDirty(i, 0);
+    }
     parkedWarp = -1;
 }
 
 void
 Sm::drainParkedMem()
 {
+    panicIf(parkedWarp >= 0 && !mem.parkedComplete(smId),
+            "drainParkedMem with unresolved sectors (the simulator "
+            "must drain the slices first)");
     finalizeParkedMem();
 }
 
 Sm::Classification
-Sm::classify(const WarpCtx &w, uint64_t cycle) const
+Sm::classify(int slot, uint64_t cycle) const
 {
+    const WarpCtx &w = warps[static_cast<size_t>(slot)];
     if (w.waitingBarrier)
         return {StallReason::Synchronization, kNoEvent};
     if (w.fetchReady > cycle)
@@ -330,6 +345,11 @@ Sm::classify(const WarpCtx &w, uint64_t cycle) const
     const SimInstr &in = w.chunk.instrs[w.pc];
     if (in.op == Op::EXIT && w.atomicDrain > cycle)
         return {StallReason::Synchronization, w.atomicDrain};
+    // A warp whose store/atomic (or unconsumed load) is still parked
+    // must not retire: finalizeParkedMem() writes into its slot, and
+    // a freed slot could be re-assigned meanwhile.
+    if (in.op == Op::EXIT && parkedWarp == slot)
+        return {StallReason::Synchronization, kNoEvent};
 
     uint64_t dep_ready = 0;
     bool from_mem = false;
@@ -347,6 +367,14 @@ Sm::classify(const WarpCtx &w, uint64_t cycle) const
         return {from_mem ? StallReason::MemoryDependency
                          : StallReason::ExecutionDependency,
                 dep_ready};
+    }
+    if (isMemOp(in.op) && !mem.l1MshrReady(smId, cycle)) {
+        // The L1 MSHR table is at its hit-under-miss limit: the LSU
+        // cannot accept this memory instruction. The unblock event is
+        // the earliest known entry release (kNoEvent while a release
+        // is still in flight).
+        return {StallReason::MshrFull,
+                mem.l1MshrNextRelease(smId, cycle)};
     }
     return {StallReason::NotSelected, 0}; // ready to issue
 }
@@ -386,6 +414,14 @@ Sm::reclassify(int slot, uint64_t cycle)
         reason = StallReason::Synchronization;
         unblock = w.atomicDrain;
         expiry = w.atomicDrain;
+    } else if (in.op == Op::EXIT && parkedWarp == slot) {
+        // Parked store/atomic (or unconsumed load) in flight: the
+        // warp must stay resident until finalizeParkedMem(), which
+        // marks this slot dirty. Re-check every cycle meanwhile (the
+        // parked state pins the SM to real time anyway).
+        reason = StallReason::Synchronization;
+        unblock = kNoEvent;
+        expiry = cycle + 1;
     } else {
         uint64_t dep_ready = 0;
         uint64_t dep_change = kNoEvent;
@@ -406,6 +442,14 @@ Sm::reclassify(int slot, uint64_t cycle)
                               : StallReason::ExecutionDependency;
             unblock = dep_ready;
             expiry = dep_change;
+        } else if (isMemOp(in.op) &&
+                   !mem.l1MshrReady(smId, cycle)) {
+            reason = StallReason::MshrFull;
+            unblock = mem.l1MshrNextRelease(smId, cycle);
+            // With an unknown release (a fill still in flight) the
+            // class must be re-derived every cycle; otherwise the
+            // earliest release is exactly when it can change.
+            expiry = unblock == kNoEvent ? cycle + 1 : unblock;
         } else {
             reason = StallReason::NotSelected;
             unblock = 0;
@@ -539,11 +583,15 @@ Sm::issueInstr(int slot, uint64_t cycle, int sched)
             w.regReady[in.dst] = res.completion;
             w.regFromMem[in.dst] = true;
         } else {
-            // Completion lands at the next step, after the slices
-            // resolve; no consumer can classify before then.
+            // Completion lands at a later step, once the slices
+            // resolve every sector. Until then the destination is
+            // "ready at an unknown cycle": consumers classify as
+            // MemoryDependency instead of reading a stale 0.
             parkedWarp = slot;
             parkedDst = in.dst;
             parkedKind = MemAccessKind::Load;
+            w.regReady[in.dst] = kNoEvent;
+            w.regFromMem[in.dst] = true;
         }
         lsuFree = cycle + static_cast<uint64_t>(res.lsuCycles);
         break;
@@ -598,6 +646,15 @@ Sm::stepCycle(uint64_t cycle, uint64_t &next_event)
     // Fold last cycle's resolved memory access into warp state before
     // anything classifies against it.
     finalizeParkedMem();
+
+    // A still-parked access pins the SM to real time: the slices must
+    // run resolveSlice() every cycle until every sector resolves, so
+    // neither the per-SM idle replay nor the simulator's global
+    // fast-forward may jump past those service cycles.
+    if (parkedWarp >= 0) {
+        idleUntil = 0;
+        next_event = std::min(next_event, cycle + 1);
+    }
 
     if (residentWarps == 0) {
         // Nothing resident: schedulers idle.
@@ -686,14 +743,27 @@ Sm::stepCycleFast(uint64_t cycle, uint64_t &next_event)
         bool structural = false;
         // Port states are re-read per scheduler: an earlier
         // scheduler's issue this cycle can occupy the shared LSU.
-        const bool lsu_busy = lsuFree > cycle;
+        // A parked access holds the LSU beyond lsuFree — the memory
+        // system accepts one in-flight access per SM.
+        const bool lsu_busy = lsuFree > cycle || mem.hasParked(smId);
         const bool alu_busy = aluFree[ss] > cycle;
 
         auto do_issue = [&](int slot) {
             const size_t i = static_cast<size_t>(slot);
             const OccBucket b =
                 bucketForLanes(static_cast<int>(slotLanes[i]));
+            const bool was_mem = slotIsMem[i] != 0;
             issueInstr(slot, cycle, s);
+            if (was_mem && !mem.l1MshrReady(smId, cycle + 1)) {
+                // The issue claimed L1 MSHR entries past the
+                // hit-under-miss limit: cached classifications of
+                // other memory-head warps are stale for next cycle.
+                for (int j = 0; j < cfg.maxWarpsPerSm; ++j) {
+                    const size_t sj = static_cast<size_t>(j);
+                    if (slotActive[sj] && slotIsMem[sj])
+                        markDirty(j, cycle + 1);
+                }
+            }
             // Count as Issued this cycle unless the warp just
             // finished (an issued EXIT leaves the stall attribution,
             // like the reference pass-3 skip of done warps);
@@ -844,9 +914,16 @@ Sm::stepCycleFast(uint64_t cycle, uint64_t &next_event)
         // With no issue and all events known, this SM is frozen
         // until the earliest of them: later steps replay this
         // cycle's accounting.
-        if (idleSkip && min_event != kNoEvent &&
-            min_event > cycle + 1)
+        // A parked access makes events unknowable (MSHR releases
+        // and the completion are still being resolved by the
+        // slices), and finalizeParkedMem() clears the parked state
+        // before the per-step pin re-zeroes idleUntil — so a freeze
+        // taken now could replay a stale classification straight
+        // past the wakeups the completion establishes.
+        if (idleSkip && parkedWarp < 0 && min_event != kNoEvent &&
+            min_event > cycle + 1) {
             idleUntil = min_event;
+        }
     }
 
     for (int r = 0; r < kNumStallReasons; ++r)
@@ -880,7 +957,7 @@ Sm::stepCycleReference(uint64_t cycle, uint64_t &next_event)
             continue;
         if (w.pc >= w.chunk.instrs.size())
             refillChunk(w);
-        cls[i] = classify(w, cycle);
+        cls[i] = classify(static_cast<int>(i), cycle);
         ++stats->classifyEvals;
     }
 
@@ -904,7 +981,7 @@ Sm::stepCycleReference(uint64_t cycle, uint64_t &next_event)
             const bool needs_alu = in.op == Op::FP32 ||
                                    in.op == Op::INT ||
                                    in.op == Op::SFU;
-            if (is_mem && lsuFree > cycle) {
+            if (is_mem && (lsuFree > cycle || mem.hasParked(smId))) {
                 structural = true;
                 min_event = std::min(min_event, lsuFree);
                 cls[static_cast<size_t>(slot)].event = 1;
@@ -1017,9 +1094,13 @@ Sm::stepCycleReference(uint64_t cycle, uint64_t &next_event)
 
     // With no issue and all events known, this SM is frozen until the
     // earliest of them: later steps replay this cycle's accounting.
-    if (idleSkip && !issued_any && min_event != kNoEvent &&
-        min_event > cycle + 1)
+    // Never freeze while an access is parked: its resolution can
+    // establish earlier wakeups than any currently-known event (see
+    // the fast-path comment).
+    if (idleSkip && !issued_any && parkedWarp < 0 &&
+        min_event != kNoEvent && min_event > cycle + 1) {
         idleUntil = min_event;
+    }
 
     next_event = std::min(next_event, min_event);
     return issued_any;

@@ -269,7 +269,7 @@ class Sm
     std::array<uint64_t, kNumStallReasons> lastStall{};
     std::array<uint64_t, kNumOccBuckets> lastOcc{};
 
-    Classification classify(const WarpCtx &w, uint64_t cycle) const;
+    Classification classify(int slot, uint64_t cycle) const;
     void issueInstr(int slot, uint64_t cycle, int sched);
     void releaseBarrierIfComplete(CtaCtx &cta, uint64_t cycle);
     void finishWarp(int slot, uint64_t cycle);

@@ -363,6 +363,99 @@ TEST_P(FuzzSeeds, CycleSkipNeverOvershootsWarpWakeup)
         << "seed produced no fast-forward window";
 }
 
+/**
+ * Memory-hierarchy config fuzz: random-walk the MSHR / DRAM-bank /
+ * queue knobs across their legal ranges and require (a) the SoA fast
+ * issue path to stay bit-identical to the reference path, (b) reruns
+ * and worker-thread counts to be bit-identical — back-pressure from
+ * tiny MSHR tables and single-entry DRAM queues exercises the parked
+ * multi-cycle retry protocol far harder than any preset does.
+ */
+TEST_P(FuzzSeeds, RandomMemHierarchyConfigsStayDeterministic)
+{
+    const uint64_t seed = GetParam();
+    Rng rng(seed * 131 + 3);
+
+    GpuConfig cfg = GpuConfig::testTiny();
+    cfg.smSampleFactor = 1;
+    cfg.l1Mshr.entries = 1 + static_cast<int>(rng.nextBelow(8));
+    cfg.l1Mshr.maxMerges = 1 + static_cast<int>(rng.nextBelow(4));
+    cfg.l1Mshr.hitUnderMiss =
+        1 + static_cast<int>(
+                rng.nextBelow(static_cast<uint64_t>(
+                    cfg.l1Mshr.entries)));
+    cfg.l2Mshr.entries = 1 + static_cast<int>(rng.nextBelow(16));
+    cfg.l2Mshr.maxMerges = 1 + static_cast<int>(rng.nextBelow(4));
+    cfg.l2Mshr.hitUnderMiss =
+        1 + static_cast<int>(
+                rng.nextBelow(static_cast<uint64_t>(
+                    cfg.l2Mshr.entries)));
+    cfg.dram.numBanks = 1 << rng.nextBelow(4);
+    cfg.dram.rowBytes = 128 << rng.nextBelow(4);
+    cfg.dram.tRcd = 1 + static_cast<int>(rng.nextBelow(20));
+    cfg.dram.tRas = 1 + static_cast<int>(rng.nextBelow(40));
+    cfg.dram.tRp = 1 + static_cast<int>(rng.nextBelow(20));
+    cfg.dram.tCcd = 1 + static_cast<int>(rng.nextBelow(4));
+    cfg.dram.scheduler = rng.nextBool(0.5)
+                             ? DramSchedPolicy::Frfcfs
+                             : DramSchedPolicy::Fcfs;
+    cfg.dram.schedQueueSize =
+        1 + static_cast<int>(rng.nextBelow(16));
+    cfg.validate();
+    GpuConfig ref_cfg = cfg;
+    ref_cfg.referenceIssue = true;
+
+    const KernelLaunch launch = randomLatencyLaunch(seed ^ 0xd3a);
+    auto run = [&](const GpuConfig &c, int threads) {
+        SimOptions opts;
+        opts.maxCtas = 24;
+        opts.numThreads = threads;
+        GpuSimulator sim(c);
+        return sim.run(launch, opts);
+    };
+
+    const KernelStats base = run(cfg, 1);
+    auto expect_identical = [&](const KernelStats &x,
+                                const KernelStats &y) {
+        EXPECT_EQ(x.cycles, y.cycles);
+        EXPECT_EQ(x.warpInstrs, y.warpInstrs);
+        EXPECT_EQ(x.threadInstrs, y.threadInstrs);
+        for (size_t i = 0; i < x.stallCycles.size(); ++i) {
+            EXPECT_EQ(x.stallCycles[i], y.stallCycles[i])
+                << "stall " << i;
+        }
+        for (size_t i = 0; i < x.occCycles.size(); ++i) {
+            EXPECT_EQ(x.occCycles[i], y.occCycles[i])
+                << "occ " << i;
+        }
+        EXPECT_EQ(x.l1Hits, y.l1Hits);
+        EXPECT_EQ(x.l1Misses, y.l1Misses);
+        EXPECT_EQ(x.l2Hits, y.l2Hits);
+        EXPECT_EQ(x.l2Misses, y.l2Misses);
+        EXPECT_EQ(x.memInstrs, y.memInstrs);
+        EXPECT_EQ(x.memSectors, y.memSectors);
+        EXPECT_EQ(x.dramBytes, y.dramBytes);
+        EXPECT_EQ(x.dramRowHits, y.dramRowHits);
+        EXPECT_EQ(x.dramRowMisses, y.dramRowMisses);
+        EXPECT_EQ(x.dramQueuePeak, y.dramQueuePeak);
+        EXPECT_EQ(x.dramBusyCycles, y.dramBusyCycles);
+        EXPECT_EQ(x.aluBusyCycles, y.aluBusyCycles);
+        EXPECT_EQ(x.schedulerSlots, y.schedulerSlots);
+    };
+    {
+        SCOPED_TRACE("rerun");
+        expect_identical(base, run(cfg, 1));
+    }
+    {
+        SCOPED_TRACE("4 worker threads");
+        expect_identical(base, run(cfg, 4));
+    }
+    {
+        SCOPED_TRACE("reference issue path");
+        expect_identical(base, run(ref_cfg, 1));
+    }
+}
+
 TEST_P(FuzzSeeds, RandomFaultPlansNeverDeadlockTheScheduler)
 {
     // Random plans, policies and request mixes must always drain:

@@ -272,6 +272,71 @@ TEST(HwConfigFile, RejectsInvalidGeometry)
                 ::testing::ExitedWithCode(1), "");
 }
 
+TEST(HwConfigFile, MemHierarchyKeysParseAndSerialize)
+{
+    const HwConfig hw = parseHwConfigText(
+        "base test-tiny\n"
+        "mem.l1_mshr_entries 4\n"
+        "mem.l1_mshr_merges 2\n"
+        "mem.l1_mshr_hit_under_miss 3\n"
+        "mem.l2_mshr_entries 8\n"
+        "mem.l2_mshr_hit_under_miss 6\n"
+        "mem.dram_banks 8\n"
+        "mem.dram_row_bytes 256\n"
+        "mem.dram_trcd 10\n"
+        "mem.dram_tras 24\n"
+        "mem.dram_trp 10\n"
+        "mem.dram_tccd 3\n"
+        "mem.dram_scheduler fcfs\n"
+        "mem.dram_sched_queue_size 4\n",
+        "<test>");
+    EXPECT_EQ(hw.gpu.l1Mshr.entries, 4);
+    EXPECT_EQ(hw.gpu.l1Mshr.maxMerges, 2);
+    EXPECT_EQ(hw.gpu.l1Mshr.hitUnderMiss, 3);
+    EXPECT_EQ(hw.gpu.l2Mshr.entries, 8);
+    EXPECT_EQ(hw.gpu.dram.numBanks, 8);
+    EXPECT_EQ(hw.gpu.dram.rowBytes, 256);
+    EXPECT_EQ(hw.gpu.dram.tRcd, 10);
+    EXPECT_EQ(hw.gpu.dram.tRas, 24);
+    EXPECT_EQ(hw.gpu.dram.tRp, 10);
+    EXPECT_EQ(hw.gpu.dram.tCcd, 3);
+    EXPECT_EQ(hw.gpu.dram.scheduler, DramSchedPolicy::Fcfs);
+    EXPECT_EQ(hw.gpu.dram.schedQueueSize, 4);
+    // The customized machine round-trips through the serializer.
+    EXPECT_TRUE(parseHwConfigText(serializeGpuConfig(hw.gpu),
+                                  "<test>")
+                    .gpu == hw.gpu);
+}
+
+TEST(HwConfigFile, MemHierarchyKeysRejectBadValues)
+{
+    EXPECT_EXIT(parseHwConfigText(
+                    "base test-tiny\nmem.dram_scheduler drum\n",
+                    "<test>"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseHwConfigText(
+                    "base test-tiny\nmem.dram_banks 3\n", "<test>"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseHwConfigText(
+                    "base test-tiny\nmem.l1_mshr_entries 0\n",
+                    "<test>"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(parseHwConfigText(
+                    "base test-tiny\nmem.dram_sched_queue_size -1\n",
+                    "<test>"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(HwConfigFile, L1L2SectorMismatchIsFatal)
+{
+    // The coalescer and the slice chain share one sector size;
+    // GpuConfig::validate() pins l1d/l2 sector parity.
+    EXPECT_EXIT(parseHwConfigText(
+                    "base test-tiny\nl1d.sector_bytes 16\n",
+                    "<test>"),
+                ::testing::ExitedWithCode(1), "");
+}
+
 TEST(HwConfigFile, BaseMustComeFirst)
 {
     EXPECT_EXIT(parseHwConfigText(

@@ -15,6 +15,7 @@
 #include "simgpu/GpuSimulator.hpp"
 #include "simgpu/Isa.hpp"
 #include "simgpu/KernelLaunch.hpp"
+#include "simgpu/MemLevel.hpp"
 #include "simgpu/MemorySystem.hpp"
 #include "simgpu/Trace.hpp"
 
@@ -168,6 +169,106 @@ TEST(CacheModel, FlushInvalidates)
     EXPECT_FALSE(c.probe(0x40, 2).hit);
 }
 
+TEST(MshrTable, MergeReusesEntryAndRevertsToPending)
+{
+    MshrTable t;
+    t.configure({2, 4, 2});
+    uint64_t at = 10;
+    const int e0 = t.acquire(100, at);
+    ASSERT_EQ(e0, 0);
+    EXPECT_EQ(at, 10u);
+    t.release(e0, 50);
+    EXPECT_EQ(t.nextRelease(10), 50u);
+    // A second miss on the same line merges into the same entry; the
+    // merged fill is in flight again, so the entry's release reverts
+    // to pending until release() records the new completion (it must
+    // never flip ready -> full behind the issue logic's back).
+    uint64_t at2 = 20;
+    EXPECT_EQ(t.acquire(100, at2), e0);
+    EXPECT_EQ(at2, 20u);
+    EXPECT_EQ(t.nextRelease(20), MshrTable::kPendingRelease);
+    t.release(e0, 80);
+    EXPECT_EQ(t.nextRelease(20), 80u);
+}
+
+TEST(MshrTable, FullTableDelaysToKnownRelease)
+{
+    MshrTable t;
+    t.configure({1, 1, 1});
+    uint64_t at = 10;
+    ASSERT_EQ(t.acquire(1, at), 0);
+    // While the only entry's release is unknown, no other line can
+    // claim an entry at any cycle.
+    uint64_t at2 = 20;
+    EXPECT_EQ(t.acquire(2, at2), -1);
+    t.release(0, 50);
+    // A known release lets the acquire delay to it and reuse the slot.
+    uint64_t at3 = 20;
+    EXPECT_EQ(t.acquire(2, at3), 0);
+    EXPECT_EQ(at3, 50u);
+}
+
+TEST(MshrTable, ReadyHonorsHitUnderMissLimit)
+{
+    MshrTable t;
+    t.configure({4, 4, 2});
+    uint64_t at = 0;
+    t.acquire(1, at);
+    EXPECT_TRUE(t.ready(0)); // one busy entry < limit 2
+    t.acquire(2, at);
+    EXPECT_FALSE(t.ready(0)); // at the limit
+    t.release(0, 10);
+    t.release(1, 30);
+    EXPECT_FALSE(t.ready(5));
+    EXPECT_TRUE(t.ready(10)); // entry 0 released at 10
+}
+
+TEST(DramChannelTest, FrfcfsReordersForOpenRowsFcfsDoesNot)
+{
+    // One bank, 64 B rows; requests A(row 0), B(row 1), C(row 0)
+    // admitted in order within one cycle.
+    const DramConfig fr_cfg{1,  64, 4, 10, 4, 1,
+                            DramSchedPolicy::Frfcfs, 8};
+    DramChannel fr(fr_cfg, 0, 1.0);
+    fr.beginCycle();
+    const int a = fr.request(0, 0);
+    const int b = fr.request(64, 0);
+    const int c = fr.request(32, 0);
+    fr.service();
+    EXPECT_FALSE(fr.rowHitOf(a)); // cold bank activates
+    EXPECT_TRUE(fr.rowHitOf(c));  // first-ready: served before B
+    EXPECT_FALSE(fr.rowHitOf(b));
+    EXPECT_LT(fr.readyOf(c), fr.readyOf(b));
+
+    DramConfig fc_cfg = fr_cfg;
+    fc_cfg.scheduler = DramSchedPolicy::Fcfs;
+    DramChannel fc(fc_cfg, 0, 1.0);
+    fc.beginCycle();
+    fc.request(0, 0);
+    const int b2 = fc.request(64, 0);
+    const int c2 = fc.request(32, 0);
+    fc.service();
+    // In order, B's activate closes row 0, so C pays a conflict too.
+    EXPECT_FALSE(fc.rowHitOf(b2));
+    EXPECT_FALSE(fc.rowHitOf(c2));
+    EXPECT_GT(fc.readyOf(c2), fr.readyOf(c));
+}
+
+TEST(DramChannelTest, BoundedQueueRefusesWhenFull)
+{
+    const DramConfig cfg{2, 64, 4, 10, 4, 1, DramSchedPolicy::Fcfs,
+                         2};
+    DramChannel ch(cfg, 0, 1.0);
+    ch.beginCycle();
+    EXPECT_TRUE(ch.canAccept(0));
+    EXPECT_GE(ch.request(0, 0), 0);
+    EXPECT_GE(ch.request(64, 0), 0);
+    EXPECT_FALSE(ch.canAccept(0));
+    EXPECT_EQ(ch.request(128, 0), -1);
+    ch.service();
+    EXPECT_EQ(ch.queuePeak(), 2u);
+}
+
 TEST(MemorySystemTest, CoalescesContiguousLanes)
 {
     const GpuConfig cfg = tinyNoSampling();
@@ -239,6 +340,51 @@ TEST(MemorySystemTest, AtomicsBypassL1AndSerializeConflicts)
                                      MemAccessKind::Atomic, st);
     // Conflicting lanes must cost more than conflict-free ones.
     EXPECT_GT(res.completion - 0, res2.completion - 10000);
+}
+
+TEST(MemorySystemTest, LsuCyclesCeilingDivideSectors)
+{
+    const GpuConfig cfg = tinyNoSampling();
+    MemorySystem mem(cfg);
+    KernelStats st;
+    // Five 32 B sectors must occupy the LSU for ceil(5/4) = 2 cycles
+    // (a truncating divide would charge only 1).
+    std::array<uint64_t, 5> five{};
+    for (int i = 0; i < 5; ++i)
+        five[static_cast<size_t>(i)] =
+            0x10000 + 32ull * static_cast<uint64_t>(i);
+    const auto res = mem.warpAccess(0, 0, {five.data(), 5},
+                                    MemAccessKind::Load, st);
+    EXPECT_EQ(res.sectors, 5);
+    EXPECT_EQ(res.lsuCycles, 2);
+    // Four sectors fit in one LSU cycle.
+    std::array<uint64_t, 4> four{};
+    for (int i = 0; i < 4; ++i)
+        four[static_cast<size_t>(i)] =
+            0x20000 + 32ull * static_cast<uint64_t>(i);
+    EXPECT_EQ(mem.warpAccess(0, 10000, {four.data(), 4},
+                             MemAccessKind::Load, st)
+                  .lsuCycles,
+              1);
+}
+
+TEST(MemorySystemTest, ByteAdjacentAtomicLanesConflict)
+{
+    // Two lanes touching the same 4-byte word — even at different
+    // byte addresses — serialize exactly like duplicate addresses;
+    // lanes on different words proceed in parallel.
+    const GpuConfig cfg = tinyNoSampling();
+    MemorySystem mem(cfg);
+    KernelStats st;
+    std::array<uint64_t, 2> same_word = {0x7000, 0x7001};
+    const auto conflicted = mem.warpAccess(0, 0, {same_word.data(), 2},
+                                           MemAccessKind::Atomic, st);
+    std::array<uint64_t, 2> distinct = {0x8000, 0x8004};
+    const auto parallel =
+        mem.warpAccess(0, 10000, {distinct.data(), 2},
+                       MemAccessKind::Atomic, st);
+    EXPECT_GT(conflicted.completion - 0,
+              parallel.completion - 10000);
 }
 
 TEST(MemorySystemTest, L1BypassSkipsL1)
@@ -456,6 +602,88 @@ TEST(KernelStatsTest, SharesSumToOne)
     EXPECT_NEAR(stall_total, 1.0, 1e-9);
     EXPECT_NEAR(occ_total, 1.0, 1e-9);
     EXPECT_NEAR(instr_total, 1.0, 1e-9);
+}
+
+TEST(Simulator, MshrBackPressureShowsMshrFullStalls)
+{
+    GpuConfig cfg = tinyNoSampling();
+    cfg.l1Mshr = {1, 1, 1}; // one in-flight L1 miss blocks the next
+    GpuSimulator sim(cfg);
+    const KernelLaunch l =
+        uniformLaunch("mshr", 4, 128, [](TraceBuilder &b) {
+            std::array<uint64_t, 32> a{};
+            for (int rep = 0; rep < 4; ++rep) {
+                for (int i = 0; i < 32; ++i)
+                    a[static_cast<size_t>(i)] =
+                        0x100000ull +
+                        4096ull *
+                            static_cast<uint64_t>(rep * 32 + i);
+                const Reg r = b.load({a.data(), 32});
+                b.alu(Op::FP32, r);
+            }
+        });
+    const KernelStats st = sim.run(l);
+    EXPECT_GT(st.stallCycles[static_cast<size_t>(
+                  StallReason::MshrFull)],
+              0u);
+    const StatSet s = st.toStatSet();
+    EXPECT_GT(s.get("mshr_stall_cycles"), 0.0);
+    EXPECT_GT(s.get("dram_row_hits") + s.get("dram_row_misses"), 0.0);
+}
+
+TEST(Simulator, DramSchedulerPolicyChangesTiming)
+{
+    auto run = [](DramSchedPolicy pol) {
+        GpuConfig cfg = GpuConfig::testTiny();
+        cfg.smSampleFactor = 1;
+        cfg.dram.scheduler = pol;
+        GpuSimulator sim(cfg);
+        // Warps interleave two row regions of the same banks so the
+        // in-order schedule keeps ping-ponging rows while FR-FCFS
+        // can batch same-row sectors.
+        const KernelLaunch l =
+            uniformLaunch("sched", 4, 128, [](TraceBuilder &b) {
+                std::array<uint64_t, 32> a{};
+                for (int rep = 0; rep < 3; ++rep) {
+                    for (int i = 0; i < 32; ++i)
+                        a[static_cast<size_t>(i)] =
+                            0x100000ull +
+                            32ull * static_cast<uint64_t>(i) +
+                            (i % 2 ? 0x40000ull : 0) +
+                            0x1000ull * static_cast<uint64_t>(rep);
+                    const Reg r = b.load({a.data(), 32});
+                    b.alu(Op::FP32, r);
+                }
+            });
+        return sim.run(l);
+    };
+    const KernelStats fr = run(DramSchedPolicy::Frfcfs);
+    const KernelStats fc = run(DramSchedPolicy::Fcfs);
+    EXPECT_GT(fr.dramRowHits + fr.dramRowMisses, 0u);
+    // The scheduling policy must actually change the outcome.
+    EXPECT_TRUE(fr.cycles != fc.cycles ||
+                fr.dramRowHits != fc.dramRowHits)
+        << "FR-FCFS and FCFS produced identical runs";
+}
+
+TEST(GpuConfigTest, SectorMismatchBetweenL1AndL2Dies)
+{
+    GpuConfig cfg = GpuConfig::testTiny();
+    cfg.l1d.sectorBytes = 16; // L2 stays at 32
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(GpuConfigTest, ValidateRejectsBadDramGeometry)
+{
+    GpuConfig cfg = GpuConfig::testTiny();
+    cfg.dram.numBanks = 3; // not a power of two
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+    cfg = GpuConfig::testTiny();
+    cfg.dram.rowBytes = 16; // smaller than the 32 B sector
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+    cfg = GpuConfig::testTiny();
+    cfg.dram.schedQueueSize = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
 }
 
 TEST(GpuConfigTest, ValidateRejectsBadGeometry)
