@@ -108,6 +108,9 @@ renderStats(const KernelStats &s)
     appendField(out, "mem_sectors", s.memSectors);
     appendField(out, "dram_bytes", s.dramBytes);
     appendField(out, "dram_busy_cycles", s.dramBusyCycles);
+    appendField(out, "dram_row_hits", s.dramRowHits);
+    appendField(out, "dram_row_misses", s.dramRowMisses);
+    appendField(out, "dram_queue_peak", s.dramQueuePeak);
     appendField(out, "alu_busy_cycles", s.aluBusyCycles);
     appendField(out, "scheduler_slots", s.schedulerSlots);
     appendField(out, "trace_bytes_peak", s.traceBytesPeak, true);
