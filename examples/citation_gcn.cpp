@@ -30,7 +30,7 @@ main(int argc, char **argv)
     UserParams params = UserParams::fromArgs(argc, argv);
 
     const std::vector<std::string> names =
-        split(params.dataset, ',');
+        splitDatasetList(params.dataset);
     if (names.size() == 1) {
         // Classic single-point path.
         std::printf("running %s\n", params.describe().c_str());

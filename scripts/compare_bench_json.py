@@ -21,9 +21,19 @@ previous CI run's BENCH_sim_throughput.json against this run's):
     plan_waves / plan_spills / plan_fits_budget / plan_sliced
     budget counters, and plan_peak_ratio (a quotient of two exact
     byte counts) are gated as blocking-exact;
-  - wall-clock metrics (*_ms) may jitter; a slowdown beyond
-    --tolerance (default 25%) is reported as a warning only (CI
-    hosts are too noisy to gate on);
+  - sampled-simulation estimates (BENCH_sampled_sim.json) form
+    their own class: an est_* metric carries a declared absolute
+    error bar in its err_* sibling, so it must stay within the
+    larger of the two runs' bars rather than match exactly — the
+    estimate is allowed to move when the sampler or the timing
+    model changes, as long as it still lands inside its own
+    advertised uncertainty. The sample shape itself
+    (*_sampled_ctas, population_ctas) is blocking-exact, since
+    plans are deterministic; err_* drift is warn-only;
+  - wall-clock metrics (*_ms, and *_speedup quotients of them) may
+    jitter; a slowdown beyond --tolerance (default 25%) is
+    reported as a warning only (CI hosts are too noisy to gate
+    on);
   - points present on only one side are reported (grid changed) —
     a disappeared point is blocking, a new point is informational.
 
@@ -62,14 +72,28 @@ DETERMINISTIC = ("cycles", "warp_instrs", "graph_levels",
                  # obs_* prefix catches the per-phase counts); the
                  # trace's wall write cost (trace_write_ms) stays
                  # warn-only via the _ms suffix.
-                 "trace_dropped_events")
-DETERMINISTIC_SUFFIXES = ("_cycles", "_bytes")
-WALLCLOCK_SUFFIXES = ("_ms",)
+                 "trace_dropped_events",
+                 # BENCH_sampled_sim.json: sample plans are pure
+                 # functions of (kernel identity, launch shape,
+                 # sample.seed), so the sample shape is exact.
+                 "population_ctas")
+DETERMINISTIC_SUFFIXES = ("_cycles", "_bytes", "_sampled_ctas")
+WALLCLOCK_SUFFIXES = ("_ms", "_speedup")
 
 
 def is_deterministic(key):
     return (key in DETERMINISTIC or key.startswith("obs_") or
             key.endswith(DETERMINISTIC_SUFFIXES))
+
+
+def err_key_of(key):
+    """The err_* sibling of an est_* metric key, else None."""
+    if key.startswith("est_"):
+        return "err_" + key[len("est_"):]
+    i = key.find("_est_")
+    if i >= 0:
+        return key[:i] + "_err_" + key[i + len("_est_"):]
+    return None
 
 
 def load_points(path):
@@ -116,6 +140,24 @@ def main(argv):
         cm = cur[label].get("metrics", {})
         for key in sorted(set(pm) & set(cm)):
             a, b = pm[key], cm[key]
+            ek = err_key_of(key)
+            if ek is not None:
+                # Estimate class: hold the estimate to its own
+                # declared error bar (the larger of the two runs'),
+                # not to exact equality.
+                bar = max(abs(pm.get(ek, 0.0)), abs(cm.get(ek, 0.0)))
+                if abs(b - a) > bar:
+                    blocking.append(
+                        f"{label}: estimate '{key}' moved {a:.6g} "
+                        f"-> {b:.6g}, outside its declared error "
+                        f"bar {bar:.6g}")
+                continue
+            if "_err_" in key or key.startswith("err_"):
+                if a > 0 and abs(b - a) / a > tolerance:
+                    warnings.append(
+                        f"{label}: error bar '{key}' changed "
+                        f"{a:.4g} -> {b:.4g}")
+                continue
             if is_deterministic(key):
                 if a != b:
                     blocking.append(

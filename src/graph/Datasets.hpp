@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/DatasetInfo.hpp"
 #include "graph/Graph.hpp"
@@ -54,6 +55,46 @@ Graph loadDataset(DatasetId id, const DatasetScale &scale,
 /** Convenience overload resolving names like "cora" or "LJ". */
 Graph loadDataset(const std::string &name, const DatasetScale &scale,
                   uint64_t seed = 7);
+
+/**
+ * Deterministic synthetic R-MAT dataset spec, the third dataset form
+ * next to Table IV names and "file:PATH":
+ *
+ *     rmat:scale=S,ef=E,seed=K[,flen=F]
+ *
+ * nodes = 2^scale, edges = ef * nodes, features F-wide (default 16).
+ * Generation is a pure function of the spec — the same spec yields a
+ * bit-identical graph on every host, which is what lets sampled-
+ * simulation benches open graph sizes no checked-in file could.
+ */
+struct RmatSpec {
+    int scale = 14;
+    int64_t edgeFactor = 8;
+    uint64_t seed = 1;
+    int64_t featureLen = 16;
+
+    int64_t nodes() const { return int64_t{1} << scale; }
+    int64_t edges() const { return edgeFactor * nodes(); }
+
+    /** Canonical spec string (stable cache/label key). */
+    std::string canonical() const;
+};
+
+/** True if @p dataset is an "rmat:..." spec. */
+bool isRmatDataset(const std::string &dataset);
+
+/** Parse an "rmat:..." spec; fatal() on malformed input. */
+RmatSpec parseRmatSpec(const std::string &dataset);
+
+/** Generate the spec'd graph (scale divisors apply on top). */
+Graph loadRmatDataset(const RmatSpec &spec, const DatasetScale &scale);
+
+/**
+ * Split a comma-separated dataset list, keeping the commas inside an
+ * "rmat:..." spec's key=value tail attached to their spec (a bare
+ * "k=v" token continues the preceding ':'-bearing entry).
+ */
+std::vector<std::string> splitDatasetList(const std::string &list);
 
 } // namespace gsuite
 

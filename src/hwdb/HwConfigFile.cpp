@@ -403,6 +403,58 @@ keySchema()
         keys.push_back(intKey("trace.sampling_core", trace,
                               &GpuConfig::traceSamplingCore));
 
+        // CTA-sampled cycle simulation (simgpu/CtaSampler.hpp).
+        const char *sample = "sampled simulation";
+        keys.push_back(
+            {"sample.mode", sample,
+             [](const GpuConfig &c) {
+                 return std::string(ctaSampleModeName(c.sampleMode));
+             },
+             [](GpuConfig &c, const std::string &v,
+                const std::string &origin) {
+                 const std::string n = toLower(trim(v));
+                 if (n == "off")
+                     c.sampleMode = CtaSampleMode::Off;
+                 else if (n == "cta")
+                     c.sampleMode = CtaSampleMode::Cta;
+                 else
+                     fatal("%s: key 'sample.mode' expects off or "
+                           "cta, got '%s'",
+                           origin.c_str(), v.c_str());
+             }});
+        keys.push_back(doubleKey("sample.fraction", sample,
+                                 &GpuConfig::sampleFraction));
+        keys.push_back(
+            {"sample.min_ctas", sample,
+             [](const GpuConfig &c) {
+                 return std::to_string(c.sampleMinCtas);
+             },
+             [](GpuConfig &c, const std::string &v,
+                const std::string &origin) {
+                 const int64_t parsed =
+                     parseIntOrDie("sample.min_ctas", v, origin);
+                 if (parsed < 1)
+                     fatal("%s: key 'sample.min_ctas' must be at "
+                           "least 1",
+                           origin.c_str());
+                 c.sampleMinCtas = parsed;
+             }});
+        keys.push_back(
+            {"sample.seed", sample,
+             [](const GpuConfig &c) {
+                 return std::to_string(c.sampleSeed);
+             },
+             [](GpuConfig &c, const std::string &v,
+                const std::string &origin) {
+                 const int64_t parsed =
+                     parseIntOrDie("sample.seed", v, origin);
+                 if (parsed < 0)
+                     fatal("%s: key 'sample.seed' must be "
+                           "non-negative",
+                           origin.c_str());
+                 c.sampleSeed = static_cast<uint64_t>(parsed);
+             }});
+
         const char *debug = "debug";
         keys.push_back(boolKey("debug.reference_issue", debug,
                                &GpuConfig::referenceIssue));

@@ -214,6 +214,28 @@ SpgemmKernel::makeLaunch(DeviceAllocator &alloc) const
             return true;
         };
     };
+    // CTA cost for sampled simulation: a row's trace expands each of
+    // its A entries by the matching B row, so hub rows dominate — the
+    // exact skew stratification exists to capture.
+    launch.ctaCostHint = [=](int64_t cta) -> uint64_t {
+        uint64_t cost = 1;
+        for (int w = 0; w < kCtaWarps; ++w) {
+            const int64_t row = cta * kCtaWarps + w;
+            if (row >= n)
+                break;
+            const int64_t abeg =
+                pa->rowPtr[static_cast<size_t>(row)];
+            const int64_t aend =
+                pa->rowPtr[static_cast<size_t>(row) + 1];
+            for (int64_t j = abeg; j < aend; ++j) {
+                const size_t bc = static_cast<size_t>(
+                    pa->colIdx[static_cast<size_t>(j)]);
+                cost += 1 + static_cast<uint64_t>(
+                                pb->rowPtr[bc + 1] - pb->rowPtr[bc]);
+            }
+        }
+        return cost;
+    };
     return launch;
 }
 

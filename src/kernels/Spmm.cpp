@@ -139,6 +139,22 @@ SpmmKernel::makeLaunch(DeviceAllocator &alloc) const
             return true;
         };
     };
+    // CTA cost for sampled simulation: each warp group walks one
+    // row's nonzeros, so the CTA's trace length is the sum of its
+    // rows' degrees.
+    launch.ctaCostHint = [=](int64_t cta) -> uint64_t {
+        uint64_t cost = 1;
+        for (int w = 0; w < kCtaWarps; ++w) {
+            const int64_t wg = cta * kCtaWarps + w;
+            if (wg >= total_warps)
+                break;
+            const size_t row =
+                static_cast<size_t>(wg / f_chunks);
+            cost += static_cast<uint64_t>(acsr->rowPtr[row + 1] -
+                                          acsr->rowPtr[row]);
+        }
+        return cost;
+    };
     return launch;
 }
 

@@ -102,6 +102,21 @@ MetricRegistry::recordKernelStats(const std::string &prefix,
     set(prefix + ".scheduler_slots", ks.schedulerSlots);
     set(prefix + ".trace_bytes_peak", ks.traceBytesPeak);
     set(prefix + ".device_bytes_peak", ks.deviceBytesPeak);
+    // Sampled-simulation extrapolation: only emitted when the launch
+    // actually sampled, so off-mode metric sets stay unchanged. The
+    // registry is integral; estimates round to the nearest count.
+    if (ks.sampledCtas > 0) {
+        set(prefix + ".sampled_ctas",
+            static_cast<uint64_t>(ks.sampledCtas));
+        set(prefix + ".sample_strata",
+            static_cast<uint64_t>(ks.sampleStrata));
+        for (const SampleEstimate &e : ks.estimates) {
+            set(prefix + ".est." + e.name,
+                static_cast<uint64_t>(e.est + 0.5));
+            set(prefix + ".err." + e.name,
+                static_cast<uint64_t>(e.err + 0.5));
+        }
+    }
 }
 
 void

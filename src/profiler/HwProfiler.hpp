@@ -24,15 +24,19 @@ namespace gsuite {
 /** Configuration of the hardware cache model. */
 struct HwProfilerConfig {
     /**
-     * SMs to spread CTAs over. Matches the simulator's sampled
-     * subset by default so hardware-vs-simulator hit-rate deltas
-     * (Fig. 8) reflect cache-geometry differences, not differences
-     * in how many CTAs share an L1.
+     * SMs to spread CTAs over. Must match the simulated machine so
+     * hardware-vs-simulator hit-rate deltas (Fig. 8) reflect
+     * cache-geometry differences, not differences in how many CTAs
+     * share an L1. The suite layer (Runner::makeEngine) derives this
+     * from the resolved GpuConfig; the default only covers direct
+     * construction and matches the v100-sim preset.
      */
     int numSms = 8;
     /**
      * Grid-share divisor matching GpuConfig::smSampleFactor, so the
      * profiler replays exactly the CTA subset the simulator runs.
+     * Derived from the resolved GpuConfig by Runner::makeEngine,
+     * like numSms.
      */
     int smSampleFactor = 10;
     /** Volta L1: 128 KB, 128 B lines, 32 B sectors. */

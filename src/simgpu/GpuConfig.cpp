@@ -49,6 +49,27 @@ dramSchedPolicyName(DramSchedPolicy p)
     panic("unknown DramSchedPolicy");
 }
 
+CtaSampleMode
+ctaSampleModeFromName(const std::string &name)
+{
+    const std::string n = toLower(trim(name));
+    if (n == "off" || n == "full" || n == "none")
+        return CtaSampleMode::Off;
+    if (n == "cta")
+        return CtaSampleMode::Cta;
+    fatal("unknown sample mode '%s' (known: off, cta)", name.c_str());
+}
+
+const char *
+ctaSampleModeName(CtaSampleMode m)
+{
+    switch (m) {
+      case CtaSampleMode::Off: return "off";
+      case CtaSampleMode::Cta: return "cta";
+    }
+    panic("unknown CtaSampleMode");
+}
+
 GpuConfig
 GpuConfig::v100Sim()
 {
@@ -156,6 +177,10 @@ GpuConfig::validate() const
     CacheGeometry slice = l2;
     slice.sizeBytes = l2.sizeBytes / static_cast<uint64_t>(numL2Slices);
     check_cache(slice, "L2 slice");
+    if (!(sampleFraction > 0.0) || sampleFraction > 1.0)
+        fatal("GpuConfig: sample.fraction must be in (0, 1]");
+    if (sampleMinCtas < 1)
+        fatal("GpuConfig: sample.min_ctas must be at least 1");
     if (traceSamplingCore < 0 || traceSamplingCore >= numSms)
         fatal("GpuConfig: trace.sampling_core must be in [0,%d)",
               numSms);

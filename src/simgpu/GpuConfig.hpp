@@ -42,6 +42,23 @@ DramSchedPolicy dramSchedPolicyFromName(const std::string &name);
 const char *dramSchedPolicyName(DramSchedPolicy p);
 
 /**
+ * CTA-sampled cycle simulation. Off simulates the usual CTA prefix;
+ * Cta cycle-simulates only a deterministic stratified sample of that
+ * prefix and extrapolates counters with error bounds (see
+ * CtaSampler.hpp).
+ */
+enum class CtaSampleMode {
+    Off, ///< full prefix, today's behaviour (default)
+    Cta, ///< stratified CTA sample + extrapolation
+};
+
+/** Parse "off"/"cta"; fatal() on unknown names. */
+CtaSampleMode ctaSampleModeFromName(const std::string &name);
+
+/** Canonical lowercase name. */
+const char *ctaSampleModeName(CtaSampleMode m);
+
+/**
  * Finite miss-status-holding-register table of one cache level
  * (gpgpusim's -gpgpu_cache:dl1 ...,A:<entries>:<merges> vocabulary).
  */
@@ -178,6 +195,29 @@ struct GpuConfig {
     int numL2Slices = 4;
 
     double coreClockGhz = 1.38;
+
+    // --- sampled simulation ----------------------------------------------
+    /**
+     * CTA-sampled cycle simulation (hwdb keys sample.mode /
+     * sample.fraction / sample.min_ctas / sample.seed). Off by
+     * default: every deterministic counter is byte-identical to the
+     * pre-sampling simulator. In Cta mode the simulator picks a
+     * deterministic stratified sample of the CTA population it would
+     * otherwise simulate, runs only those CTAs through the cycle
+     * model, and reports extrapolated est_* counters with err_*
+     * bounds alongside the raw sampled counters.
+     */
+    CtaSampleMode sampleMode = CtaSampleMode::Off;
+    /** Target sampled fraction of the CTA population, in (0, 1]. */
+    double sampleFraction = 0.125;
+    /**
+     * Sampling never engages below this many CTAs: populations of at
+     * most sampleMinCtas (after fraction rounding) run in full, so
+     * small launches stay exact even in Cta mode.
+     */
+    int64_t sampleMinCtas = 256;
+    /** Seed mixed with kernel identity + launch shape. */
+    uint64_t sampleSeed = 1;
 
     // --- tracing (src/obs) ----------------------------------------------
     /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "simgpu/CtaSampler.hpp"
 #include "util/Logging.hpp"
 #include "util/RunError.hpp"
 
@@ -122,10 +123,18 @@ GpuSimulator::controlPhase(RunControl &ctl)
     }
 
     // Assign pending CTAs to SMs with free slots (round-robin by
-    // free-slot discovery order).
+    // free-slot discovery order). Sampled runs walk the plan's CTA
+    // order instead of the dense prefix.
     for (auto &sm : sms) {
-        while (ctl.nextCta < ctl.ctasToSim && sm->hasFreeCtaSlot())
-            sm->assignCta(ctl.nextCta++, ctl.cycle);
+        while (ctl.nextCta < ctl.ctasToSim && sm->hasFreeCtaSlot()) {
+            const int64_t id =
+                ctl.sampleOrder
+                    ? (*ctl.sampleOrder)[static_cast<size_t>(
+                          ctl.nextCta)]
+                    : ctl.nextCta;
+            ++ctl.nextCta;
+            sm->assignCta(id, ctl.cycle);
+        }
     }
 
     bool busy = ctl.nextCta < ctl.ctasToSim;
@@ -147,13 +156,6 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
     const size_t chunk_instrs = static_cast<size_t>(
         std::max(32, opts.traceChunkInstrs));
 
-    mem.reset();
-    for (auto &st : smStats)
-        st = KernelStats{};
-    for (size_t i = 0; i < sms.size(); ++i)
-        sms[i]->beginLaunch(&launch, &smStats[i], chunk_instrs,
-                            opts.perSmFastForward);
-
     // SM-subset sampling: the simulated numSms SMs stand for a GPU
     // with numSms * smSampleFactor SMs, so each should process a
     // 1/smSampleFactor share of the grid — this preserves per-SM
@@ -165,8 +167,30 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
          static_cast<int64_t>(cfg.smSampleFactor) - 1) /
         static_cast<int64_t>(cfg.smSampleFactor);
 
+    // CTA sampling (sample.mode=cta): cycle-simulate a deterministic
+    // stratified sample of that per-SM share and extrapolate. When
+    // the plan does not engage (off, or the launch is small) the run
+    // below is byte-identical to the pre-sampling simulator.
+    CtaSamplePlan plan;
+    if (cfg.sampleMode == CtaSampleMode::Cta)
+        plan = buildCtaSamplePlan(cfg, launch, expected, opts.maxCtas);
+    std::vector<std::vector<CtaSampleRecord>> sm_records;
+    if (plan.engaged)
+        sm_records.resize(sms.size());
+
+    mem.reset();
+    for (auto &st : smStats)
+        st = KernelStats{};
+    for (size_t i = 0; i < sms.size(); ++i)
+        sms[i]->beginLaunch(&launch, &smStats[i], chunk_instrs,
+                            opts.perSmFastForward,
+                            plan.engaged ? &sm_records[i] : nullptr);
+
     RunControl ctl;
-    ctl.ctasToSim = std::min(expected, opts.maxCtas);
+    ctl.ctasToSim = plan.engaged
+                        ? static_cast<int64_t>(plan.order.size())
+                        : std::min(expected, opts.maxCtas);
+    ctl.sampleOrder = plan.engaged ? &plan.order : nullptr;
     ctl.cycleLimit = opts.cycleLimit;
     ctl.cycleCeiling = opts.cycleCeiling;
     ctl.cancel = opts.cancel;
@@ -183,8 +207,15 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
 
     // Initial CTA wave at cycle 0.
     for (auto &sm : sms) {
-        while (ctl.nextCta < ctl.ctasToSim && sm->hasFreeCtaSlot())
-            sm->assignCta(ctl.nextCta++, 0);
+        while (ctl.nextCta < ctl.ctasToSim && sm->hasFreeCtaSlot()) {
+            const int64_t id =
+                ctl.sampleOrder
+                    ? (*ctl.sampleOrder)[static_cast<size_t>(
+                          ctl.nextCta)]
+                    : ctl.nextCta;
+            ++ctl.nextCta;
+            sm->assignCta(id, 0);
+        }
     }
 
     const int num_sms = cfg.numSms;
@@ -284,6 +315,21 @@ GpuSimulator::run(const KernelLaunch &launch, const SimOptions &opts)
         static_cast<uint64_t>(mem.dramBusyCycles());
     stats.dramQueuePeak = mem.dramQueuePeak();
     stats.smSamples = std::move(ctl.samples);
+
+    if (plan.engaged) {
+        // Gather per-SM completion records into the canonical order
+        // (each CTA completes on exactly one SM, so sorting by CTA id
+        // is thread-count independent), then extrapolate.
+        std::vector<CtaSampleRecord> records;
+        for (const auto &v : sm_records)
+            records.insert(records.end(), v.begin(), v.end());
+        std::sort(records.begin(), records.end(),
+                  [](const CtaSampleRecord &a,
+                     const CtaSampleRecord &b) {
+                      return a.ctaId < b.ctaId;
+                  });
+        extrapolateCtaSample(plan, records, stats);
+    }
 
     if (ctl.hitLimit) {
         warn("kernel '%s' hit the %" PRIu64

@@ -127,6 +127,12 @@ class GpuSimulator
         bool cancelled = false;
         std::vector<uint8_t> issuedBy; ///< per-worker issue flags
         std::vector<uint64_t> eventBy; ///< per-worker event minima
+        /**
+         * CTA-sampled runs assign the plan's CTA ids instead of the
+         * dense prefix; nextCta then indexes this order. nullptr in
+         * full runs.
+         */
+        const std::vector<int64_t> *sampleOrder = nullptr;
         // Trace sampling (worker 0 only, under the phase barrier).
         bool sampleEnabled = false;
         int sampleCore = 0;

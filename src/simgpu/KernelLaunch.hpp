@@ -119,6 +119,15 @@ struct KernelLaunch {
      */
     void buildFullTrace(int64_t cta, int warp, WarpTrace &out) const;
 
+    /**
+     * Optional per-CTA cost hint (relative trace length, any unit)
+     * for CTA-sampled simulation: CtaSampler stratifies the grid by
+     * this ranking so heavy and light CTAs are both represented in
+     * the sample. Must be cheap (called once per CTA at plan build)
+     * and deterministic. Absent = uniform cost.
+     */
+    std::function<uint64_t(int64_t cta)> ctaCostHint;
+
     /** Estimated FLOPs (for reports only). */
     uint64_t flopEstimate = 0;
     /** Estimated bytes touched (for reports only). */

@@ -105,10 +105,36 @@ KernelStats::divergence() const
 }
 
 double
+KernelStats::estimate(const std::string &stat) const
+{
+    for (const SampleEstimate &e : estimates)
+        if (e.name == stat)
+            return e.est;
+    return toStatSet().get(stat);
+}
+
+double
+KernelStats::estimateErr(const std::string &stat) const
+{
+    for (const SampleEstimate &e : estimates)
+        if (e.name == stat)
+            return e.err;
+    return 0.0;
+}
+
+double
 KernelStats::timeMs(double clock_ghz) const
 {
-    return static_cast<double>(cycles) * samplingFactor() /
-           (clock_ghz * 1e6);
+    double effective_cycles =
+        static_cast<double>(cycles) * samplingFactor();
+    if (sampledCtas > 0) {
+        // The stratified extrapolation knows about heavy/light CTA
+        // imbalance; prefer it to the homogeneous samplingFactor().
+        for (const SampleEstimate &e : estimates)
+            if (e.name == "cycles" && e.est > 0.0)
+                effective_cycles = e.est;
+    }
+    return effective_cycles / (clock_ghz * 1e6);
 }
 
 double
@@ -126,6 +152,39 @@ KernelStats::samplingFactor() const
 void
 KernelStats::merge(const KernelStats &other)
 {
+    // Estimates combine estimated-or-exact totals per counter, so
+    // they must read each side's raw counters before the counter
+    // merge below mixes them. An unsampled side contributes its exact
+    // value with zero error.
+    if (!estimates.empty() || !other.estimates.empty()) {
+        const StatSet mine = toStatSet();
+        const StatSet theirs = other.toStatSet();
+        auto side = [](const KernelStats &ks, const StatSet &raw,
+                       const std::string &n) {
+            for (const SampleEstimate &e : ks.estimates)
+                if (e.name == n)
+                    return std::pair<double, double>{e.est, e.err};
+            return std::pair<double, double>{raw.get(n), 0.0};
+        };
+        std::vector<std::string> names;
+        for (const SampleEstimate &e : estimates)
+            names.push_back(e.name);
+        for (const SampleEstimate &e : other.estimates)
+            if (std::find(names.begin(), names.end(), e.name) ==
+                names.end())
+                names.push_back(e.name);
+        std::vector<SampleEstimate> merged;
+        merged.reserve(names.size());
+        for (const std::string &n : names) {
+            const auto [ea, ra] = side(*this, mine, n);
+            const auto [eb, rb] = side(other, theirs, n);
+            merged.push_back({n, ea + eb, ra + rb});
+        }
+        estimates = std::move(merged);
+    }
+    sampledCtas += other.sampledCtas;
+    sampleStrata = std::max(sampleStrata, other.sampleStrata);
+
     cycles += other.cycles;
     ctasTotal += other.ctasTotal;
     ctasExpected += other.ctasExpected;
@@ -207,6 +266,8 @@ KernelStats::toStatSet() const
     s.set("mshr_stall_cycles",
           static_cast<double>(stallCycles[static_cast<size_t>(
               StallReason::MshrFull)]));
+    s.set("alu_busy_cycles", static_cast<double>(aluBusyCycles));
+    s.set("scheduler_slots", static_cast<double>(schedulerSlots));
     s.set("compute_util", computeUtilization());
     s.set("memory_util", memoryUtilization());
     s.set("divergence", divergence());
@@ -216,6 +277,14 @@ KernelStats::toStatSet() const
     s.set("classify_evals", static_cast<double>(classifyEvals));
     s.set("fast_forward_cycles",
           static_cast<double>(fastForwardCycles));
+    if (sampledCtas > 0) {
+        s.set("sampled_ctas", static_cast<double>(sampledCtas));
+        s.set("sample_strata", static_cast<double>(sampleStrata));
+        for (const SampleEstimate &e : estimates) {
+            s.set("est_" + e.name, e.est);
+            s.set("err_" + e.name, e.err);
+        }
+    }
     return s;
 }
 

@@ -69,6 +69,19 @@ struct SmSchedSample {
     std::array<uint64_t, kNumOccBuckets> occCycles{};
 };
 
+/**
+ * One extrapolated counter of a CTA-sampled run: the estimated
+ * full-population total and an absolute error bound (both in the
+ * counter's own unit). Produced by extrapolateCtaSample(); the bound
+ * is 3x the stratified standard error plus a small floor, so full-run
+ * values land inside [est - err, est + err] with high probability.
+ */
+struct SampleEstimate {
+    std::string name; ///< toStatSet() counter name, e.g. "cycles"
+    double est = 0.0;
+    double err = 0.0;
+};
+
 /** All statistics collected for one kernel launch. */
 struct KernelStats {
     std::string name;
@@ -161,6 +174,29 @@ struct KernelStats {
      * merge(), absent from goldens.
      */
     std::vector<SmSchedSample> smSamples;
+
+    // --- CTA-sampled extrapolation -------------------------------------------
+    /**
+     * CTAs cycle-simulated under sample.mode=cta; 0 when sampling was
+     * off or did not engage (small launch). When positive, the raw
+     * counters above cover only the sampled CTAs and `estimates`
+     * carries the extrapolated full-population totals.
+     */
+    int64_t sampledCtas = 0;
+    int sampleStrata = 0; ///< strata the sample was drawn from
+
+    /**
+     * Extrapolated counters (est_* / err_* in toStatSet()). Empty
+     * unless sampling engaged. merge() combines them with the other
+     * side's estimates — or its exact raw counters when that side was
+     * unsampled — so aggregates stay comparable to full runs.
+     */
+    std::vector<SampleEstimate> estimates;
+
+    /** Estimated value for a toStatSet() name; raw value if absent. */
+    double estimate(const std::string &stat) const;
+    /** Error bound for a toStatSet() name; 0 if absent. */
+    double estimateErr(const std::string &stat) const;
 
     // --- derived metrics ----------------------------------------------------
     double l1HitRate() const;

@@ -46,12 +46,14 @@ Sm::Sm(const GpuConfig &cfg, int sm_id, MemorySystem &mem)
 
 void
 Sm::beginLaunch(const KernelLaunch *new_launch, KernelStats *new_stats,
-                size_t chunk_instrs, bool idle_skip)
+                size_t chunk_instrs, bool idle_skip,
+                std::vector<CtaSampleRecord> *sample_records)
 {
     launch = new_launch;
     stats = new_stats;
     chunkBudget = std::max<size_t>(1, chunk_instrs);
     idleSkip = idle_skip;
+    sampleRecords = sample_records;
     for (auto &w : warps) {
         w.active = false;
         w.done = false;
@@ -138,6 +140,8 @@ Sm::assignCta(int64_t cta_id, uint64_t cycle)
     cta->liveWarps = 0;
     cta->arrived = 0;
     cta->warpSlots.clear();
+    cta->startCycle = cycle;
+    cta->instrs = 0;
 
     for (int wi = 0; wi < warps_per_cta; ++wi) {
         int slot = -1;
@@ -511,10 +515,14 @@ Sm::finishWarp(int slot, uint64_t cycle)
     --residentWarps;
     CtaCtx &cta = ctas[static_cast<size_t>(w.cta)];
     --cta.liveWarps;
-    if (cta.liveWarps == 0)
+    if (cta.liveWarps == 0) {
         cta.active = false;
-    else
+        if (sampleRecords)
+            sampleRecords->push_back(
+                {cta.ctaId, cta.startCycle, cycle, cta.instrs});
+    } else {
         releaseBarrierIfComplete(cta, cycle);
+    }
 }
 
 OccBucket
@@ -536,6 +544,8 @@ Sm::issueInstr(int slot, uint64_t cycle, int sched)
     stats->instrByClass[static_cast<size_t>(instrClassOf(in.op))] += 1;
     stats->warpInstrs += 1;
     stats->threadInstrs += static_cast<uint64_t>(in.activeLanes());
+    if (sampleRecords)
+        ctas[static_cast<size_t>(w.cta)].instrs += 1;
 
     // Default: the next instruction is fetchable next cycle.
     w.fetchReady = cycle + static_cast<uint64_t>(cfg.ifetchLatency);

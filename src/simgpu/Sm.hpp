@@ -57,6 +57,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "simgpu/CtaSampler.hpp"
 #include "simgpu/GpuConfig.hpp"
 #include "simgpu/KernelLaunch.hpp"
 #include "simgpu/KernelStats.hpp"
@@ -77,9 +78,14 @@ class Sm
      * @param stats This SM's private statistics sink.
      * @param chunk_instrs Trace-chunk instruction budget.
      * @param idle_skip Enable per-SM idle fast-forwarding.
+     * @param sample_records Optional sink receiving one
+     *        CtaSampleRecord per CTA completed on this SM (CTA-
+     *        sampled simulation); nullptr disables the bookkeeping.
      */
     void beginLaunch(const KernelLaunch *launch, KernelStats *stats,
-                     size_t chunk_instrs, bool idle_skip);
+                     size_t chunk_instrs, bool idle_skip,
+                     std::vector<CtaSampleRecord> *sample_records =
+                         nullptr);
 
     /** True if another CTA can become resident. */
     bool hasFreeCtaSlot() const;
@@ -163,6 +169,10 @@ class Sm
         int liveWarps = 0;
         int arrived = 0; ///< warps waiting at the barrier
         std::vector<int> warpSlots;
+        // CTA-sample bookkeeping (maintained only when the launch
+        // runs with a sample-record sink).
+        uint64_t startCycle = 0;
+        uint64_t instrs = 0;
     };
 
     /** Pre-issue classification of one warp (reference path scratch). */
@@ -178,6 +188,8 @@ class Sm
     KernelStats *stats = nullptr;
     size_t chunkBudget = 256;
     bool idleSkip = true;
+    /** Per-CTA completion sink (CTA sampling); nullptr when off. */
+    std::vector<CtaSampleRecord> *sampleRecords = nullptr;
 
     std::vector<WarpCtx> warps;
     std::vector<CtaCtx> ctas;

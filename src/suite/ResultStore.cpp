@@ -338,7 +338,7 @@ ResultStore::toJson(const std::string &path,
                         "\"warp_instrs\": %llu, "
                         "\"l1_hit_rate\": %.4f, "
                         "\"l2_hit_rate\": %.4f, "
-                        "\"trace_bytes_peak\": %llu}",
+                        "\"trace_bytes_peak\": %llu",
                         first ? "" : ", ", kernelClassShortForm(cls),
                         static_cast<unsigned long long>(st.cycles),
                         static_cast<unsigned long long>(
@@ -346,6 +346,24 @@ ResultStore::toJson(const std::string &path,
                         st.l1HitRate(), st.l2HitRate(),
                         static_cast<unsigned long long>(
                             st.traceBytesPeak));
+                    // Sampled-simulation estimates: only present when
+                    // the class actually sampled, so off-mode output
+                    // is byte-identical to before the field existed.
+                    if (st.sampledCtas > 0) {
+                        std::fprintf(
+                            f,
+                            ", \"sampled_ctas\": %lld, "
+                            "\"sample_strata\": %d",
+                            static_cast<long long>(st.sampledCtas),
+                            st.sampleStrata);
+                        for (const SampleEstimate &e : st.estimates)
+                            std::fprintf(
+                                f, ", \"est_%s\": %.6g, "
+                                   "\"err_%s\": %.6g",
+                                jsonEscape(e.name).c_str(), e.est,
+                                jsonEscape(e.name).c_str(), e.err);
+                    }
+                    std::fprintf(f, "}");
                     first = false;
                 }
                 std::fprintf(f, "]");

@@ -14,6 +14,14 @@ AbstractionModule::makeEngine(const UserParams &params)
     FunctionalEngine::Options opts;
     opts.profileCaches = params.profileCaches;
     opts.hwConfig.numThreads = params.simThreads;
+    opts.hwConfig.maxCtas = params.maxCtas;
+    // Keep the profiler's CTA subset aligned with the machine this
+    // point simulates (a single-spec gpu; sweep lists expand first).
+    if (params.gpu.find(',') == std::string::npos) {
+        const GpuConfig gpu = params.resolveGpuConfig();
+        opts.hwConfig.numSms = gpu.numSms;
+        opts.hwConfig.smSampleFactor = gpu.smSampleFactor;
+    }
     auto engine = std::make_unique<FunctionalEngine>(opts);
     engine->setMemPlanMode(params.memPlan, params.simThreads);
     return engine;
@@ -27,6 +35,9 @@ AbstractionModule::makeEngine(const UserParams &params,
     opts.gpu = gpu;
     opts.profileCaches = params.profileCaches;
     opts.hwConfig.numThreads = params.simThreads;
+    opts.hwConfig.numSms = gpu.numSms;
+    opts.hwConfig.smSampleFactor = gpu.smSampleFactor;
+    opts.hwConfig.maxCtas = params.maxCtas;
     opts.sim.maxCtas = params.maxCtas;
     opts.sim.numThreads = params.simThreads;
     opts.sim.cycleCeiling = params.cycleCeiling;
@@ -47,6 +58,9 @@ loadDatasetFor(const UserParams &params)
         return loadEdgeList(fileDatasetPath(params.dataset), flen,
                             params.seed);
     }
+    if (isRmatDataset(params.dataset))
+        return loadRmatDataset(parseRmatSpec(params.dataset),
+                               params.resolveScale());
     return loadDataset(params.dataset, params.resolveScale(),
                        params.seed);
 }

@@ -91,6 +91,13 @@ SweepSpec::gpus(const std::vector<std::string> &specs)
 }
 
 SweepSpec &
+SweepSpec::samples(const std::vector<std::string> &specs)
+{
+    sampleAxis = specs;
+    return *this;
+}
+
+SweepSpec &
 SweepSpec::layers(int l)
 {
     baseParams.layers = l;
@@ -139,9 +146,16 @@ SweepSpec::expand() const
     // the CLI sweep shorthand ("--dataset cora,pubmed",
     // "--gpu v100-sim,a100").
     const std::vector<std::string> ds =
-        dsAxis.empty() ? split(baseParams.dataset, ',') : dsAxis;
+        dsAxis.empty() ? splitDatasetList(baseParams.dataset)
+                       : dsAxis;
     const std::vector<std::string> gpus =
         gpuAxis.empty() ? split(baseParams.gpu, ',') : gpuAxis;
+    const std::vector<std::string> samples =
+        sampleAxis.empty()
+            ? (baseParams.sample.empty()
+                   ? std::vector<std::string>{""}
+                   : split(baseParams.sample, ','))
+            : sampleAxis;
     const std::vector<GnnModelKind> models =
         modelAxis.empty()
             ? std::vector<GnnModelKind>{baseParams.model}
@@ -176,11 +190,17 @@ SweepSpec::expand() const
             if (!seen.insert(g).second)
                 fatal("duplicate gpu axis entry '%s'", g.c_str());
     }
+    {
+        std::set<std::string> seen;
+        for (const std::string &s : samples)
+            if (!seen.insert(s).second)
+                fatal("duplicate sample axis entry '%s'", s.c_str());
+    }
 
     std::vector<SweepPoint> points;
     points.reserve(gpus.size() * vars.size() * fws.size() *
                    models.size() * comps.size() * engines.size() *
-                   ds.size() * batches.size());
+                   ds.size() * samples.size() * batches.size());
     for (const std::string &g : gpus) {
       for (const SweepVariant &v : vars) {
         for (const Framework fw : fws) {
@@ -188,6 +208,7 @@ SweepSpec::expand() const
                 for (const CompModel c : comps) {
                     for (const EngineKind e : engines) {
                         for (const std::string &d : ds) {
+                          for (const std::string &sm : samples) {
                           for (const int b : batches) {
                             UserParams p = baseParams;
                             p.gpu = g;
@@ -196,6 +217,7 @@ SweepSpec::expand() const
                             p.comp = c;
                             p.engine = e;
                             p.dataset = d;
+                            p.sample = sm;
                             p.batch = b;
                             if (v.apply)
                                 v.apply(p);
@@ -225,11 +247,17 @@ SweepSpec::expand() const
                                 label += e == EngineKind::Sim
                                              ? "@sim"
                                              : "@functional";
+                            if (samples.size() > 1)
+                                label += "~" +
+                                         (sm.empty()
+                                              ? std::string("off")
+                                              : sm);
                             if (batches.size() > 1)
                                 label += "x" + std::to_string(b);
                             pt.label = std::move(label);
                             pt.params = std::move(p);
                             points.push_back(std::move(pt));
+                          }
                           }
                         }
                     }

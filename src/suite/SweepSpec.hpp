@@ -39,13 +39,13 @@ struct SweepPoint {
 
 /**
  * A declarative grid over the suite's sweep axes. Unset axes
- * default to the base params' value (the dataset and gpu axes
- * additionally split comma-separated base values, the CLI sweep
+ * default to the base params' value (the dataset, gpu, and sample
+ * axes additionally split comma-separated base values, the CLI sweep
  * shorthand), so an empty spec expands to exactly one point.
  * Expansion order is fixed and documented:
  * gpus > variants > frameworks > models > comps > engines >
- * datasets > batches (outermost to innermost), each axis in the
- * order given.
+ * datasets > samples > batches (outermost to innermost), each axis
+ * in the order given.
  */
 class SweepSpec
 {
@@ -77,6 +77,14 @@ class SweepSpec
      */
     SweepSpec &gpus(const std::vector<std::string> &specs);
 
+    /**
+     * CTA-sampling axis: applyCtaSampleSpec() specs ("off",
+     * "cta:0.125", ...), one sampling policy per value — the
+     * speedup-vs-error frontier axis. Labels gain a "~SPEC" suffix
+     * whenever the axis has more than one value.
+     */
+    SweepSpec &samples(const std::vector<std::string> &specs);
+
     // Sugar for the base params benches tweak most often.
     SweepSpec &layers(int l);
     SweepSpec &runs(int r);
@@ -105,6 +113,7 @@ class SweepSpec
   private:
     UserParams baseParams;
     std::vector<std::string> gpuAxis;
+    std::vector<std::string> sampleAxis;
     std::vector<std::string> dsAxis;
     std::vector<GnnModelKind> modelAxis;
     std::vector<CompModel> compAxis;

@@ -35,6 +35,57 @@ fileDatasetPath(const std::string &dataset)
     return dataset.substr(5);
 }
 
+void
+applyCtaSampleSpec(GpuConfig &cfg, const std::string &spec)
+{
+    const std::vector<std::string> parts = split(trim(spec), ':');
+    if (parts.empty() || parts[0].empty())
+        fatal("--sample expects off | cta[:fraction][:key=value...], "
+              "got '%s'",
+              spec.c_str());
+    cfg.sampleMode = ctaSampleModeFromName(parts[0]);
+    for (size_t i = 1; i < parts.size(); ++i) {
+        const std::string &part = parts[i];
+        const size_t eq = part.find('=');
+        if (eq == std::string::npos) {
+            double fraction;
+            if (!parseDouble(part, fraction))
+                fatal("--sample part '%s' is neither a fraction nor "
+                      "key=value",
+                      part.c_str());
+            cfg.sampleFraction = fraction;
+            continue;
+        }
+        const std::string key = toLower(trim(part.substr(0, eq)));
+        const std::string value = trim(part.substr(eq + 1));
+        if (key == "fraction") {
+            if (!parseDouble(value, cfg.sampleFraction))
+                fatal("--sample fraction expects a number, got '%s'",
+                      value.c_str());
+        } else if (key == "min_ctas") {
+            int64_t v;
+            if (!parseInt(value, v) || v < 1)
+                fatal("--sample min_ctas expects a positive integer, "
+                      "got '%s'",
+                      value.c_str());
+            cfg.sampleMinCtas = v;
+        } else if (key == "seed") {
+            int64_t v;
+            if (!parseInt(value, v) || v < 0)
+                fatal("--sample seed expects a non-negative integer, "
+                      "got '%s'",
+                      value.c_str());
+            cfg.sampleSeed = static_cast<uint64_t>(v);
+        } else {
+            fatal("unknown --sample key '%s' (known: fraction, "
+                  "min_ctas, seed)",
+                  key.c_str());
+        }
+    }
+    if (!(cfg.sampleFraction > 0.0) || cfg.sampleFraction > 1.0)
+        fatal("--sample fraction must be in (0, 1]");
+}
+
 UserParams
 UserParams::fromOptions(const OptionSet &opts)
 {
@@ -47,7 +98,7 @@ UserParams::fromOptions(const OptionSet &opts)
         "csv",        "verbose",   "quiet",       "trace",
         "sim-threads", "sim-parallel", "sweep-threads",
         "max-ctas",   "cycle-ceiling", "scheduler", "l1-bypass",
-        "gpu",        "list-gpus",
+        "gpu",        "list-gpus",  "sample",
     };
     for (const auto &key : opts.keys()) {
         if (known.find(key) == known.end())
@@ -65,13 +116,17 @@ UserParams::fromOptions(const OptionSet &opts)
     // are validated per component.
     {
         std::string normalized;
-        for (const std::string &part : split(p.dataset, ',')) {
+        for (const std::string &part : splitDatasetList(p.dataset)) {
             if (!normalized.empty())
                 normalized += ',';
             if (isFileDataset(part)) {
                 if (fileDatasetPath(part).empty())
                     fatal("--dataset file: needs a path");
                 normalized += part;
+            } else if (isRmatDataset(part)) {
+                // Validate and canonicalize so sweep labels and
+                // graph-cache keys are stable.
+                normalized += parseRmatSpec(part).canonical();
             } else {
                 const std::string name = toLower(trim(part));
                 datasetInfoByName(name); // validate early
@@ -116,6 +171,15 @@ UserParams::fromOptions(const OptionSet &opts)
             opts.getString("scheduler"));
     if (opts.has("l1-bypass"))
         p.l1BypassLoads = opts.getBool("l1-bypass", false);
+    // --sample: validate every comma component now so a sweep list
+    // fails fast, but keep the list intact for SweepSpec to expand.
+    p.sample = opts.getString("sample", p.sample);
+    if (!p.sample.empty()) {
+        for (const std::string &part : split(p.sample, ',')) {
+            GpuConfig scratch;
+            applyCtaSampleSpec(scratch, part);
+        }
+    }
     // Normalize --gpu: validate + canonicalize each component,
     // expand "all", install file-spec overhead overrides. A multi-
     // spec result stays comma-joined for SweepSpec to expand.
@@ -167,7 +231,9 @@ DatasetScale
 UserParams::resolveScale() const
 {
     DatasetScale s;
-    if (!isFileDataset(dataset)) {
+    // file:/rmat: datasets have no Table IV entry; they default to
+    // identity scale with the explicit divisors applied on top.
+    if (!isFileDataset(dataset) && !isRmatDataset(dataset)) {
         const DatasetInfo &info = datasetInfoByName(dataset);
         s = engine == EngineKind::Sim
                 ? defaultSimScale(info.id)
@@ -190,6 +256,13 @@ UserParams::resolveGpuConfig() const
         cfg.scheduler = *scheduler;
     if (l1BypassLoads)
         cfg.l1BypassLoads = *l1BypassLoads;
+    if (!sample.empty()) {
+        if (sample.find(',') != std::string::npos)
+            fatal("resolveGpuConfig() on a --sample list '%s'; "
+                  "sweeps must expand points first",
+                  sample.c_str());
+        applyCtaSampleSpec(cfg, sample);
+    }
     cfg.validate();
     return cfg;
 }

@@ -39,6 +39,19 @@ bool isFileDataset(const std::string &dataset);
 /** The PATH part of a "file:PATH" dataset name. */
 std::string fileDatasetPath(const std::string &dataset);
 
+/**
+ * Apply a --sample spec to @p cfg's sample.* keys. Grammar (':'
+ * separated so ',' stays the sweep-axis separator):
+ *
+ *     off
+ *     cta
+ *     cta:0.125                 (fraction shorthand)
+ *     cta:fraction=F:min_ctas=N:seed=K
+ *
+ * fatal() on malformed specs.
+ */
+void applyCtaSampleSpec(GpuConfig &cfg, const std::string &spec);
+
 /** Everything a gSuite run is parameterized by. */
 struct UserParams {
     /**
@@ -131,6 +144,16 @@ struct UserParams {
     std::optional<SchedulerPolicy> scheduler;
     /** Ablation override: route global loads straight to L2. */
     std::optional<bool> l1BypassLoads;
+
+    /**
+     * CTA-sampling override (--sample): a spec for
+     * applyCtaSampleSpec(), applied on top of the gpu preset/file's
+     * sample.* keys. Empty (the default) defers to the preset. May
+     * hold a comma-separated list as sweep shorthand — SweepSpec
+     * expands it into the sample axis; single-point resolution
+     * rejects lists.
+     */
+    std::string sample;
 
     /** Dataset scaling: <0 means "use the engine-appropriate
      *  default" (defaultSimScale / defaultFunctionalScale). */

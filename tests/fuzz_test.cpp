@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 #include <deque>
 
 #include "engine/ExecutionEngine.hpp"
@@ -454,6 +455,82 @@ TEST_P(FuzzSeeds, RandomMemHierarchyConfigsStayDeterministic)
         SCOPED_TRACE("reference issue path");
         expect_identical(base, run(ref_cfg, 1));
     }
+}
+
+/**
+ * CTA-sampled extrapolation soundness on random launches: for grids
+ * with random shapes and skewed per-CTA cost, the est_* / err_*
+ * intervals of the work and cycle counters must contain the full
+ * run's exact values, and the sampled run must be deterministic.
+ */
+TEST_P(FuzzSeeds, SampledSimBoundsContainTheFullRun)
+{
+    const uint64_t seed = GetParam();
+    Rng rng(seed * 769 + 29);
+
+    KernelLaunch l;
+    l.name = "fuzz_sampled_" + std::to_string(seed);
+    l.dims.numCtas =
+        96 + static_cast<int64_t>(rng.nextBelow(320));
+    l.dims.threadsPerCta =
+        32 * (1 + static_cast<int>(rng.nextBelow(2)));
+    const uint64_t body = seed ^ 0xbeefULL;
+    const int64_t period = 7 + static_cast<int64_t>(rng.nextBelow(14));
+    l.genTrace = [body, period](int64_t cta, int warp,
+                                WarpTrace &out) {
+        TraceBuilder b(out);
+        Rng wr(body ^ (0x9e37ULL *
+                       static_cast<uint64_t>(cta * 64 + warp)));
+        std::array<uint64_t, 32> a{};
+        for (int i = 0; i < 32; ++i)
+            a[static_cast<size_t>(i)] =
+                0x100000ull + wr.nextBelow(1 << 16) * 32ull;
+        const Reg r = b.load({a.data(), 32});
+        b.alu(Op::FP32, r);
+        // Cost skew: CTAs cycle through `period` work levels.
+        b.aluChain(Op::INT,
+                   2 + static_cast<int>(cta % period) * 3);
+        b.exit();
+    };
+    l.ctaCostHint = [period](int64_t cta) -> uint64_t {
+        return 4 + static_cast<uint64_t>(cta % period) * 3;
+    };
+
+    GpuConfig cfg = GpuConfig::testTiny();
+    cfg.smSampleFactor = 1;
+    const KernelStats full = GpuSimulator(cfg).run(l);
+    ASSERT_EQ(full.ctasSimulated, l.dims.numCtas);
+
+    cfg.sampleMode = CtaSampleMode::Cta;
+    cfg.sampleFraction = 0.25;
+    cfg.sampleMinCtas = 8;
+    cfg.sampleSeed = seed;
+    const KernelStats st = GpuSimulator(cfg).run(l);
+    ASSERT_GT(st.sampledCtas, 0) << "sampling did not engage";
+    ASSERT_LT(st.ctasSimulated, full.ctasSimulated);
+
+    const StatSet truth = full.toStatSet();
+    for (const char *name :
+         {"cycles", "warp_instrs", "thread_instrs", "mem_instrs",
+          "mem_sectors"}) {
+        const double est = st.estimate(name);
+        const double err = st.estimateErr(name);
+        EXPECT_LE(std::abs(est - truth.get(name)), err)
+            << "seed " << seed << " counter " << name << ": est "
+            << est << " +- " << err << " vs full "
+            << truth.get(name);
+    }
+    // Warp counts expand exactly.
+    EXPECT_DOUBLE_EQ(st.estimate("warps"),
+                     static_cast<double>(full.warpsSimulated));
+
+    // Rerun determinism of the sampled path.
+    const KernelStats again = GpuSimulator(cfg).run(l);
+    EXPECT_EQ(st.cycles, again.cycles);
+    ASSERT_EQ(st.estimates.size(), again.estimates.size());
+    for (size_t i = 0; i < st.estimates.size(); ++i)
+        EXPECT_EQ(st.estimates[i].est, again.estimates[i].est)
+            << st.estimates[i].name;
 }
 
 TEST_P(FuzzSeeds, RandomFaultPlansNeverDeadlockTheScheduler)

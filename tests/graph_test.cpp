@@ -282,6 +282,61 @@ TEST(Datasets, DefaultScalesKeepSmallGraphsFull)
         defaultFunctionalScale(DatasetId::LiveJournal).isFull());
 }
 
+TEST(RmatSpec, ParseCanonicalRoundTrip)
+{
+    EXPECT_TRUE(isRmatDataset("rmat:scale=10,ef=4"));
+    EXPECT_FALSE(isRmatDataset("cora"));
+    EXPECT_FALSE(isRmatDataset("file:edges.txt"));
+
+    const RmatSpec spec =
+        parseRmatSpec("rmat:ef=4,scale=10,seed=9");
+    EXPECT_EQ(spec.scale, 10);
+    EXPECT_EQ(spec.edgeFactor, 4);
+    EXPECT_EQ(spec.seed, 9u);
+    EXPECT_EQ(spec.featureLen, 16); // default
+    EXPECT_EQ(spec.nodes(), 1024);
+    EXPECT_EQ(spec.edges(), 4096);
+
+    // canonical() always spells out every key in a fixed order, and
+    // re-parsing it is the identity.
+    EXPECT_EQ(spec.canonical(), "rmat:scale=10,ef=4,seed=9,flen=16");
+    const RmatSpec again = parseRmatSpec(spec.canonical());
+    EXPECT_EQ(again.canonical(), spec.canonical());
+}
+
+TEST(RmatSpec, GenerationIsAPureFunctionOfTheSpec)
+{
+    const RmatSpec spec = parseRmatSpec("rmat:scale=9,ef=6,seed=5");
+    const Graph a = loadRmatDataset(spec, DatasetScale::full());
+    const Graph b = loadRmatDataset(spec, DatasetScale::full());
+    EXPECT_EQ(a.numNodes(), 512);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(DenseMatrix::maxAbsDiff(a.features, b.features), 0.0);
+    EXPECT_EQ(a.name, spec.canonical());
+
+    RmatSpec reseeded = spec;
+    reseeded.seed = 6;
+    const Graph c = loadRmatDataset(reseeded, DatasetScale::full());
+    EXPECT_NE(a.src, c.src);
+
+    // Scale divisors apply on top of the spec'd size.
+    const Graph d = loadRmatDataset(spec, DatasetScale{2, 4, 8});
+    EXPECT_EQ(d.numNodes(), 256);
+    EXPECT_EQ(d.features.cols(), 8);
+}
+
+TEST(RmatSpec, SplitDatasetListKeepsSpecCommasAttached)
+{
+    const std::vector<std::string> parts = splitDatasetList(
+        "cora,rmat:scale=10,ef=4,seed=2,pubmed,file:edges.txt");
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "cora");
+    EXPECT_EQ(parts[1], "rmat:scale=10,ef=4,seed=2");
+    EXPECT_EQ(parts[2], "pubmed");
+    EXPECT_EQ(parts[3], "file:edges.txt");
+}
+
 TEST(EdgeListIo, RoundTrip)
 {
     Graph g = triangleGraph();

@@ -153,6 +153,42 @@ TEST(SweepSpec, BatchAxisExpandsInnermostWithSuffixedLabels)
                 ::testing::ExitedWithCode(1), "");
 }
 
+TEST(SweepSpec, SampleAxisExpandsWithTildeLabels)
+{
+    UserParams base;
+    base.sample = "off,cta:0.125";
+    const auto points = SweepSpec{}.base(base).expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].params.sample, "off");
+    EXPECT_EQ(points[0].label, "gsuite/gcn/mp/cora~off");
+    EXPECT_EQ(points[1].params.sample, "cta:0.125");
+    EXPECT_EQ(points[1].label, "gsuite/gcn/mp/cora~cta:0.125");
+
+    // Explicit axis; the empty spec labels as "off".
+    const auto axis =
+        SweepSpec{}.samples({"", "cta:0.25"}).expand();
+    ASSERT_EQ(axis.size(), 2u);
+    EXPECT_EQ(axis[0].label, "gsuite/gcn/mp/cora~off");
+    EXPECT_TRUE(axis[0].params.sample.empty());
+
+    // Single value: params change, label does not.
+    const auto solo = SweepSpec{}.samples({"cta"}).expand();
+    ASSERT_EQ(solo.size(), 1u);
+    EXPECT_EQ(solo[0].params.sample, "cta");
+    EXPECT_EQ(solo[0].label, "gsuite/gcn/mp/cora");
+}
+
+TEST(SweepSpec, RmatDatasetEntriesSurviveListSplitting)
+{
+    UserParams base;
+    base.dataset = "cora,rmat:scale=8,ef=4,seed=1,flen=8";
+    const auto points = SweepSpec{}.base(base).expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].params.dataset, "cora");
+    EXPECT_EQ(points[1].params.dataset,
+              "rmat:scale=8,ef=4,seed=1,flen=8");
+}
+
 TEST(BenchSession, BatchedPointRunsMergedGraph)
 {
     UserParams p;
